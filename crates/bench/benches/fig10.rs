@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figure 10 (stepwise, 10-cube) at a
+//! reduced trial count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("steps_10cube_trials3", |b| {
+        b.iter(|| std::hint::black_box(workloads::figures::fig10(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

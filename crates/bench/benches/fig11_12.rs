@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figures 11-12 (5-cube delays, nCUBE-2
+//! parameters) at a reduced trial count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig11_12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_12");
+    g.sample_size(10);
+    g.bench_function("delay_5cube_trials3", |b| {
+        b.iter(|| std::hint::black_box(workloads::figures::fig11_12(3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11_12);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figures 13-14 (10-cube simulated delays)
+//! at a reduced trial count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig13_14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_14");
+    g.sample_size(10);
+    g.bench_function("delay_10cube_trials2", |b| {
+        b.iter(|| std::hint::black_box(workloads::figures::fig13_14(2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13_14);
+criterion_main!(benches);

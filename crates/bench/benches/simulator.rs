@@ -1,0 +1,29 @@
+//! Simulator throughput: full-broadcast wormhole simulation cost per cube
+//! size (the substrate the delay figures stand on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcube::{Cube, Resolution, NodeId};
+use hypercast::{collectives::broadcast, Algorithm, PortModel};
+use wormsim::{simulate_multicast, SimParams};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_broadcast");
+    let params = SimParams::ncube2(PortModel::AllPort);
+    for &n in &[6u8, 8, 10] {
+        let tree = broadcast(
+            Algorithm::WSort,
+            Cube::of(n),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("wsort_4096B", n), &tree, |b, tree| {
+            b.iter(|| std::hint::black_box(simulate_multicast(tree, &params, 4096)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Costs of the verification machinery: the quadratic Definition-4
+//! contention checker and the distributed-protocol executor, per
+//! destination count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::contention::contention_witnesses;
+use hypercast::{protocol, Algorithm, PortModel};
+use workloads::destsets::{random_dests, trial_rng};
+
+fn bench_verification(c: &mut Criterion) {
+    let cube = Cube::of(8);
+    let mut g = c.benchmark_group("verification");
+    for &m in &[15usize, 63, 255] {
+        let mut rng = trial_rng("bench_verification", m, 0);
+        let dests = random_dests(&mut rng, cube, NodeId(0), m);
+        let tree = Algorithm::WSort
+            .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("contention_checker", m), &tree, |b, t| {
+            b.iter(|| std::hint::black_box(contention_witnesses(t)))
+        });
+        g.bench_with_input(BenchmarkId::new("protocol_execute", m), &dests, |b, d| {
+            b.iter(|| {
+                std::hint::black_box(
+                    protocol::execute(
+                        Algorithm::WSort,
+                        cube,
+                        Resolution::HighToLow,
+                        NodeId(0),
+                        d,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

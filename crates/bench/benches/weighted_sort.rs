@@ -1,0 +1,36 @@
+//! Ablation bench: the in-place `weighted_sort` vs the allocating
+//! literal transcription of Figure 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcube::chain::relative_chain;
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::algorithms::weighted_sort::{weighted_sort, weighted_sort_reference};
+use workloads::destsets::{random_dests, trial_rng};
+
+fn bench_weighted_sort(c: &mut Criterion) {
+    let cube = Cube::of(10);
+    let mut g = c.benchmark_group("weighted_sort");
+    for &m in &[15usize, 127, 1023] {
+        let mut rng = trial_rng("bench_wsort", m, 0);
+        let dests = random_dests(&mut rng, cube, NodeId(0), m);
+        let chain = relative_chain(Resolution::HighToLow, 10, NodeId(0), &dests).unwrap();
+        g.bench_with_input(BenchmarkId::new("in_place", m), &chain, |b, chain| {
+            b.iter(|| {
+                let mut d = chain.clone();
+                weighted_sort(&mut d, 10);
+                std::hint::black_box(d)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reference", m), &chain, |b, chain| {
+            b.iter(|| {
+                let mut d = chain.clone();
+                weighted_sort_reference(&mut d, 10);
+                std::hint::black_box(d)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_weighted_sort);
+criterion_main!(benches);

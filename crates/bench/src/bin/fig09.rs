@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 9: stepwise comparisons on a 6-cube
+//! (average over 100 random destination sets of the maximum step count).
+
+fn main() {
+    let trials = bench::trials_arg(workloads::figures::PAPER_TRIALS_STEPS);
+    bench::emit(&workloads::figures::fig09(trials));
+}

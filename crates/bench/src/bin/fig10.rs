@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 10: stepwise comparisons on a 10-cube.
+
+fn main() {
+    let trials = bench::trials_arg(workloads::figures::PAPER_TRIALS_STEPS);
+    bench::emit(&workloads::figures::fig10(trials));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 12: maximum delay on a 5-cube,
+//! 4096-byte messages, nCUBE-2 parameters (simulated testbed stand-in).
+
+fn main() {
+    let trials = bench::trials_arg(workloads::figures::PAPER_TRIALS_NCUBE);
+    let (_, max) = workloads::figures::fig11_12(trials);
+    bench::emit(&max);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 13: average delay on a 10-cube,
+//! 4096-byte messages (large-system simulation).
+
+fn main() {
+    let trials = bench::trials_arg(workloads::figures::PAPER_TRIALS_STEPS);
+    let (avg, _) = workloads::figures::fig13_14(trials);
+    bench::emit(&avg);
+}

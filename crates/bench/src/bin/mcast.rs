@@ -1,0 +1,199 @@
+//! `mcast` — command-line front end: build, verify, and simulate one
+//! multicast.
+//!
+//! ```text
+//! cargo run -p bench --release --bin mcast -- \
+//!     --n 6 --algo wsort --port all --source 0 --dests 3,9,17,33,60 \
+//!     --bytes 4096 [--random 20] [--seed 7] [--trace] [--json]
+//! ```
+
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::contention::contention_witnesses;
+use hypercast::{Algorithm, PortModel};
+use wormsim::{simulate, ChannelTrace, DepMessage, SimParams, SimTime};
+
+struct Args {
+    n: u8,
+    algo: Option<Algorithm>,
+    port: PortModel,
+    source: u32,
+    dests: Vec<u32>,
+    random: Option<usize>,
+    seed: u64,
+    bytes: u32,
+    trace: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 6,
+        algo: None,
+        port: PortModel::AllPort,
+        source: 0,
+        dests: Vec::new(),
+        random: None,
+        seed: 1,
+        bytes: 4096,
+        trace: false,
+        json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<&str, String> {
+            *i += 1;
+            argv.get(*i).map(String::as_str).ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--n" => args.n = take(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--algo" => {
+                let v = take(&mut i)?.to_lowercase();
+                args.algo = Some(match v.as_str() {
+                    "ucube" | "u-cube" => Algorithm::UCube,
+                    "maxport" => Algorithm::Maxport,
+                    "combine" => Algorithm::Combine,
+                    "wsort" | "w-sort" => Algorithm::WSort,
+                    "separate" => Algorithm::Separate,
+                    "dimtree" => Algorithm::DimTree,
+                    "all" => {
+                        args.algo = None;
+                        i += 1;
+                        continue;
+                    }
+                    other => return Err(format!("unknown algorithm {other}")),
+                });
+            }
+            "--port" => {
+                args.port = match take(&mut i)? {
+                    "one" | "one-port" => PortModel::OnePort,
+                    "all" | "all-port" => PortModel::AllPort,
+                    other => return Err(format!("unknown port model {other}")),
+                }
+            }
+            "--source" => args.source = take(&mut i)?.parse().map_err(|e| format!("--source: {e}"))?,
+            "--dests" => {
+                args.dests = take(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--dests: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--random" => args.random = Some(take(&mut i)?.parse().map_err(|e| format!("--random: {e}"))?),
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--bytes" => args.bytes = take(&mut i)?.parse().map_err(|e| format!("--bytes: {e}"))?,
+            "--trace" => args.trace = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: mcast --n <dim> [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
+                     \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
+                     \x20             [--bytes B] [--trace] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cube = match Cube::new(args.n) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let dests: Vec<NodeId> = if let Some(m) = args.random {
+        let mut rng = workloads::destsets::trial_rng("mcast-cli", 0, args.seed as usize);
+        workloads::destsets::random_dests(&mut rng, cube, NodeId(args.source), m)
+    } else if args.dests.is_empty() {
+        eprintln!("error: provide --dests or --random (try --help)");
+        std::process::exit(2);
+    } else {
+        args.dests.iter().copied().map(NodeId).collect()
+    };
+
+    let params = SimParams::ncube2(args.port);
+    let algos: Vec<Algorithm> = match args.algo {
+        Some(a) => vec![a],
+        None => Algorithm::ALL.to_vec(),
+    };
+    println!(
+        "{}-cube | {} | source {} | {} destinations | {} bytes\n",
+        args.n,
+        args.port.label(),
+        NodeId(args.source).binary(args.n),
+        dests.len(),
+        args.bytes
+    );
+    for algo in algos {
+        let tree = match algo.build(cube, Resolution::HighToLow, args.port, NodeId(args.source), &dests)
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let witnesses = contention_witnesses(&tree);
+        let report = wormsim::simulate_multicast(&tree, &params, args.bytes);
+        println!(
+            "{:>9}: {} steps, {} messages, def-4 witnesses {}, sim avg {} max {} (blocks {})",
+            algo.name(),
+            tree.steps,
+            tree.message_count(),
+            witnesses.len(),
+            report.avg_delay,
+            report.max_delay,
+            report.blocks
+        );
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&tree).expect("tree serializes"));
+        }
+        if args.algo.is_some() && !args.json {
+            println!("\n{}", tree.render());
+            if args.trace {
+                let workload: Vec<DepMessage> = tree
+                    .unicasts
+                    .iter()
+                    .map(|u| DepMessage {
+                        src: u.src,
+                        dst: u.dst,
+                        bytes: args.bytes,
+                        deps: tree
+                            .unicasts
+                            .iter()
+                            .position(|p| p.dst == u.src)
+                            .map(|i| vec![i])
+                            .unwrap_or_default(),
+                        min_start: SimTime::ZERO,
+                    })
+                    .collect();
+                let run = simulate(cube, Resolution::HighToLow, &params, &workload);
+                let trace = ChannelTrace::reconstruct(
+                    cube,
+                    Resolution::HighToLow,
+                    &params,
+                    &workload,
+                    &run,
+                );
+                println!("{}", trace.render_timeline(cube, 64));
+                println!(
+                    "external-channel utilization: {:.1}% across {} channels",
+                    trace.utilization() * 100.0,
+                    trace.channels_used()
+                );
+            }
+        }
+    }
+}

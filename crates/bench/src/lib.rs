@@ -1,0 +1,43 @@
+//! Shared output plumbing for the figure-regeneration binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use workloads::Figure;
+
+/// Directory the regeneration binaries write their artifacts to
+/// (`results/` at the workspace root, created on demand).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Prints a figure (table + ASCII plot) to stdout and archives it as
+/// `results/<id>.txt` and `results/<id>.json`.
+pub fn emit(figure: &Figure) {
+    let table = figure.to_table();
+    let plot = figure.to_ascii_plot(72, 18);
+    println!("{table}");
+    println!("{plot}");
+    let dir = results_dir();
+    let mut artifact = table;
+    artifact.push('\n');
+    artifact.push_str(&plot);
+    std::fs::write(dir.join(format!("{}.txt", figure.id)), artifact).expect("write txt");
+    std::fs::write(dir.join(format!("{}.json", figure.id)), figure.to_json())
+        .expect("write json");
+    eprintln!("[saved results/{0}.txt results/{0}.json]", figure.id);
+}
+
+/// Parses a `--trials N` override from argv, falling back to `default`.
+#[must_use]
+pub fn trials_arg(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--trials")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,239 @@
+//! Node addresses, dimensions, and the bit-level helpers the paper's
+//! notation is built on.
+//!
+//! A node in an `n`-cube is identified by an `n`-bit binary address. This
+//! module provides the `‖v‖` (bit weight), `⊕` (exclusive-or), and
+//! `δ(u, v)` (highest differing bit, Definition 1) operations used
+//! throughout the paper, plus the bit-reversal needed to support both
+//! address-resolution orders (see [`crate::routing::Resolution`]).
+
+use std::fmt;
+
+/// The address of a node in a hypercube.
+///
+/// Addresses are plain `u32` bit patterns; a [`crate::Cube`] of dimension
+/// `n` contains the addresses `0..2^n`. The newtype keeps node addresses
+/// from being confused with dimensions, counts, or channel indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The bitwise exclusive-or `self ⊕ other` as a raw bit pattern.
+    ///
+    /// In a hypercube the XOR of two addresses is the set of dimensions a
+    /// message must traverse to travel between them.
+    #[inline]
+    #[must_use]
+    pub fn xor(self, other: NodeId) -> u32 {
+        self.0 ^ other.0
+    }
+
+    /// `‖v‖` — the number of 1 bits in the address.
+    #[inline]
+    #[must_use]
+    pub fn weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The Hamming distance `‖u ⊕ v‖` between two nodes, which equals the
+    /// E-cube path length between them.
+    #[inline]
+    #[must_use]
+    pub fn distance(self, other: NodeId) -> u32 {
+        self.xor(other).count_ones()
+    }
+
+    /// The value of bit `d` of the address (`v ⊗ 2^d ≠ 0` in the paper's
+    /// notation).
+    #[inline]
+    #[must_use]
+    pub fn bit(self, d: Dim) -> bool {
+        (self.0 >> d.0) & 1 == 1
+    }
+
+    /// The neighbor of this node across dimension `d`: `v ⊕ 2^d`.
+    #[inline]
+    #[must_use]
+    pub fn flip(self, d: Dim) -> NodeId {
+        NodeId(self.0 ^ (1u32 << d.0))
+    }
+
+    /// Reverses the low `n` bits of the address.
+    ///
+    /// Used to conjugate between the two address-resolution orders: E-cube
+    /// routing that resolves low-to-high in the original space behaves
+    /// exactly like high-to-low resolution in the bit-reversed space.
+    #[inline]
+    #[must_use]
+    pub fn bit_reverse(self, n: u8) -> NodeId {
+        debug_assert!(n as u32 <= 32);
+        if n == 0 {
+            return NodeId(0);
+        }
+        NodeId(self.0.reverse_bits() >> (32 - n as u32))
+    }
+
+    /// Renders the address as an `n`-digit binary string, the way the paper
+    /// writes node names (e.g. `0111`).
+    #[must_use]
+    pub fn binary(self, n: u8) -> String {
+        let mut s = String::with_capacity(n as usize);
+        for d in (0..n).rev() {
+            s.push(if self.bit(Dim(d)) { '1' } else { '0' });
+        }
+        s
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A hypercube dimension (equivalently, a channel label at a node).
+///
+/// Channel `d` of node `x` connects `x` to `x ⊕ 2^d`; a message using that
+/// channel is said to *travel in dimension `d`*.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Dim(pub u8);
+
+impl fmt::Debug for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dim({})", self.0)
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u8> for Dim {
+    fn from(v: u8) -> Self {
+        Dim(v)
+    }
+}
+
+/// `δ(u, v)` with high-to-low resolution: the *highest*-ordered bit position
+/// in which `u` and `v` differ (Definition 1), or `None` when `u = v`.
+///
+/// This is the first dimension an E-cube message from `u` to `v` travels
+/// when addresses are resolved from high-order to low-order bits.
+#[inline]
+#[must_use]
+pub fn delta_high(u: NodeId, v: NodeId) -> Option<Dim> {
+    let x = u.xor(v);
+    if x == 0 {
+        None
+    } else {
+        Some(Dim((31 - x.leading_zeros()) as u8))
+    }
+}
+
+/// `δ(u, v)` with low-to-high resolution: the *lowest*-ordered differing
+/// bit position, or `None` when `u = v`.
+#[inline]
+#[must_use]
+pub fn delta_low(u: NodeId, v: NodeId) -> Option<Dim> {
+    let x = u.xor(v);
+    if x == 0 {
+        None
+    } else {
+        Some(Dim(x.trailing_zeros() as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_counts_ones() {
+        assert_eq!(NodeId(0).weight(), 0);
+        assert_eq!(NodeId(0b1011).weight(), 3);
+        assert_eq!(NodeId(u32::MAX).weight(), 32);
+    }
+
+    #[test]
+    fn distance_is_xor_weight() {
+        let u = NodeId(0b0101);
+        let v = NodeId(0b1110);
+        assert_eq!(u.distance(v), 3);
+        assert_eq!(u.distance(u), 0);
+        assert_eq!(u.xor(v), 0b1011);
+    }
+
+    #[test]
+    fn flip_is_involutive_and_moves_one_bit() {
+        let u = NodeId(0b0101);
+        let d = Dim(3);
+        let v = u.flip(d);
+        assert_eq!(v, NodeId(0b1101));
+        assert_eq!(v.flip(d), u);
+        assert_eq!(u.distance(v), 1);
+    }
+
+    #[test]
+    fn bit_reads_single_positions() {
+        let u = NodeId(0b0110);
+        assert!(!u.bit(Dim(0)));
+        assert!(u.bit(Dim(1)));
+        assert!(u.bit(Dim(2)));
+        assert!(!u.bit(Dim(3)));
+    }
+
+    #[test]
+    fn delta_high_is_paper_definition_1() {
+        // δ(u, v) = ⌊log2(u ⊕ v)⌋
+        assert_eq!(delta_high(NodeId(0b0101), NodeId(0b1110)), Some(Dim(3)));
+        assert_eq!(delta_high(NodeId(0b0001), NodeId(0b0000)), Some(Dim(0)));
+        assert_eq!(delta_high(NodeId(7), NodeId(7)), None);
+    }
+
+    #[test]
+    fn delta_low_mirrors_delta_high_under_bit_reversal() {
+        let n = 6;
+        for u in 0..(1u32 << n) {
+            for v in 0..(1u32 << n) {
+                let (u, v) = (NodeId(u), NodeId(v));
+                let lo = delta_low(u, v);
+                let hi = delta_high(u.bit_reverse(n), v.bit_reverse(n));
+                match (lo, hi) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => assert_eq!(a.0, n - 1 - b.0),
+                    other => panic!("mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_round_trips() {
+        for n in 1..=10u8 {
+            for v in 0..(1u32 << n) {
+                assert_eq!(NodeId(v).bit_reverse(n).bit_reverse(n), NodeId(v));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rendering_matches_paper_style() {
+        assert_eq!(NodeId(0b0111).binary(4), "0111");
+        assert_eq!(NodeId(0).binary(4), "0000");
+        assert_eq!(NodeId(14).binary(4), "1110");
+    }
+}

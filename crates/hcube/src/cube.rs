@@ -1,0 +1,172 @@
+//! The hypercube topology descriptor.
+
+use crate::addr::{Dim, NodeId};
+use crate::error::HcubeError;
+
+/// An `n`-dimensional hypercube with `N = 2^n` nodes.
+///
+/// Each node has `n` pairs of external channels; channel `d` of node `x`
+/// connects to node `x ⊕ 2^d`. A channel `(u, v)` exists iff
+/// `‖u ⊕ v‖ = 1`.
+///
+/// `Cube` is a lightweight value (one byte of state) passed by copy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Cube {
+    n: u8,
+}
+
+/// The largest supported cube dimension.
+///
+/// `2^24` nodes is far beyond anything this crate's simulators iterate
+/// over, while keeping every address comfortably inside a `u32` and every
+/// directed-channel index inside a `usize`.
+pub const MAX_DIMENSION: u8 = 24;
+
+impl Cube {
+    /// Creates an `n`-cube.
+    ///
+    /// # Errors
+    /// Returns [`HcubeError::BadDimension`] unless `1 <= n <= MAX_DIMENSION`.
+    pub fn new(n: u8) -> Result<Cube, HcubeError> {
+        if n == 0 || n > MAX_DIMENSION {
+            Err(HcubeError::BadDimension { n })
+        } else {
+            Ok(Cube { n })
+        }
+    }
+
+    /// Creates an `n`-cube, panicking on an invalid dimension.
+    ///
+    /// Convenient in tests and examples where `n` is a literal.
+    ///
+    /// # Panics
+    /// If `n` is outside `1..=MAX_DIMENSION`.
+    #[must_use]
+    pub fn of(n: u8) -> Cube {
+        Cube::new(n).expect("valid cube dimension")
+    }
+
+    /// The dimensionality `n`.
+    #[inline]
+    #[must_use]
+    pub fn dimension(self) -> u8 {
+        self.n
+    }
+
+    /// The number of nodes, `N = 2^n`.
+    #[inline]
+    #[must_use]
+    pub fn node_count(self) -> usize {
+        1usize << self.n
+    }
+
+    /// The number of *directed* external channels, `n · 2^n`.
+    #[inline]
+    #[must_use]
+    pub fn channel_count(self) -> usize {
+        (self.n as usize) << self.n
+    }
+
+    /// Whether `v` is a valid address in this cube.
+    #[inline]
+    #[must_use]
+    pub fn contains(self, v: NodeId) -> bool {
+        (v.0 as u64) < (1u64 << self.n)
+    }
+
+    /// Validates an address, for API boundaries that accept caller input.
+    ///
+    /// # Errors
+    /// Returns [`HcubeError::NodeOutOfRange`] if `v` is not in this cube.
+    pub fn check_node(self, v: NodeId) -> Result<(), HcubeError> {
+        if self.contains(v) {
+            Ok(())
+        } else {
+            Err(HcubeError::NodeOutOfRange { node: v, n: self.n })
+        }
+    }
+
+    /// Iterates over all node addresses `0..2^n`.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterates over all dimensions `0..n`.
+    pub fn dims(self) -> impl Iterator<Item = Dim> {
+        (0..self.n).map(Dim)
+    }
+
+    /// The `n` neighbors of node `v`.
+    pub fn neighbors(self, v: NodeId) -> impl Iterator<Item = NodeId> {
+        self.dims().map(move |d| v.flip(d))
+    }
+
+    /// A dense index for the directed channel leaving `from` in dimension
+    /// `d`, in `0..channel_count()`. Used by simulators for flat-array
+    /// channel state.
+    #[inline]
+    #[must_use]
+    pub fn channel_index(self, from: NodeId, d: Dim) -> usize {
+        debug_assert!(self.contains(from));
+        debug_assert!(d.0 < self.n);
+        (from.0 as usize) * self.n as usize + d.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_dimension() {
+        assert!(Cube::new(0).is_err());
+        assert!(Cube::new(1).is_ok());
+        assert!(Cube::new(MAX_DIMENSION).is_ok());
+        assert!(Cube::new(MAX_DIMENSION + 1).is_err());
+    }
+
+    #[test]
+    fn counts_match_definitions() {
+        let c = Cube::of(4);
+        assert_eq!(c.node_count(), 16);
+        assert_eq!(c.channel_count(), 64);
+        assert_eq!(c.nodes().count(), 16);
+        assert_eq!(c.dims().count(), 4);
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_bit() {
+        let c = Cube::of(5);
+        for v in c.nodes() {
+            let nbrs: Vec<_> = c.neighbors(v).collect();
+            assert_eq!(nbrs.len(), 5);
+            for w in nbrs {
+                assert_eq!(v.distance(w), 1, "channel (u,v) exists iff ‖u⊕v‖=1");
+                assert!(c.contains(w));
+            }
+        }
+    }
+
+    #[test]
+    fn contains_rejects_out_of_range() {
+        let c = Cube::of(3);
+        assert!(c.contains(NodeId(7)));
+        assert!(!c.contains(NodeId(8)));
+        assert!(c.check_node(NodeId(8)).is_err());
+    }
+
+    #[test]
+    fn channel_indices_are_dense_and_unique() {
+        let c = Cube::of(3);
+        let mut seen = vec![false; c.channel_count()];
+        for v in c.nodes() {
+            for d in c.dims() {
+                let i = c.channel_index(v, d);
+                assert!(i < c.channel_count());
+                assert!(!seen[i], "duplicate channel index");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

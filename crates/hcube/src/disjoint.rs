@@ -1,0 +1,172 @@
+//! Arc-disjointness of E-cube paths (Section 3.3).
+//!
+//! Two paths with no directed channel in common can never contend for a
+//! channel regardless of timing. Theorems 1 and 2 give cheap *sufficient*
+//! conditions; [`arc_disjoint`] is the exact (brute-force) check used as
+//! an oracle in tests and by the contention verifier.
+
+use crate::path::{Channel, Path};
+
+/// Exact arc-disjointness check: whether `a` and `b` share no directed
+/// channel. O(|a|·|b|) without allocation, which is fine for hypercube
+/// paths (≤ n hops each).
+///
+/// ```
+/// use hcube::{NodeId, Path, Resolution};
+/// use hcube::disjoint::arc_disjoint;
+///
+/// // The Figure 3(d) conflict: both paths leave 0111 on channel 3 and
+/// // share the arc 0111→1111.
+/// let a = Path::new(Resolution::HighToLow, NodeId(0b0111), NodeId(0b1011));
+/// let b = Path::new(Resolution::HighToLow, NodeId(0b0111), NodeId(0b1100));
+/// assert!(!arc_disjoint(a, b));
+/// ```
+#[must_use]
+pub fn arc_disjoint(a: Path, b: Path) -> bool {
+    shared_arc(a, b).is_none()
+}
+
+/// The first directed channel shared by the two paths, if any (in `a`'s
+/// traversal order).
+#[must_use]
+pub fn shared_arc(a: Path, b: Path) -> Option<Channel> {
+    a.arcs().find(|&arc| b.uses(arc))
+}
+
+/// Theorem 1 (sufficient condition): two paths leaving a *common source*
+/// on different first channels are arc-disjoint.
+///
+/// Returns `true` only when the condition applies; `false` means "the
+/// theorem does not guarantee disjointness", not "the paths share an arc".
+#[must_use]
+pub fn theorem1_applies(a: Path, b: Path) -> bool {
+    a.src == b.src
+        && a.resolution == b.resolution
+        && match (a.first_dim(), b.first_dim()) {
+            (Some(x), Some(y)) => x != y,
+            // An empty path is vacuously disjoint from anything.
+            _ => true,
+        }
+}
+
+/// Theorem 2 (sufficient condition): a path whose source and destination
+/// both lie inside subcube `s` is arc-disjoint from any path whose source
+/// and destination both lie outside `s`.
+///
+/// `inside` is the path contained in `s`; `outside` the one avoiding it.
+/// As with [`theorem1_applies`], `false` carries no information.
+#[must_use]
+pub fn theorem2_applies(s: crate::subcube::Subcube, inside: Path, outside: Path) -> bool {
+    s.contains(inside.src)
+        && s.contains(inside.dst)
+        && !s.contains(outside.src)
+        && !s.contains(outside.dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeId;
+    use crate::routing::Resolution;
+    use crate::subcube::Subcube;
+
+    fn p(src: u32, dst: u32) -> Path {
+        Path::new(Resolution::HighToLow, NodeId(src), NodeId(dst))
+    }
+
+    #[test]
+    fn shared_arc_found_in_figure_3d_conflict() {
+        // The conflict the paper describes in Figure 3(d): P(0111, 1011)
+        // and P(0111, 1100) both use channel 0111 → 1111.
+        let a = p(0b0111, 0b1011);
+        let b = p(0b0111, 0b1100);
+        let arc = shared_arc(a, b).expect("paths share 0111→1111");
+        assert_eq!(arc.from, NodeId(0b0111));
+        assert_eq!(arc.to(), NodeId(0b1111));
+        assert!(!arc_disjoint(a, b));
+    }
+
+    #[test]
+    fn theorem1_exhaustive_on_4_cube() {
+        // Whenever two paths leave a common source on different channels,
+        // they must be arc-disjoint.
+        for src in 0..16u32 {
+            for d1 in 0..16u32 {
+                for d2 in 0..16u32 {
+                    for res in [Resolution::HighToLow, Resolution::LowToHigh] {
+                        let a = Path::new(res, NodeId(src), NodeId(d1));
+                        let b = Path::new(res, NodeId(src), NodeId(d2));
+                        if theorem1_applies(a, b) {
+                            assert!(
+                                arc_disjoint(a, b),
+                                "Theorem 1 violated: src={src} d1={d1} d2={d2} {res:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_exhaustive_on_4_cube_sample() {
+        // For every subcube of a 4-cube and a sample of path pairs, the
+        // inside/outside separation implies arc-disjointness.
+        let mut subcubes = Vec::new();
+        for dim in 0..=4u8 {
+            for mask in 0..(1u32 << (4 - dim)) {
+                subcubes.push(Subcube::new(dim, mask));
+            }
+        }
+        for s in subcubes {
+            for u in 0..16u32 {
+                for v in 0..16u32 {
+                    if !(s.contains(NodeId(u)) && s.contains(NodeId(v))) {
+                        continue;
+                    }
+                    for x in 0..16u32 {
+                        if s.contains(NodeId(x)) {
+                            continue;
+                        }
+                        // One representative y per x keeps this quick.
+                        let y = (x + 5) % 16;
+                        if s.contains(NodeId(y)) {
+                            continue;
+                        }
+                        let inside = p(u, v);
+                        let outside = p(x, y);
+                        assert!(theorem2_applies(s, inside, outside));
+                        assert!(
+                            arc_disjoint(inside, outside),
+                            "Theorem 2 violated: s={s:?} in=({u},{v}) out=({x},{y})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_does_not_apply_to_same_channel_paths() {
+        let a = p(0b0111, 0b1011);
+        let b = p(0b0111, 0b1100);
+        assert!(!theorem1_applies(a, b)); // both leave on channel 3
+    }
+
+    #[test]
+    fn disjoint_paths_report_no_shared_arc() {
+        let a = p(0b0000, 0b0011);
+        let b = p(0b1000, 0b1100);
+        assert!(arc_disjoint(a, b));
+        assert_eq!(shared_arc(a, b), None);
+    }
+
+    #[test]
+    fn opposite_directions_are_different_channels() {
+        // u→v and v→u traverse the same links but opposite channels, so
+        // they are arc-disjoint (wormhole links are full duplex).
+        let a = p(0b0000, 0b0111);
+        let b = p(0b0111, 0b0000);
+        assert!(arc_disjoint(a, b));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the topology substrate.
+
+use crate::addr::NodeId;
+use std::fmt;
+
+/// Errors produced by `hcube` API boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HcubeError {
+    /// The requested cube dimension is outside `1..=MAX_DIMENSION`.
+    BadDimension {
+        /// The rejected dimension.
+        n: u8,
+    },
+    /// A node address does not fit in the cube.
+    NodeOutOfRange {
+        /// The rejected address.
+        node: NodeId,
+        /// The cube's dimensionality.
+        n: u8,
+    },
+    /// A chain that was required to be dimension-ordered is not.
+    NotDimensionOrdered {
+        /// Index of the first out-of-order element.
+        at: usize,
+    },
+    /// A chain that was required to be cube-ordered is not.
+    NotCubeOrdered {
+        /// Index of a witness element breaking contiguity.
+        at: usize,
+    },
+    /// A chain contains a repeated address.
+    DuplicateAddress {
+        /// The repeated address.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for HcubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HcubeError::BadDimension { n } => {
+                write!(
+                    f,
+                    "cube dimension {n} is outside the supported range 1..={}",
+                    crate::cube::MAX_DIMENSION
+                )
+            }
+            HcubeError::NodeOutOfRange { node, n } => {
+                write!(f, "node address {node} does not fit in a {n}-cube")
+            }
+            HcubeError::NotDimensionOrdered { at } => {
+                write!(f, "chain is not dimension-ordered (violation at index {at})")
+            }
+            HcubeError::NotCubeOrdered { at } => {
+                write!(f, "chain is not cube-ordered (violation at index {at})")
+            }
+            HcubeError::DuplicateAddress { node } => {
+                write!(f, "chain contains duplicate address {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HcubeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = HcubeError::BadDimension { n: 0 };
+        assert!(e.to_string().contains("dimension 0"));
+        let e = HcubeError::NodeOutOfRange { node: NodeId(9), n: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3-cube"));
+        let e = HcubeError::NotDimensionOrdered { at: 2 };
+        assert!(e.to_string().contains("index 2"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # hcube — hypercube topology substrate
+//!
+//! The topology layer beneath the [`hypercast`] multicast algorithms and
+//! the [`wormsim`] wormhole-network simulator, reproducing the formal
+//! machinery of Robinson, Judd, McKinley & Cheng, *Efficient Collective
+//! Data Distribution in All-Port Wormhole-Routed Hypercubes* (SC '93):
+//!
+//! * **Addresses and channels** ([`addr`], [`cube`]): `n`-bit node
+//!   addresses, the `δ(u, v)` operator (Definition 1), per-node channel
+//!   labels.
+//! * **E-cube routing** ([`routing`], [`path`]): the deterministic
+//!   dimension-ordered paths `P(u, v)` under both address-resolution
+//!   orders (the paper's high-to-low and the nCUBE-2's low-to-high),
+//!   with Lemma 1's monotonicity enforced by construction.
+//! * **Subcubes** ([`subcube`]): Definition 2, the half decomposition
+//!   driving `weighted_sort`, and Lemma 2's contiguity.
+//! * **Chains** ([`chain`]): dimension-ordered and cube-ordered chains
+//!   (Definition 5), source-relative chain construction, and the
+//!   `cube_center` primitive of Figure 7.
+//! * **Arc-disjointness** ([`disjoint`]): the exact shared-channel oracle
+//!   and Theorems 1–2 as executable sufficient conditions.
+//!
+//! Everything here is purely combinatorial — no simulation time, no
+//! message payloads — and allocation-free on the hot paths (routing is
+//! iterator-based). The crate is `#![forbid(unsafe_code)]`.
+//!
+//! [`hypercast`]: ../hypercast/index.html
+//! [`wormsim`]: ../wormsim/index.html
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hcube::{Cube, NodeId, Resolution, Path};
+//!
+//! let cube = Cube::of(4);
+//! let path = Path::new(Resolution::HighToLow, NodeId(0b0101), NodeId(0b1110));
+//! let visited: Vec<u32> = path.nodes().map(|v| v.0).collect();
+//! assert_eq!(visited, vec![0b0101, 0b1101, 0b1111, 0b1110]); // paper §3.1
+//! assert!(cube.contains(path.dst));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod addr;
+pub mod chain;
+pub mod cube;
+pub mod disjoint;
+pub mod error;
+pub mod path;
+pub mod routing;
+pub mod subcube;
+
+pub use addr::{delta_high, delta_low, Dim, NodeId};
+pub use cube::{Cube, MAX_DIMENSION};
+pub use error::HcubeError;
+pub use path::{Channel, Path};
+pub use routing::Resolution;
+pub use subcube::Subcube;

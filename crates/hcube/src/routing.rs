@@ -1,0 +1,186 @@
+//! Deterministic E-cube (dimension-ordered) routing.
+//!
+//! Under E-cube routing a message takes the unique shortest path from `u`
+//! to `v` that corrects the differing address bits in a fixed order. The
+//! paper's exposition resolves addresses from *high-order to low-order*
+//! bits; the nCUBE-2 resolves in the opposite order, and the paper notes
+//! that the choice does not affect any result. Both orders are supported
+//! here via [`Resolution`].
+
+use crate::addr::{delta_high, delta_low, Dim, NodeId};
+
+/// The address-resolution order of the deterministic router.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Resolution {
+    /// Resolve the highest-order differing bit first (the paper's default).
+    HighToLow,
+    /// Resolve the lowest-order differing bit first (the nCUBE-2's order).
+    LowToHigh,
+}
+
+impl Resolution {
+    /// `δ(u, v)` — the dimension of the *first* channel a message from `u`
+    /// to `v` travels, or `None` when `u = v` (Definition 1, generalized to
+    /// both resolution orders).
+    #[inline]
+    #[must_use]
+    pub fn delta(self, u: NodeId, v: NodeId) -> Option<Dim> {
+        match self {
+            Resolution::HighToLow => delta_high(u, v),
+            Resolution::LowToHigh => delta_low(u, v),
+        }
+    }
+
+    /// Maps an address into the canonical space in which this resolution
+    /// order behaves like [`Resolution::HighToLow`].
+    ///
+    /// `HighToLow` is the identity; `LowToHigh` is bit reversal within the
+    /// cube's `n` bits. The map is an involution, so it is its own inverse.
+    /// All chain algorithms in this workspace run in canonical space and
+    /// conjugate through this map.
+    #[inline]
+    #[must_use]
+    pub fn canon(self, v: NodeId, n: u8) -> NodeId {
+        match self {
+            Resolution::HighToLow => v,
+            Resolution::LowToHigh => v.bit_reverse(n),
+        }
+    }
+
+    /// The sequence of dimensions an E-cube message from `u` to `v`
+    /// traverses, in traversal order.
+    ///
+    /// The iterator is allocation-free; each yielded dimension is distinct
+    /// and the sequence is strictly monotone (decreasing for `HighToLow`,
+    /// increasing for `LowToHigh`) — the property formalized as Lemma 1.
+    #[inline]
+    #[must_use]
+    pub fn route_dims(self, u: NodeId, v: NodeId) -> RouteDims {
+        RouteDims {
+            remaining: u.xor(v),
+            resolution: self,
+        }
+    }
+}
+
+/// Iterator over the dimensions of an E-cube route. See
+/// [`Resolution::route_dims`].
+#[derive(Clone, Copy, Debug)]
+pub struct RouteDims {
+    remaining: u32,
+    resolution: Resolution,
+}
+
+impl Iterator for RouteDims {
+    type Item = Dim;
+
+    #[inline]
+    fn next(&mut self) -> Option<Dim> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let d = match self.resolution {
+            Resolution::HighToLow => (31 - self.remaining.leading_zeros()) as u8,
+            Resolution::LowToHigh => self.remaining.trailing_zeros() as u8,
+        };
+        self.remaining &= !(1u32 << d);
+        Some(Dim(d))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let k = self.remaining.count_ones() as usize;
+        (k, Some(k))
+    }
+}
+
+impl ExactSizeIterator for RouteDims {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_path_dims() {
+        // P(0101, 1110) = (0101; 1101; 1111; 1110): dims 3, 1, 0.
+        let dims: Vec<u8> = Resolution::HighToLow
+            .route_dims(NodeId(0b0101), NodeId(0b1110))
+            .map(|d| d.0)
+            .collect();
+        assert_eq!(dims, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn low_to_high_reverses_dim_order() {
+        let dims: Vec<u8> = Resolution::LowToHigh
+            .route_dims(NodeId(0b0101), NodeId(0b1110))
+            .map(|d| d.0)
+            .collect();
+        assert_eq!(dims, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn route_dims_is_monotone_and_covers_xor() {
+        for u in 0..64u32 {
+            for v in 0..64u32 {
+                let (u, v) = (NodeId(u), NodeId(v));
+                for res in [Resolution::HighToLow, Resolution::LowToHigh] {
+                    let dims: Vec<u8> = res.route_dims(u, v).map(|d| d.0).collect();
+                    // Monotone (Lemma 1: each dimension traveled at most
+                    // once, in strictly ordered sequence).
+                    for w in dims.windows(2) {
+                        match res {
+                            Resolution::HighToLow => assert!(w[0] > w[1]),
+                            Resolution::LowToHigh => assert!(w[0] < w[1]),
+                        }
+                    }
+                    // Covers exactly the differing bits.
+                    let mut mask = 0u32;
+                    for d in &dims {
+                        mask |= 1 << d;
+                    }
+                    assert_eq!(mask, u.xor(v));
+                    assert_eq!(dims.len() as u32, u.distance(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_is_first_route_dim() {
+        for u in 0..32u32 {
+            for v in 0..32u32 {
+                let (u, v) = (NodeId(u), NodeId(v));
+                for res in [Resolution::HighToLow, Resolution::LowToHigh] {
+                    assert_eq!(res.delta(u, v), res.route_dims(u, v).next());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canon_is_involutive_and_conjugates_routes() {
+        let n = 5u8;
+        for u in 0..(1u32 << n) {
+            for v in 0..(1u32 << n) {
+                let (u, v) = (NodeId(u), NodeId(v));
+                let res = Resolution::LowToHigh;
+                assert_eq!(res.canon(res.canon(u, n), n), u);
+                // LowToHigh route of (u, v) == mirrored HighToLow route of
+                // the canonical images.
+                let direct: Vec<u8> = res.route_dims(u, v).map(|d| d.0).collect();
+                let conj: Vec<u8> = Resolution::HighToLow
+                    .route_dims(res.canon(u, n), res.canon(v, n))
+                    .map(|d| n - 1 - d.0)
+                    .collect();
+                assert_eq!(direct, conj);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let it = Resolution::HighToLow.route_dims(NodeId(0), NodeId(0b1011));
+        assert_eq!(it.len(), 3);
+    }
+}

@@ -1,0 +1,262 @@
+//! Subcubes (Definition 2) and their half decomposition.
+//!
+//! A subcube `S = (n_S, M_S)` fixes the high-order `n − n_S` address bits
+//! to the value `M_S` and lets the low `n_S` bits range freely:
+//! `u ∈ S  ⟺  (u ≫ n_S) = M_S`.
+//!
+//! Subcubes are defined in *canonical* (high-to-low resolution) address
+//! space; algorithms supporting low-to-high resolution conjugate through
+//! [`crate::routing::Resolution::canon`] first.
+
+use crate::addr::NodeId;
+
+/// A subcube `(n_S, M_S)` of Definition 2.
+///
+/// ```
+/// use hcube::{NodeId, Subcube};
+///
+/// // S = (3, 1) in a 4-cube: the nodes whose top bit is 1, i.e. 8..=15.
+/// let s = Subcube::new(3, 1);
+/// assert!(s.contains(NodeId(0b1011)));
+/// assert!(!s.contains(NodeId(0b0111)));
+/// let (lo, hi) = s.halves();
+/// assert_eq!((lo.min_node().0, lo.max_node().0), (8, 11));
+/// assert_eq!((hi.min_node().0, hi.max_node().0), (12, 15));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Subcube {
+    /// The subcube's dimensionality `n_S`.
+    pub dim: u8,
+    /// The fixed high-order bits `M_S`.
+    pub mask: u32,
+}
+
+impl Subcube {
+    /// The subcube of dimensionality `dim` whose fixed high bits equal
+    /// `mask`.
+    #[inline]
+    #[must_use]
+    pub fn new(dim: u8, mask: u32) -> Subcube {
+        Subcube { dim, mask }
+    }
+
+    /// The whole `n`-cube viewed as a subcube: `(n, 0)`.
+    #[inline]
+    #[must_use]
+    pub fn whole(n: u8) -> Subcube {
+        Subcube { dim: n, mask: 0 }
+    }
+
+    /// Membership test: `u ∈ S ⟺ (u ≫ n_S) = M_S`.
+    #[inline]
+    #[must_use]
+    pub fn contains(self, v: NodeId) -> bool {
+        (v.0 >> self.dim) == self.mask
+    }
+
+    /// The number of nodes in the subcube, `2^{n_S}`.
+    #[inline]
+    #[must_use]
+    pub fn node_count(self) -> usize {
+        1usize << self.dim
+    }
+
+    /// The smallest address in the subcube (Lemma 2: subcube addresses are
+    /// contiguous, so the subcube is exactly `min_node..=max_node`).
+    #[inline]
+    #[must_use]
+    pub fn min_node(self) -> NodeId {
+        NodeId(self.mask << self.dim)
+    }
+
+    /// The largest address in the subcube.
+    #[inline]
+    #[must_use]
+    pub fn max_node(self) -> NodeId {
+        NodeId((self.mask << self.dim) | ((1u32 << self.dim) - 1))
+    }
+
+    /// Splits a non-trivial subcube into its two `(n_S − 1)`-dimensional
+    /// halves, ordered by address: the half with bit `n_S − 1` clear first.
+    ///
+    /// # Panics
+    /// If the subcube has dimensionality 0 (a single node has no halves).
+    #[must_use]
+    pub fn halves(self) -> (Subcube, Subcube) {
+        assert!(self.dim >= 1, "a 0-dimensional subcube has no halves");
+        let d = self.dim - 1;
+        (
+            Subcube { dim: d, mask: self.mask << 1 },
+            Subcube { dim: d, mask: (self.mask << 1) | 1 },
+        )
+    }
+
+    /// Which half of this subcube `v` lies in: `false` for the low half,
+    /// `true` for the high half. `v` must be a member.
+    #[inline]
+    #[must_use]
+    pub fn high_half(self, v: NodeId) -> bool {
+        debug_assert!(self.contains(v));
+        debug_assert!(self.dim >= 1);
+        (v.0 >> (self.dim - 1)) & 1 == 1
+    }
+
+    /// The half of this subcube containing `v`.
+    #[must_use]
+    pub fn half_containing(self, v: NodeId) -> Subcube {
+        let (lo, hi) = self.halves();
+        if self.high_half(v) {
+            hi
+        } else {
+            lo
+        }
+    }
+
+    /// Iterates the subcube's nodes in ascending address order.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (self.min_node().0..=self.max_node().0).map(NodeId)
+    }
+
+    /// The smallest subcube containing both `u` and `v`.
+    ///
+    /// Its dimensionality is `δ(u, v) + 1` (one more than the highest
+    /// differing bit), or 0 when `u = v`.
+    #[must_use]
+    pub fn enclosing_pair(u: NodeId, v: NodeId) -> Subcube {
+        let dim = match crate::addr::delta_high(u, v) {
+            Some(d) => d.0 + 1,
+            None => 0,
+        };
+        Subcube { dim, mask: u.0 >> dim }
+    }
+
+    /// The smallest subcube containing every node of a non-empty set.
+    ///
+    /// # Panics
+    /// If `nodes` is empty.
+    #[must_use]
+    pub fn enclosing_set<I: IntoIterator<Item = NodeId>>(nodes: I) -> Subcube {
+        let mut it = nodes.into_iter();
+        let first = it.next().expect("enclosing_set requires a non-empty set");
+        let mut acc = Subcube { dim: 0, mask: first.0 };
+        for v in it {
+            if !acc.contains(v) {
+                let grown = Subcube::enclosing_pair(acc.min_node(), v);
+                // Growing to cover `v` must keep covering the accumulated
+                // range, which enclosing_pair guarantees because the
+                // accumulated subcube's min shares all bits above acc.dim.
+                acc = Subcube {
+                    dim: grown.dim.max(acc.dim),
+                    mask: acc.min_node().0 >> grown.dim.max(acc.dim),
+                };
+            }
+        }
+        acc
+    }
+
+    /// Whether this subcube is entirely contained in `other`.
+    #[inline]
+    #[must_use]
+    pub fn is_within(self, other: Subcube) -> bool {
+        self.dim <= other.dim && (self.mask >> (other.dim - self.dim)) == other.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_matches_definition_2() {
+        // S = (2, 0b10) in a 4-cube: nodes whose high 2 bits are 10,
+        // i.e. {1000, 1001, 1010, 1011} = {8, 9, 10, 11}.
+        let s = Subcube::new(2, 0b10);
+        let members: Vec<u32> = (0..16).filter(|&v| s.contains(NodeId(v))).collect();
+        assert_eq!(members, vec![8, 9, 10, 11]);
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.min_node(), NodeId(8));
+        assert_eq!(s.max_node(), NodeId(11));
+    }
+
+    #[test]
+    fn lemma_2_contiguity() {
+        // For any subcube, x, z ∈ S and x ≤ y ≤ z implies y ∈ S.
+        for dim in 0..=4u8 {
+            for mask in 0..(1u32 << (4 - dim)) {
+                let s = Subcube::new(dim, mask);
+                let members: Vec<u32> =
+                    (0..16).filter(|&v| s.contains(NodeId(v))).collect();
+                for w in members.windows(2) {
+                    assert_eq!(w[1], w[0] + 1, "subcube addresses must be contiguous");
+                }
+                assert_eq!(members.len(), s.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn halves_partition_the_subcube() {
+        let s = Subcube::new(3, 0b1);
+        let (lo, hi) = s.halves();
+        assert_eq!(lo, Subcube::new(2, 0b10));
+        assert_eq!(hi, Subcube::new(2, 0b11));
+        for v in s.nodes() {
+            assert_ne!(lo.contains(v), hi.contains(v));
+            assert_eq!(hi.contains(v), s.high_half(v));
+            assert!(s.half_containing(v).contains(v));
+        }
+    }
+
+    #[test]
+    fn enclosing_pair_is_minimal() {
+        let s = Subcube::enclosing_pair(NodeId(0b1011), NodeId(0b1100));
+        // δ = 2 ⇒ dim 3, mask 1 ⇒ {8..15}
+        assert_eq!(s, Subcube::new(3, 1));
+        for smaller in 0..s.dim {
+            let t = Subcube::new(smaller, NodeId(0b1011).0 >> smaller);
+            assert!(!(t.contains(NodeId(0b1011)) && t.contains(NodeId(0b1100))));
+        }
+        assert_eq!(Subcube::enclosing_pair(NodeId(5), NodeId(5)), Subcube::new(0, 5));
+    }
+
+    #[test]
+    fn enclosing_set_covers_and_is_minimal() {
+        let set = [NodeId(11), NodeId(12), NodeId(14), NodeId(15)];
+        let s = Subcube::enclosing_set(set);
+        assert_eq!(s, Subcube::new(3, 1));
+        // Minimality: neither half contains all of them.
+        let (lo, hi) = s.halves();
+        assert!(!set.iter().all(|&v| lo.contains(v)));
+        assert!(!set.iter().all(|&v| hi.contains(v)));
+    }
+
+    #[test]
+    fn single_node_enclosing_set() {
+        let s = Subcube::enclosing_set([NodeId(9)]);
+        assert_eq!(s.dim, 0);
+        assert!(s.contains(NodeId(9)));
+        assert_eq!(s.node_count(), 1);
+    }
+
+    #[test]
+    fn is_within_relation() {
+        let whole = Subcube::whole(4);
+        let s = Subcube::new(2, 0b10);
+        let (lo, hi) = s.halves();
+        assert!(s.is_within(whole));
+        assert!(lo.is_within(s));
+        assert!(hi.is_within(s));
+        assert!(!s.is_within(lo));
+        assert!(!Subcube::new(2, 0b01).is_within(s));
+        assert!(s.is_within(s));
+    }
+
+    #[test]
+    fn whole_cube_contains_everything() {
+        let s = Subcube::whole(4);
+        for v in 0..16u32 {
+            assert!(s.contains(NodeId(v)));
+        }
+        assert!(!s.contains(NodeId(16)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the topology substrate: the paper's lemmas and
+//! theorems checked on randomized instances.
+
+use hcube::chain::{
+    check_cube_ordered, check_cube_ordered_naive, is_dimension_ordered, relative_chain,
+};
+use hcube::disjoint::{arc_disjoint, theorem1_applies, theorem2_applies};
+use hcube::{delta_high, Cube, NodeId, Path, Resolution, Subcube};
+use proptest::prelude::*;
+
+/// A cube dimension and a node address valid for it.
+fn cube_and_node() -> impl Strategy<Value = (u8, u32)> {
+    (1u8..=10).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n)))
+}
+
+/// A cube dimension and two node addresses valid for it.
+fn cube_and_pair() -> impl Strategy<Value = (u8, u32, u32)> {
+    (1u8..=10).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n), 0u32..(1u32 << n)))
+}
+
+fn cube_and_quad() -> impl Strategy<Value = (u8, u32, u32, u32, u32)> {
+    (2u8..=8).prop_flat_map(|n| {
+        let m = 1u32 << n;
+        (Just(n), 0..m, 0..m, 0..m, 0..m)
+    })
+}
+
+proptest! {
+    /// Lemma 1, part formalized as: an E-cube path travels each dimension
+    /// at most once, in strictly monotone order, and its length equals the
+    /// Hamming distance.
+    #[test]
+    fn lemma1_route_structure((n, u, v) in cube_and_pair(),
+                              lowhigh in any::<bool>()) {
+        let res = if lowhigh { Resolution::LowToHigh } else { Resolution::HighToLow };
+        let (u, v) = (NodeId(u), NodeId(v));
+        let dims: Vec<u8> = res.route_dims(u, v).map(|d| d.0).collect();
+        prop_assert_eq!(dims.len() as u32, u.distance(v));
+        for w in dims.windows(2) {
+            match res {
+                Resolution::HighToLow => prop_assert!(w[0] > w[1]),
+                Resolution::LowToHigh => prop_assert!(w[0] < w[1]),
+            }
+        }
+        // Lemma 1 conditions 1–2: prefix of the path agrees with the source
+        // on all dimensions ≤ d not yet traveled; suffix agrees with the
+        // destination on all dimensions > d (high-to-low form).
+        if res == Resolution::HighToLow {
+            let nodes: Vec<NodeId> = Path::new(res, u, v).nodes().collect();
+            for (i, arc_dim) in dims.iter().enumerate() {
+                for w in &nodes[..=i] {
+                    // Before traversing dimension d, bits d..0 match u.
+                    for k in 0..=*arc_dim {
+                        prop_assert_eq!(w.bit(hcube::Dim(k)), u.bit(hcube::Dim(k)));
+                    }
+                }
+                for w in &nodes[i + 1..] {
+                    for k in (*arc_dim)..n {
+                        prop_assert_eq!(w.bit(hcube::Dim(k)), v.bit(hcube::Dim(k)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 2: the node addresses within any subcube are contiguous.
+    #[test]
+    fn lemma2_contiguity((n, x) in cube_and_node(), dim_frac in 0u8..=10) {
+        let dim = dim_frac.min(n);
+        let s = Subcube::new(dim, x >> dim);
+        prop_assert!(s.contains(NodeId(x)));
+        prop_assert_eq!(s.max_node().0 - s.min_node().0 + 1, s.node_count() as u32);
+        let y = s.min_node().0 + (x % s.node_count() as u32);
+        prop_assert!(s.contains(NodeId(y)));
+    }
+
+    /// Theorem 1: paths leaving a common source on different channels are
+    /// arc-disjoint (both resolution orders).
+    #[test]
+    fn theorem1_disjointness((n, s, d1, d2, _) in cube_and_quad(),
+                             lowhigh in any::<bool>()) {
+        let _ = n;
+        let res = if lowhigh { Resolution::LowToHigh } else { Resolution::HighToLow };
+        let a = Path::new(res, NodeId(s), NodeId(d1));
+        let b = Path::new(res, NodeId(s), NodeId(d2));
+        if theorem1_applies(a, b) {
+            prop_assert!(arc_disjoint(a, b));
+        }
+    }
+
+    /// Theorem 2: inside-subcube and outside-subcube paths are arc-disjoint.
+    #[test]
+    fn theorem2_disjointness((n, u, v, x, y) in cube_and_quad(), dim_frac in 0u8..=8) {
+        let dim = dim_frac.min(n);
+        let s = Subcube::new(dim, u >> dim);
+        let inside = Path::new(Resolution::HighToLow, NodeId(u), NodeId(v));
+        let outside = Path::new(Resolution::HighToLow, NodeId(x), NodeId(y));
+        if theorem2_applies(s, inside, outside) {
+            prop_assert!(arc_disjoint(inside, outside));
+        }
+    }
+
+    /// Theorem 4: every dimension-ordered chain is cube-ordered.
+    #[test]
+    fn theorem4_dim_ordered_is_cube_ordered(
+        n in 2u8..=8,
+        raw in prop::collection::btree_set(0u32..256, 1..20)
+    ) {
+        let chain: Vec<NodeId> = raw.into_iter()
+            .map(|v| NodeId(v % (1 << n)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        prop_assert!(is_dimension_ordered(&chain));
+        prop_assert_eq!(check_cube_ordered(&chain, n), Ok(()));
+        prop_assert_eq!(check_cube_ordered_naive(&chain), Ok(()));
+    }
+
+    /// The fast cube-ordering check agrees with the brute-force oracle on
+    /// arbitrary (possibly invalid) chains.
+    #[test]
+    fn cube_order_checks_agree(
+        n in 2u8..=6,
+        raw in prop::collection::vec(0u32..64, 1..12)
+    ) {
+        let chain: Vec<NodeId> = raw.iter().map(|&v| NodeId(v % (1 << n))).collect();
+        let mut dedup = chain.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        if dedup.len() != chain.len() {
+            // Duplicates: fast checker must reject.
+            prop_assert!(check_cube_ordered(&chain, n).is_err());
+        } else {
+            prop_assert_eq!(
+                check_cube_ordered(&chain, n).is_ok(),
+                check_cube_ordered_naive(&chain).is_ok()
+            );
+        }
+    }
+
+    /// relative_chain produces a dimension-ordered chain with the source
+    /// first, invariant under the router's resolution order after
+    /// canonicalization.
+    #[test]
+    fn relative_chain_properties(
+        n in 2u8..=8,
+        src in 0u32..256,
+        raw in prop::collection::btree_set(0u32..256, 1..20),
+        lowhigh in any::<bool>()
+    ) {
+        let res = if lowhigh { Resolution::LowToHigh } else { Resolution::HighToLow };
+        let src = NodeId(src % (1 << n));
+        let dests: Vec<NodeId> = raw.into_iter()
+            .map(|v| NodeId(v % (1 << n)))
+            .filter(|&v| v != src)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        prop_assume!(!dests.is_empty());
+        let chain = relative_chain(res, n, src, &dests).unwrap();
+        prop_assert_eq!(chain[0], NodeId(0));
+        prop_assert!(is_dimension_ordered(&chain));
+        prop_assert_eq!(chain.len(), dests.len() + 1);
+    }
+
+    /// δ(u, v) = ⌊log₂(u ⊕ v)⌋ (Definition 1) and symmetry.
+    #[test]
+    fn delta_definition((_, u, v) in cube_and_pair()) {
+        let (u, v) = (NodeId(u), NodeId(v));
+        match delta_high(u, v) {
+            None => prop_assert_eq!(u, v),
+            Some(d) => {
+                prop_assert_eq!(d.0 as u32, (u.xor(v) as f64).log2() as u32);
+                prop_assert_eq!(delta_high(v, u), Some(d));
+            }
+        }
+    }
+
+    /// enclosing_set covers all members and is minimal.
+    #[test]
+    fn enclosing_set_minimal(
+        n in 1u8..=8,
+        raw in prop::collection::btree_set(0u32..256, 1..16)
+    ) {
+        let set: Vec<NodeId> = raw.into_iter()
+            .map(|v| NodeId(v % (1 << n)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let s = Subcube::enclosing_set(set.iter().copied());
+        for &v in &set {
+            prop_assert!(s.contains(v));
+        }
+        if s.dim > 0 {
+            let (lo, hi) = s.halves();
+            prop_assert!(!set.iter().all(|&v| lo.contains(v)));
+            prop_assert!(!set.iter().all(|&v| hi.contains(v)));
+        }
+    }
+
+    /// A path and its reverse never share a directed channel: an E-cube
+    /// route from `u` to `v` and one from `v` to `u` traverse the same
+    /// dimension set, but at every traversed dimension their tail bits
+    /// differ, so the occupied arcs differ. (This is why opposite-direction
+    /// traffic never self-blocks on full-duplex links.)
+    #[test]
+    fn reverse_path_is_arc_disjoint((_, u, v) in cube_and_pair()) {
+        let (u, v) = (NodeId(u), NodeId(v));
+        let fwd = Path::new(Resolution::HighToLow, u, v);
+        let rev = Path::new(Resolution::HighToLow, v, u);
+        prop_assert_eq!(fwd.hops(), rev.hops());
+        prop_assert!(arc_disjoint(fwd, rev));
+    }
+}
+
+#[test]
+fn cube_node_iteration_matches_count() {
+    for n in 1..=10u8 {
+        let c = Cube::of(n);
+        assert_eq!(c.nodes().count(), c.node_count());
+    }
+}

@@ -1,0 +1,145 @@
+//! The dimensional (store-and-forward era) multicast tree — the
+//! historical baseline of Figure 3(a).
+//!
+//! Early hypercubes with store-and-forward switching relayed the payload
+//! one hop per step through local processors. The classic scheme walks
+//! the dimensions from high to low: every holder whose current subcube
+//! region contains destinations across dimension `d` forwards to its
+//! dimension-`d` *neighbor*, which becomes responsible for that half. The
+//! neighbor may not itself be a destination — those nodes are the
+//! *relays* whose processors the wormhole algorithms eliminate.
+
+use crate::schedule::SendPlan;
+use hcube::{Dim, NodeId};
+
+/// Builds the dimensional tree for the canonical relative destination
+/// set. Returns the node list (position 0 = source `0`, relays included)
+/// and the forwarding plan over it.
+pub(crate) fn dimtree_plan(rel_dests: &[NodeId], n: u8) -> (Vec<NodeId>, SendPlan) {
+    let mut nodes = vec![NodeId(0)];
+    let mut plan: SendPlan = vec![Vec::new()];
+    if !rel_dests.is_empty() {
+        let dests: Vec<NodeId> = rel_dests.to_vec();
+        split(&mut nodes, &mut plan, 0, dests, n);
+    }
+    (nodes, plan)
+}
+
+/// `holder` (an index into `nodes`) is responsible for delivering to
+/// `pending`, all of which agree with it on every bit ≥ `dim`.
+fn split(
+    nodes: &mut Vec<NodeId>,
+    plan: &mut SendPlan,
+    holder: usize,
+    pending: Vec<NodeId>,
+    dim: u8,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let holder_addr = nodes[holder];
+    let mut rest = pending;
+    for d in (0..dim).rev() {
+        let (other, own): (Vec<NodeId>, Vec<NodeId>) = rest
+            .iter()
+            .partition(|v| v.bit(Dim(d)) != holder_addr.bit(Dim(d)));
+        rest = own;
+        if other.is_empty() {
+            continue;
+        }
+        // Forward one hop across dimension d; the neighbor takes over the
+        // far half (it may be a relay, i.e. not itself a destination).
+        let neighbor = holder_addr.flip(Dim(d));
+        let child = nodes.len();
+        nodes.push(neighbor);
+        plan.push(Vec::new());
+        plan[holder].push(child);
+        let remaining: Vec<NodeId> = other.into_iter().filter(|&v| v != neighbor).collect();
+        split(nodes, plan, child, remaining, d);
+    }
+    debug_assert!(
+        rest.iter().all(|&v| v == holder_addr),
+        "all pending nodes must be resolved by dimension 0"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn every_send_is_one_hop() {
+        let (nodes, plan) = dimtree_plan(&ids(&[1, 3, 5, 7, 11, 12, 14, 15]), 4);
+        for (s, sends) in plan.iter().enumerate() {
+            for &d in sends {
+                assert_eq!(nodes[s].distance(nodes[d]), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_all_destinations() {
+        let dests = ids(&[1, 3, 5, 7, 11, 12, 14, 15]);
+        let (nodes, plan) = dimtree_plan(&dests, 4);
+        let mut received: Vec<NodeId> = plan
+            .iter()
+            .flat_map(|v| v.iter().map(|&d| nodes[d]))
+            .collect();
+        received.sort_unstable();
+        for d in &dests {
+            assert!(received.contains(d), "destination {d} never delivered");
+        }
+        // Each node receives at most once.
+        let before = received.len();
+        received.dedup();
+        assert_eq!(before, received.len());
+    }
+
+    #[test]
+    fn figure_3a_set_uses_relays() {
+        // The paper's Figure 3(a) notes non-destination relays are needed
+        // for this destination set (it lists five under its tree shape;
+        // the canonical dimensional tree needs some relays too).
+        let dests = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]);
+        let (nodes, plan) = dimtree_plan(&dests, 4);
+        let received: Vec<NodeId> = plan
+            .iter()
+            .flat_map(|v| v.iter().map(|&d| nodes[d]))
+            .collect();
+        let relays: Vec<NodeId> = received
+            .iter()
+            .copied()
+            .filter(|v| !dests.contains(v) && v.0 != 0)
+            .collect();
+        assert!(!relays.is_empty(), "this set requires relay processors");
+    }
+
+    #[test]
+    fn single_neighbor_destination_needs_no_relay() {
+        let (nodes, plan) = dimtree_plan(&ids(&[0b1000]), 4);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(plan[0], vec![1]);
+        assert_eq!(nodes[1], NodeId(0b1000));
+    }
+
+    #[test]
+    fn distant_destination_chains_through_relays() {
+        // Reaching 0b1111 alone requires 3 relays (1000, 1100, 1110).
+        let (nodes, plan) = dimtree_plan(&ids(&[0b1111]), 4);
+        assert_eq!(nodes.len(), 5);
+        // A chain: each node sends exactly one message except the last.
+        let sends: usize = plan.iter().map(Vec::len).sum();
+        assert_eq!(sends, 4);
+    }
+
+    #[test]
+    fn empty_destination_set() {
+        let (nodes, plan) = dimtree_plan(&[], 4);
+        assert_eq!(nodes.len(), 1);
+        assert!(plan[0].is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! The `weighted_sort` procedure (Figure 7) and Theorem 5's guarantees.
+//!
+//! `weighted_sort` permutes a cube-ordered chain so that, within every
+//! subcube, the more populated half appears first — while never moving the
+//! block containing the chain's first element (the multicast source) out
+//! of front position. Feeding the permuted chain to the cube-ordered
+//! Maxport engine yields the W-sort algorithm.
+
+use hcube::chain::cube_center;
+use hcube::NodeId;
+
+/// Permutes `chain` in place per Figure 7. `chain[0]` must be the source
+/// (it stays first, Theorem 5 part 3); all elements must lie in an
+/// `n`-cube and form a cube-ordered chain.
+///
+/// Postconditions (Theorem 5, verified by tests): the result is a
+/// cube-ordered permutation of the input with the same first element.
+///
+/// ```
+/// use hcube::NodeId;
+/// use hypercast::algorithms::weighted_sort::weighted_sort;
+///
+/// // The paper's Figure 8 example.
+/// let mut d: Vec<NodeId> = [0u32, 1, 3, 5, 7, 11, 12, 14, 15]
+///     .into_iter().map(NodeId).collect();
+/// weighted_sort(&mut d, 4);
+/// let out: Vec<u32> = d.iter().map(|v| v.0).collect();
+/// assert_eq!(out, [0, 1, 3, 5, 7, 14, 15, 12, 11]);
+/// ```
+pub fn weighted_sort(chain: &mut [NodeId], n: u8) {
+    ws_rec(chain, 0, n);
+}
+
+/// Recursive body. `base` is the global index of `seg[0]` within the full
+/// chain — the paper's `first` — used for the "never displace the source"
+/// guard (`first ≠ 0`).
+fn ws_rec(seg: &mut [NodeId], base: usize, ns: u8) {
+    // Figure 7 recurses only when last − first ≥ 2, i.e. three or more
+    // elements. (With two elements the halves have one element each and
+    // the strict `<` comparison never swaps.)
+    if seg.len() < 3 {
+        return;
+    }
+    debug_assert!(ns >= 1, "≥ 2 distinct nodes cannot share a 0-cube");
+    let center = cube_center(seg, ns);
+    if center >= seg.len() {
+        // Whole segment in one half: descend a dimension without
+        // splitting (Figure 7's second recursive call is empty).
+        ws_rec(seg, base, ns - 1);
+        return;
+    }
+    let (first_half, second_half) = seg.split_at_mut(center);
+    ws_rec(first_half, base, ns - 1);
+    ws_rec(second_half, base + center, ns - 1);
+    // Swap the subcube halves when the first is strictly less populated —
+    // unless the first block contains the source (first = 0).
+    if base != 0 && center < seg.len() - center {
+        seg.rotate_left(center);
+    }
+}
+
+/// Allocating, literal transcription of Figure 7 operating on explicit
+/// `(first, last)` indices, kept as a test oracle for [`weighted_sort`].
+///
+/// Semantically identical; materializes the swapped chain with a copy the
+/// way the paper's pseudo-code writes it.
+pub fn weighted_sort_reference(chain: &mut Vec<NodeId>, n: u8) {
+    let last = chain.len().wrapping_sub(1);
+    if chain.is_empty() {
+        return;
+    }
+    ws_ref(chain, 0, last, n);
+}
+
+fn ws_ref(d: &mut Vec<NodeId>, first: usize, last: usize, ns: u8) {
+    if last < first || last - first < 2 {
+        return;
+    }
+    let seg: Vec<NodeId> = d[first..=last].to_vec();
+    let c = cube_center(&seg, ns);
+    if c >= seg.len() {
+        ws_ref(d, first, last, ns - 1);
+        return;
+    }
+    let center = first + c;
+    ws_ref(d, first, center - 1, ns - 1);
+    ws_ref(d, center, last, ns - 1);
+    if first != 0 && (center - first) < (last - center + 1) {
+        // D = {d_center .. d_last, d_first .. d_center−1}
+        let mut swapped = Vec::with_capacity(last - first + 1);
+        swapped.extend_from_slice(&d[center..=last]);
+        swapped.extend_from_slice(&d[first..center]);
+        d[first..=last].copy_from_slice(&swapped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcube::chain::{check_cube_ordered, check_cube_ordered_naive};
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn paper_figure_8_example() {
+        // D = {0,1,3,5,7,11,12,14,15} → D̂ = {0,1,3,5,7,14,15,12,11}.
+        let mut d = ids(&[0, 1, 3, 5, 7, 11, 12, 14, 15]);
+        weighted_sort(&mut d, 4);
+        assert_eq!(d, ids(&[0, 1, 3, 5, 7, 14, 15, 12, 11]));
+    }
+
+    #[test]
+    fn reference_matches_on_paper_example() {
+        let mut d = ids(&[0, 1, 3, 5, 7, 11, 12, 14, 15]);
+        weighted_sort_reference(&mut d, 4);
+        assert_eq!(d, ids(&[0, 1, 3, 5, 7, 14, 15, 12, 11]));
+    }
+
+    #[test]
+    fn theorem_5_postconditions() {
+        let inputs = [
+            ids(&[0, 1, 3, 5, 7, 11, 12, 14, 15]),
+            ids(&[0, 8, 9, 10, 11, 12, 13, 14, 15]),
+            ids(&[0, 2, 4, 6]),
+            ids(&[0, 15]),
+            ids(&[0]),
+        ];
+        for input in inputs {
+            let mut d = input.clone();
+            weighted_sort(&mut d, 4);
+            // 3. the source stays first
+            if !input.is_empty() {
+                assert_eq!(d[0], input[0]);
+            }
+            // 2. a permutation of the input
+            let mut a = input.clone();
+            let mut b = d.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            // 1. still cube-ordered
+            assert_eq!(check_cube_ordered(&d, 4), Ok(()));
+            assert_eq!(check_cube_ordered_naive(&d), Ok(()));
+        }
+    }
+
+    #[test]
+    fn crowded_half_moves_first_in_non_source_blocks() {
+        // Within {8..15}: {11} (1 node) vs {12,14,15} (3 nodes): the more
+        // populated half must end up first.
+        let mut d = ids(&[0, 11, 12, 14, 15]);
+        weighted_sort(&mut d, 4);
+        assert_eq!(d, ids(&[0, 14, 15, 12, 11]));
+    }
+
+    #[test]
+    fn source_half_never_swapped_even_when_smaller() {
+        // Source's half {0} has 1 node, other half {8,9,10,11} has 4 —
+        // but the source block must stay first.
+        let mut d = ids(&[0, 8, 9, 10, 11]);
+        weighted_sort(&mut d, 4);
+        assert_eq!(d[0], NodeId(0));
+    }
+
+    #[test]
+    fn equal_halves_do_not_swap() {
+        // Strict `<` comparison: equal populations keep original order.
+        let mut d = ids(&[0, 8, 10, 12, 14]);
+        let orig = d.clone();
+        weighted_sort(&mut d, 4);
+        // {8,10} vs {12,14} inside {8..15}: equal → unchanged order of
+        // blocks (inner recursion may still reorder deeper levels; here
+        // each block has < 3 elements so nothing moves).
+        assert_eq!(d, orig);
+    }
+
+    #[test]
+    fn two_element_chain_untouched() {
+        let mut d = ids(&[0, 9]);
+        weighted_sort(&mut d, 4);
+        assert_eq!(d, ids(&[0, 9]));
+    }
+}

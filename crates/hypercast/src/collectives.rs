@@ -1,0 +1,448 @@
+//! Collective operations built on the multicast trees (extension beyond
+//! the paper).
+//!
+//! The paper motivates multicast as the building block for the collective
+//! routines of MPI-style libraries. This module derives the three classic
+//! companions from any multicast tree:
+//!
+//! * **broadcast** — multicast to every other node;
+//! * **reduction / gather** — the multicast tree run *in reverse*: each
+//!   node sends its contribution to its tree parent after hearing from
+//!   all its tree children (the step schedule is the mirror image of the
+//!   multicast schedule, so the same contention-freedom arguments apply
+//!   to the reversed channels);
+//! * **barrier** — a reduction to the root followed by a broadcast from
+//!   it.
+
+use crate::algorithms::Algorithm;
+use crate::schedule::PortModel;
+use crate::tree::{MulticastTree, Unicast};
+use hcube::{Cube, HcubeError, NodeId, Resolution};
+
+/// Builds a broadcast (multicast to all `N − 1` other nodes) with the
+/// given algorithm.
+///
+/// ```
+/// use hcube::{Cube, NodeId, Resolution};
+/// use hypercast::{collectives::broadcast, Algorithm, PortModel};
+///
+/// let t = broadcast(Algorithm::WSort, Cube::of(4), Resolution::HighToLow,
+///                   PortModel::AllPort, NodeId(0))?;
+/// assert_eq!(t.message_count(), 15);
+/// assert_eq!(t.steps, 4); // the spanning binomial tree
+/// # Ok::<(), hcube::HcubeError>(())
+/// ```
+///
+/// # Errors
+/// Propagates [`Algorithm::build`] errors (out-of-range source).
+pub fn broadcast(
+    algo: Algorithm,
+    cube: Cube,
+    resolution: Resolution,
+    port_model: PortModel,
+    source: NodeId,
+) -> Result<MulticastTree, HcubeError> {
+    cube.check_node(source)?;
+    let dests: Vec<NodeId> = cube.nodes().filter(|&v| v != source).collect();
+    algo.build(cube, resolution, port_model, source, &dests)
+}
+
+/// A reduction (gather-with-combine) schedule: the mirror image of a
+/// multicast tree.
+#[derive(Clone, Debug)]
+pub struct ReductionSchedule {
+    /// The node at which contributions accumulate.
+    pub root: NodeId,
+    /// Constituent unicasts; `src` is the contributor, `dst` its tree
+    /// parent. Sorted by step.
+    pub unicasts: Vec<Unicast>,
+    /// Total number of steps.
+    pub steps: u32,
+}
+
+impl ReductionSchedule {
+    /// Derives the reduction schedule from a multicast tree: every tree
+    /// edge is reversed and its step mirrored (`t ↦ steps + 1 − t`), so a
+    /// node transmits to its parent strictly after all of its children
+    /// transmitted to it.
+    #[must_use]
+    pub fn from_multicast(tree: &MulticastTree) -> ReductionSchedule {
+        let steps = tree.steps;
+        let mut unicasts: Vec<Unicast> = tree
+            .unicasts
+            .iter()
+            .map(|u| Unicast {
+                src: u.dst,
+                dst: u.src,
+                step: steps + 1 - u.step,
+                order: u.order,
+            })
+            .collect();
+        unicasts.sort_by_key(|u| (u.step, u.src, u.order));
+        ReductionSchedule { root: tree.source, unicasts, steps }
+    }
+
+    /// Checks the combining constraint: every node sends to its parent
+    /// only after hearing from all of its own children.
+    #[must_use]
+    pub fn is_causal(&self) -> bool {
+        self.unicasts.iter().all(|up| {
+            self.unicasts
+                .iter()
+                .filter(|down| down.dst == up.src)
+                .all(|down| down.step < up.step)
+        })
+    }
+}
+
+/// A barrier schedule: reduce to the root, then broadcast from it.
+#[derive(Clone, Debug)]
+pub struct BarrierSchedule {
+    /// Phase 1: all nodes report in.
+    pub reduce: ReductionSchedule,
+    /// Phase 2: the root releases everyone.
+    pub release: MulticastTree,
+}
+
+impl BarrierSchedule {
+    /// Total steps across both phases.
+    #[must_use]
+    pub fn steps(&self) -> u32 {
+        self.reduce.steps + self.release.steps
+    }
+}
+
+/// A personalized-communication (scatter) schedule: the root sends a
+/// *distinct* block to every destination, so a unicast to a subtree root
+/// carries all of its subtree's blocks (extension beyond the paper,
+/// following the personalized-communication line of its reference \[5]).
+#[derive(Clone, Debug)]
+pub struct ScatterSchedule {
+    /// The underlying multicast tree (who forwards to whom, and when).
+    pub tree: MulticastTree,
+    /// Payload bytes carried by each unicast, parallel to
+    /// `tree.unicasts`: `block_bytes × |subtree(dst)|`.
+    pub bytes_per_edge: Vec<u64>,
+}
+
+impl ScatterSchedule {
+    /// Total bytes injected by the root: exactly `m × block_bytes`
+    /// regardless of tree shape (every block leaves the root once).
+    #[must_use]
+    pub fn root_bytes(&self) -> u64 {
+        self.tree
+            .unicasts
+            .iter()
+            .zip(&self.bytes_per_edge)
+            .filter(|(u, _)| u.src == self.tree.source)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Total bytes crossing all channels (forwarding inflation): deeper
+    /// trees re-transmit blocks more often.
+    #[must_use]
+    pub fn network_bytes(&self) -> u64 {
+        self.tree
+            .unicasts
+            .iter()
+            .zip(&self.bytes_per_edge)
+            .map(|(u, &b)| b * u64::from(u.src.distance(u.dst)))
+            .sum()
+    }
+}
+
+/// Builds a scatter schedule on `algo`'s multicast tree: each of the `m`
+/// destinations is to receive its own `block_bytes`-byte block.
+///
+/// # Errors
+/// Propagates [`Algorithm::build`] errors.
+pub fn scatter(
+    algo: Algorithm,
+    cube: Cube,
+    resolution: Resolution,
+    port_model: PortModel,
+    source: NodeId,
+    dests: &[NodeId],
+    block_bytes: u32,
+) -> Result<ScatterSchedule, HcubeError> {
+    let tree = algo.build(cube, resolution, port_model, source, dests)?;
+    let bytes_per_edge = tree
+        .unicasts
+        .iter()
+        .map(|u| u64::from(block_bytes) * tree.reachable_set(u.dst).len() as u64)
+        .collect();
+    Ok(ScatterSchedule { tree, bytes_per_edge })
+}
+
+/// A gather schedule: the inverse of [`scatter`] — every destination
+/// owns a distinct `block_bytes` block and the blocks *concatenate*
+/// toward the root, so an edge toward the root carries its subtree's
+/// accumulated blocks.
+#[derive(Clone, Debug)]
+pub struct GatherSchedule {
+    /// The node collecting all blocks.
+    pub root: NodeId,
+    /// Constituent unicasts (`src` = contributor side), sorted by step.
+    pub unicasts: Vec<Unicast>,
+    /// Payload bytes per unicast, parallel to `unicasts`.
+    pub bytes_per_edge: Vec<u64>,
+    /// Total steps.
+    pub steps: u32,
+}
+
+/// Builds a concatenation gather on `algo`'s multicast tree, mirrored:
+/// each participant sends once, after hearing from all of its own tree
+/// children, carrying its subtree's blocks.
+///
+/// # Errors
+/// Propagates [`Algorithm::build`] errors.
+pub fn gather(
+    algo: Algorithm,
+    cube: Cube,
+    resolution: Resolution,
+    port_model: PortModel,
+    root: NodeId,
+    sources: &[NodeId],
+    block_bytes: u32,
+) -> Result<GatherSchedule, HcubeError> {
+    let tree = algo.build(cube, resolution, port_model, root, sources)?;
+    let reduction = ReductionSchedule::from_multicast(&tree);
+    // In the mirrored tree, the message from v to its parent carries v's
+    // whole multicast subtree worth of blocks.
+    let bytes_per_edge = reduction
+        .unicasts
+        .iter()
+        .map(|u| u64::from(block_bytes) * tree.reachable_set(u.src).len() as u64)
+        .collect();
+    Ok(GatherSchedule {
+        root,
+        unicasts: reduction.unicasts,
+        bytes_per_edge,
+        steps: reduction.steps,
+    })
+}
+
+/// Builds the `N` broadcast trees of an all-to-all broadcast (allgather):
+/// every node broadcasts its block to everyone, all operations running
+/// concurrently. Feed the trees to
+/// `wormsim::simulate_concurrent_multicasts` to measure the composite.
+///
+/// # Errors
+/// Propagates [`Algorithm::build`] errors.
+pub fn all_to_all_broadcast(
+    algo: Algorithm,
+    cube: Cube,
+    resolution: Resolution,
+    port_model: PortModel,
+) -> Result<Vec<MulticastTree>, HcubeError> {
+    cube.nodes()
+        .map(|src| broadcast(algo, cube, resolution, port_model, src))
+        .collect()
+}
+
+/// Builds a full-machine barrier at `root` using `algo` for both the
+/// gather tree and the release broadcast.
+///
+/// # Errors
+/// Propagates [`Algorithm::build`] errors.
+pub fn barrier(
+    algo: Algorithm,
+    cube: Cube,
+    resolution: Resolution,
+    port_model: PortModel,
+    root: NodeId,
+) -> Result<BarrierSchedule, HcubeError> {
+    let release = broadcast(algo, cube, resolution, port_model, root)?;
+    let reduce = ReductionSchedule::from_multicast(&release);
+    Ok(BarrierSchedule { reduce, release })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_every_node() {
+        for algo in Algorithm::PAPER {
+            let t = broadcast(
+                algo,
+                Cube::of(4),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(5),
+            )
+            .unwrap();
+            for v in Cube::of(4).nodes() {
+                if v != NodeId(5) {
+                    assert!(t.recv_step(v).is_some(), "{algo} missed {v}");
+                }
+            }
+            assert_eq!(t.message_count(), 15);
+        }
+    }
+
+    #[test]
+    fn reduction_mirrors_the_tree() {
+        let t = broadcast(
+            Algorithm::WSort,
+            Cube::of(3),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+        )
+        .unwrap();
+        let r = ReductionSchedule::from_multicast(&t);
+        assert_eq!(r.root, NodeId(0));
+        assert_eq!(r.unicasts.len(), t.unicasts.len());
+        assert_eq!(r.steps, t.steps);
+        assert!(r.is_causal());
+        // Every multicast edge appears reversed.
+        for u in &t.unicasts {
+            assert!(r
+                .unicasts
+                .iter()
+                .any(|v| v.src == u.dst && v.dst == u.src && v.step == t.steps + 1 - u.step));
+        }
+    }
+
+    #[test]
+    fn reduction_is_causal_for_every_algorithm_and_port_model() {
+        for algo in Algorithm::ALL {
+            for port in [PortModel::OnePort, PortModel::AllPort] {
+                let t = algo
+                    .build(
+                        Cube::of(4),
+                        Resolution::HighToLow,
+                        port,
+                        NodeId(2),
+                        &[NodeId(1), NodeId(7), NodeId(9), NodeId(14)],
+                    )
+                    .unwrap();
+                let r = ReductionSchedule::from_multicast(&t);
+                assert!(r.is_causal(), "{algo} {port:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_steps_are_the_sum_of_phases() {
+        let b = barrier(
+            Algorithm::WSort,
+            Cube::of(4),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+        )
+        .unwrap();
+        assert_eq!(b.steps(), b.reduce.steps + b.release.steps);
+        assert!(b.reduce.is_causal());
+    }
+
+    #[test]
+    fn gather_mirrors_scatter() {
+        let sources: Vec<NodeId> = (1..16).map(NodeId).collect();
+        let g = gather(
+            Algorithm::WSort,
+            Cube::of(4),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+            &sources,
+            1024,
+        )
+        .unwrap();
+        assert_eq!(g.unicasts.len(), 15);
+        // Edges arriving at the root carry, in total, every block.
+        let into_root: u64 = g
+            .unicasts
+            .iter()
+            .zip(&g.bytes_per_edge)
+            .filter(|(u, _)| u.dst == NodeId(0))
+            .map(|(_, &b)| b)
+            .sum();
+        assert_eq!(into_root, 15 * 1024);
+        // Leaf contributors send exactly one block.
+        for (u, &b) in g.unicasts.iter().zip(&g.bytes_per_edge) {
+            assert!(b >= 1024);
+            assert_eq!(b % 1024, 0);
+            let _ = u;
+        }
+    }
+
+    #[test]
+    fn all_to_all_produces_one_tree_per_node() {
+        let trees = all_to_all_broadcast(
+            Algorithm::WSort,
+            Cube::of(3),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+        )
+        .unwrap();
+        assert_eq!(trees.len(), 8);
+        for (i, t) in trees.iter().enumerate() {
+            assert_eq!(t.source, NodeId(i as u32));
+            assert_eq!(t.message_count(), 7);
+        }
+    }
+
+    #[test]
+    fn scatter_edge_bytes_cover_subtrees() {
+        let dests: Vec<NodeId> = (1..16).map(NodeId).collect();
+        let s = scatter(
+            Algorithm::WSort,
+            Cube::of(4),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+            &dests,
+            1024,
+        )
+        .unwrap();
+        // The root injects every block exactly once.
+        assert_eq!(s.root_bytes(), 15 * 1024);
+        // Leaves receive exactly one block.
+        for (u, &b) in s.tree.unicasts.iter().zip(&s.bytes_per_edge) {
+            let subtree = s.tree.reachable_set(u.dst).len() as u64;
+            assert_eq!(b, subtree * 1024);
+            assert!(b >= 1024);
+        }
+        // Forwarding inflates network bytes beyond the root's injection.
+        assert!(s.network_bytes() >= s.root_bytes());
+    }
+
+    #[test]
+    fn scatter_separate_addressing_has_no_forwarding_inflation() {
+        // Under separate addressing, each block travels directly: edge
+        // bytes are exactly one block each.
+        let dests: Vec<NodeId> = (1..8).map(NodeId).collect();
+        let s = scatter(
+            Algorithm::Separate,
+            Cube::of(3),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+            &dests,
+            512,
+        )
+        .unwrap();
+        assert!(s.bytes_per_edge.iter().all(|&b| b == 512));
+    }
+
+    #[test]
+    fn empty_reduction_from_trivial_tree() {
+        let t = Algorithm::UCube
+            .build(
+                Cube::of(3),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &[],
+            )
+            .unwrap();
+        let r = ReductionSchedule::from_multicast(&t);
+        assert!(r.unicasts.is_empty());
+        assert_eq!(r.steps, 0);
+        assert!(r.is_causal());
+    }
+}

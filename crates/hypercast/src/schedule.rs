@@ -1,0 +1,283 @@
+//! Port models and step assignment.
+//!
+//! The algorithms in [`crate::algorithms`] decide *who forwards the
+//! payload to whom, in what issue order*; this module decides *when* each
+//! unicast is transmitted, given the node architecture's port model:
+//!
+//! * **one-port** — the local processor owns a single pair of internal
+//!   channels, so all of a node's sends serialize (one per step);
+//! * **all-port** — every external channel has its own internal channel,
+//!   so a node may transmit on all `n` channels simultaneously. Two sends
+//!   whose E-cube paths leave on the *same* channel still serialize on
+//!   that port — this is exactly the effect the paper describes for
+//!   U-cube on an all-port cube (Figure 3(d)): the unicast to 1011 is
+//!   delayed behind the unicast to 1100 because both leave node 0111 on
+//!   channel 3.
+//!
+//! A node that receives the payload in step `t` may transmit from step
+//! `t + 1`; the source transmits from step 1.
+
+use crate::tree::{MulticastTree, Unicast};
+use hcube::chain::from_relative;
+use hcube::{delta_high, Cube, NodeId, Resolution};
+use std::collections::HashMap;
+
+/// The number of internal channel pairs connecting each local processor
+/// to its router (Section 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum PortModel {
+    /// One pair of internal channels: sends (and receives) serialize.
+    OnePort,
+    /// One internal channel per external channel: a node can send to and
+    /// receive on all `n` channels simultaneously.
+    AllPort,
+    /// `k` internal channel pairs (extension beyond the paper's one/all
+    /// dichotomy): a node transmits on at most `k` distinct external
+    /// channels per step. `KPort(1)` schedules like [`PortModel::OnePort`]
+    /// (the simulator differs only in reception serialization, which
+    /// `KPort` does not model); `KPort(n)` schedules like
+    /// [`PortModel::AllPort`].
+    KPort(u8),
+}
+
+impl PortModel {
+    /// A short human-readable label, used in tables and plots.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            PortModel::OnePort => "one-port".to_string(),
+            PortModel::AllPort => "all-port".to_string(),
+            PortModel::KPort(k) => format!("{k}-port"),
+        }
+    }
+
+    /// The maximum number of simultaneous transmissions a node can start
+    /// in one step in an `n`-cube.
+    #[must_use]
+    pub fn concurrent_sends(self, n: u8) -> u8 {
+        match self {
+            PortModel::OnePort => 1,
+            PortModel::AllPort => n,
+            PortModel::KPort(k) => k.clamp(1, n),
+        }
+    }
+}
+
+/// The forwarding plan of an algorithm before steps are assigned: for
+/// each index into the canonical relative chain, the ordered list of
+/// chain indices that node sends the payload to.
+///
+/// Index 0 is always the source. Every other chain index must appear as a
+/// receiver exactly once.
+pub(crate) type SendPlan = Vec<Vec<usize>>;
+
+/// Assigns steps to a [`SendPlan`] under `port_model` and materializes the
+/// physical [`MulticastTree`].
+///
+/// `chain` is the canonical relative chain the plan indexes into (element
+/// 0 is the source's relative address `0`).
+pub(crate) fn schedule(
+    cube: Cube,
+    resolution: Resolution,
+    source: NodeId,
+    chain: &[NodeId],
+    plan: &SendPlan,
+    port_model: PortModel,
+) -> MulticastTree {
+    debug_assert_eq!(plan.len(), chain.len());
+    let n = cube.dimension();
+    let mut recv_step = vec![0u32; chain.len()];
+    // Next free step per (sender, port). Under one-port a single logical
+    // port (dimension n, never a real channel) is shared by all sends.
+    let mut next_free: HashMap<(usize, u8), u32> = HashMap::new();
+    // Per (sender, step) transmission counts, for the k-port cap.
+    let mut step_load: HashMap<(usize, u32), u8> = HashMap::new();
+    let cap = port_model.concurrent_sends(n);
+    let mut unicasts = Vec::with_capacity(chain.len().saturating_sub(1));
+
+    // Parents are always planned before their children, so a FIFO pass in
+    // discovery order sees recv_step[sender] already settled.
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    while let Some(s) = queue.pop_front() {
+        let earliest = recv_step[s] + 1;
+        for (order, &d) in plan[s].iter().enumerate() {
+            let port = match port_model {
+                PortModel::OnePort => n, // one shared logical port
+                PortModel::AllPort | PortModel::KPort(_) => {
+                    delta_high(chain[s], chain[d])
+                        .expect("a send never targets the sender itself")
+                        .0
+                }
+            };
+            let slot = next_free.entry((s, port)).or_insert(earliest);
+            let mut step = (*slot).max(earliest);
+            // k-port cap: at most `cap` transmissions per (sender, step).
+            while *step_load.get(&(s, step)).unwrap_or(&0) >= cap {
+                step += 1;
+            }
+            *step_load.entry((s, step)).or_insert(0) += 1;
+            *slot = step + 1;
+            recv_step[d] = step;
+            unicasts.push(Unicast {
+                src: from_relative(resolution, n, source, chain[s]),
+                dst: from_relative(resolution, n, source, chain[d]),
+                step,
+                order: order as u32,
+            });
+            queue.push_back(d);
+        }
+    }
+    MulticastTree::new(cube, resolution, source, unicasts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn one_port_serializes_all_sends() {
+        // Source sends to three destinations directly.
+        let chain = ids(&[0b000, 0b001, 0b010, 0b100]);
+        let plan: SendPlan = vec![vec![1, 2, 3], vec![], vec![], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            &chain,
+            &plan,
+            PortModel::OnePort,
+        );
+        let mut steps: Vec<u32> = t.unicasts.iter().map(|u| u.step).collect();
+        steps.sort_unstable();
+        assert_eq!(steps, vec![1, 2, 3]);
+        assert_eq!(t.steps, 3);
+    }
+
+    #[test]
+    fn all_port_parallelizes_distinct_channels() {
+        let chain = ids(&[0b000, 0b001, 0b010, 0b100]);
+        let plan: SendPlan = vec![vec![1, 2, 3], vec![], vec![], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            &chain,
+            &plan,
+            PortModel::AllPort,
+        );
+        assert!(t.unicasts.iter().all(|u| u.step == 1));
+        assert_eq!(t.steps, 1);
+    }
+
+    #[test]
+    fn all_port_serializes_same_channel_sends() {
+        // Both 0b100 and 0b110 are reached on first channel 2 from 0b000.
+        let chain = ids(&[0b000, 0b100, 0b110]);
+        let plan: SendPlan = vec![vec![1, 2], vec![], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            &chain,
+            &plan,
+            PortModel::AllPort,
+        );
+        let by_dst: std::collections::HashMap<_, _> =
+            t.unicasts.iter().map(|u| (u.dst, u.step)).collect();
+        assert_eq!(by_dst[&NodeId(0b100)], 1);
+        assert_eq!(by_dst[&NodeId(0b110)], 2);
+    }
+
+    #[test]
+    fn forwarding_starts_after_receipt() {
+        // 0 → 4 (step 1); 4 → 6 must be step ≥ 2.
+        let chain = ids(&[0b000, 0b100, 0b110]);
+        let plan: SendPlan = vec![vec![1], vec![2], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            &chain,
+            &plan,
+            PortModel::AllPort,
+        );
+        let by_dst: std::collections::HashMap<_, _> =
+            t.unicasts.iter().map(|u| (u.dst, u.step)).collect();
+        assert_eq!(by_dst[&NodeId(0b100)], 1);
+        assert_eq!(by_dst[&NodeId(0b110)], 2);
+    }
+
+    #[test]
+    fn kport_caps_transmissions_per_step() {
+        // Source sends to all 4 neighbors in a 4-cube: all-port = 1 step,
+        // 2-port = 2 steps, 1-port = 4 steps.
+        let chain = ids(&[0b0000, 0b0001, 0b0010, 0b0100, 0b1000]);
+        let plan: SendPlan = vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]];
+        let steps = |port: PortModel| {
+            schedule(Cube::of(4), Resolution::HighToLow, NodeId(0), &chain, &plan, port).steps
+        };
+        assert_eq!(steps(PortModel::AllPort), 1);
+        assert_eq!(steps(PortModel::KPort(2)), 2);
+        assert_eq!(steps(PortModel::KPort(1)), 4);
+        assert_eq!(steps(PortModel::OnePort), 4);
+        assert_eq!(steps(PortModel::KPort(4)), 1);
+        // k beyond n clamps to n.
+        assert_eq!(steps(PortModel::KPort(9)), 1);
+    }
+
+    #[test]
+    fn kport_still_serializes_same_channel_sends() {
+        // Two sends on the same first channel can't share a step even
+        // with spare port capacity.
+        let chain = ids(&[0b000, 0b100, 0b110]);
+        let plan: SendPlan = vec![vec![1, 2], vec![], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            &chain,
+            &plan,
+            PortModel::KPort(3),
+        );
+        assert_eq!(t.steps, 2);
+    }
+
+    #[test]
+    fn relative_chain_maps_back_to_physical_addresses() {
+        // Source 0b101: chain element 0b011 is physical 0b110.
+        let chain = ids(&[0b000, 0b011]);
+        let plan: SendPlan = vec![vec![1], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0b101),
+            &chain,
+            &plan,
+            PortModel::AllPort,
+        );
+        assert_eq!(t.unicasts[0].src, NodeId(0b101));
+        assert_eq!(t.unicasts[0].dst, NodeId(0b110));
+    }
+
+    #[test]
+    fn low_to_high_resolution_maps_through_bit_reversal() {
+        // Canonical-relative element 0b001 under LowToHigh in a 3-cube is
+        // physical source ⊕ reverse(0b001) = source ⊕ 0b100.
+        let chain = ids(&[0b000, 0b001]);
+        let plan: SendPlan = vec![vec![1], vec![]];
+        let t = schedule(
+            Cube::of(3),
+            Resolution::LowToHigh,
+            NodeId(0b010),
+            &chain,
+            &plan,
+            PortModel::AllPort,
+        );
+        assert_eq!(t.unicasts[0].dst, NodeId(0b110));
+    }
+}

@@ -1,0 +1,363 @@
+//! Multicast trees: the output of every algorithm in this crate.
+//!
+//! A unicast-based multicast is a tree of unicast messages: the source
+//! sends the payload to a subset of the destinations, each recipient
+//! forwards it to a further subset, and so on (Section 2 of the paper).
+//! [`MulticastTree`] records every constituent unicast together with the
+//! *step* in which it is transmitted under the chosen port model.
+
+use hcube::{Cube, NodeId, Path, Resolution};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One constituent unicast `(u, v, P(u, v), t)` of a multicast
+/// implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Unicast {
+    /// The sending node `u` (the source or an earlier destination).
+    pub src: NodeId,
+    /// The receiving node `v`.
+    pub dst: NodeId,
+    /// The communication step `t ≥ 1` in which the message is transmitted.
+    ///
+    /// A node that receives the payload in step `t` can transmit from step
+    /// `t + 1`; the source holds the payload from "step 0".
+    pub step: u32,
+    /// Issue order at the sender (0-based): the position of this send in
+    /// the sequence of sends the algorithm generates at `src`. Drives
+    /// software-startup serialization in the simulator.
+    pub order: u32,
+}
+
+impl Unicast {
+    /// The E-cube path of this unicast under the given resolution order.
+    #[inline]
+    #[must_use]
+    pub fn path(&self, resolution: Resolution) -> Path {
+        Path::new(resolution, self.src, self.dst)
+    }
+}
+
+/// A complete scheduled multicast implementation.
+///
+/// Invariants (checked by [`crate::verify::validate`]):
+/// * every destination appears as `dst` of exactly one unicast;
+/// * every `src` is the source or a node that received in an earlier step;
+/// * `steps` is the maximum step over all unicasts.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MulticastTree {
+    /// The cube the multicast runs in.
+    pub cube: Cube,
+    /// The router's address-resolution order, needed to reconstruct the
+    /// E-cube path of each unicast.
+    pub resolution: Resolution,
+    /// The multicast source `d₀`.
+    pub source: NodeId,
+    /// The constituent unicasts, in (step, sender, issue-order) order.
+    pub unicasts: Vec<Unicast>,
+    /// The total number of steps, `max_t`.
+    pub steps: u32,
+}
+
+impl MulticastTree {
+    /// Builds a tree from raw unicasts, normalizing order and computing
+    /// `steps`.
+    #[must_use]
+    pub fn new(
+        cube: Cube,
+        resolution: Resolution,
+        source: NodeId,
+        mut unicasts: Vec<Unicast>,
+    ) -> MulticastTree {
+        unicasts.sort_by_key(|u| (u.step, u.src, u.order));
+        let steps = unicasts.iter().map(|u| u.step).max().unwrap_or(0);
+        MulticastTree { cube, resolution, source, unicasts, steps }
+    }
+
+    /// The nodes that receive the payload (every `dst`), in receipt order.
+    #[must_use]
+    pub fn receivers(&self) -> Vec<NodeId> {
+        self.unicasts.iter().map(|u| u.dst).collect()
+    }
+
+    /// The step in which `v` receives the payload: 0 for the source,
+    /// `Some(t)` for a receiver, `None` for uninvolved nodes.
+    #[must_use]
+    pub fn recv_step(&self, v: NodeId) -> Option<u32> {
+        if v == self.source {
+            return Some(0);
+        }
+        self.unicasts.iter().find(|u| u.dst == v).map(|u| u.step)
+    }
+
+    /// Map from each receiver to the unicast that delivered its payload.
+    #[must_use]
+    pub fn parent_map(&self) -> HashMap<NodeId, Unicast> {
+        self.unicasts.iter().map(|u| (u.dst, *u)).collect()
+    }
+
+    /// The *reachable set* `R_u` of Definition 3: the nodes that receive
+    /// the payload directly or indirectly through `u`, including `u`
+    /// itself (the subtree rooted at `u`).
+    #[must_use]
+    pub fn reachable_set(&self, u: NodeId) -> Vec<NodeId> {
+        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for uc in &self.unicasts {
+            children.entry(uc.src).or_default().push(uc.dst);
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![u];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            if let Some(kids) = children.get(&v) {
+                stack.extend(kids.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Number of unicast messages in the implementation (the paper calls
+    /// this "traffic" in related work; each unicast occupies `‖u ⊕ v‖`
+    /// channels).
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.unicasts.len()
+    }
+
+    /// Total channel-occupations: `Σ ‖u ⊕ v‖` over constituent unicasts.
+    #[must_use]
+    pub fn channel_load(&self) -> u64 {
+        self.unicasts
+            .iter()
+            .map(|u| u64::from(u.src.distance(u.dst)))
+            .sum()
+    }
+
+    /// Nodes whose *local processor* handles the payload without being the
+    /// source or a requested destination.
+    ///
+    /// For the wormhole algorithms this is always empty — intermediate
+    /// routers relay without processor involvement. The store-and-forward
+    /// baseline ([`crate::Algorithm::DimTree`]) reports its relays here.
+    #[must_use]
+    pub fn relays(&self, dests: &[NodeId]) -> Vec<NodeId> {
+        use std::collections::HashSet;
+        let wanted: HashSet<NodeId> = dests.iter().copied().collect();
+        let mut relays: Vec<NodeId> = self
+            .receivers()
+            .into_iter()
+            .filter(|v| !wanted.contains(v) && *v != self.source)
+            .collect();
+        relays.sort_unstable();
+        relays.dedup();
+        relays
+    }
+
+    /// Renders the tree in Graphviz DOT format: nodes labeled with binary
+    /// addresses, edges labeled with their step, intermediate E-cube
+    /// routers drawn as points on multi-hop unicasts.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use hcube::Path;
+        let n = self.cube.dimension();
+        let mut out = String::from("digraph multicast {\n  rankdir=TB;\n");
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=doublecircle,label=\"{}\"];",
+            self.source.0,
+            self.source.binary(n)
+        );
+        for u in &self.unicasts {
+            let _ = writeln!(
+                out,
+                "  \"{}\" [label=\"{}\"];",
+                u.dst.0,
+                u.dst.binary(n)
+            );
+            let path = Path::new(self.resolution, u.src, u.dst);
+            if path.hops() <= 1 {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                    u.src.0, u.dst.0, u.step
+                );
+            } else {
+                // Show router pass-throughs as small unlabeled points.
+                let nodes: Vec<_> = path.nodes().collect();
+                for w in nodes.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    if b != u.dst {
+                        let _ = writeln!(
+                            out,
+                            "  \"r{}_{}\" [shape=point,label=\"\"];",
+                            u.dst.0, b.0
+                        );
+                    }
+                    let aa = if a == u.src {
+                        format!("\"{}\"", a.0)
+                    } else {
+                        format!("\"r{}_{}\"", u.dst.0, a.0)
+                    };
+                    let bb = if b == u.dst {
+                        format!("\"{}\"", b.0)
+                    } else {
+                        format!("\"r{}_{}\"", u.dst.0, b.0)
+                    };
+                    if a == u.src {
+                        let _ = writeln!(out, "  \"{}\" -> {bb} [label=\"{}\"];", a.0, u.step);
+                    } else {
+                        let _ = writeln!(out, "  {aa} -> {bb};");
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the tree as an indented ASCII outline, one line per
+    /// unicast, in the style of the paper's figures.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let n = self.cube.dimension();
+        let mut children: HashMap<NodeId, Vec<&Unicast>> = HashMap::new();
+        for u in &self.unicasts {
+            children.entry(u.src).or_default().push(u);
+        }
+        for v in children.values_mut() {
+            v.sort_by_key(|u| (u.step, u.order));
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} (source)", self.source.binary(n));
+        fn rec(
+            out: &mut String,
+            children: &HashMap<NodeId, Vec<&Unicast>>,
+            at: NodeId,
+            depth: usize,
+            n: u8,
+        ) {
+            if let Some(kids) = children.get(&at) {
+                for u in kids {
+                    let _ = writeln!(
+                        out,
+                        "{:indent$}└─[step {}]→ {}",
+                        "",
+                        u.step,
+                        u.dst.binary(n),
+                        indent = depth * 4
+                    );
+                    rec(out, children, u.dst, depth + 1, n);
+                }
+            }
+        }
+        rec(&mut out, &children, self.source, 1, n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcube::Cube;
+
+    fn sample_tree() -> MulticastTree {
+        // 0 →(1) 4; 0 →(2) 1; 4 →(2) 6
+        let u = |src: u32, dst: u32, step: u32, order: u32| Unicast {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            step,
+            order,
+        };
+        MulticastTree::new(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            vec![u(0, 1, 2, 1), u(0, 4, 1, 0), u(4, 6, 2, 0)],
+        )
+    }
+
+    #[test]
+    fn new_normalizes_and_counts_steps() {
+        let t = sample_tree();
+        assert_eq!(t.steps, 2);
+        assert_eq!(t.unicasts[0].dst, NodeId(4)); // sorted by step first
+        assert_eq!(t.message_count(), 3);
+    }
+
+    #[test]
+    fn recv_steps() {
+        let t = sample_tree();
+        assert_eq!(t.recv_step(NodeId(0)), Some(0));
+        assert_eq!(t.recv_step(NodeId(4)), Some(1));
+        assert_eq!(t.recv_step(NodeId(6)), Some(2));
+        assert_eq!(t.recv_step(NodeId(5)), None);
+    }
+
+    #[test]
+    fn reachable_sets_match_definition_3() {
+        let t = sample_tree();
+        let mut r0 = t.reachable_set(NodeId(0));
+        r0.sort_unstable();
+        assert_eq!(r0, vec![NodeId(0), NodeId(1), NodeId(4), NodeId(6)]);
+        let mut r4 = t.reachable_set(NodeId(4));
+        r4.sort_unstable();
+        assert_eq!(r4, vec![NodeId(4), NodeId(6)]);
+        assert_eq!(t.reachable_set(NodeId(1)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn channel_load_sums_distances() {
+        let t = sample_tree();
+        // 0→4: 1 hop, 0→1: 1 hop, 4→6: 1 hop
+        assert_eq!(t.channel_load(), 3);
+    }
+
+    #[test]
+    fn relays_empty_when_all_receivers_are_destinations() {
+        let t = sample_tree();
+        let dests = [NodeId(1), NodeId(4), NodeId(6)];
+        assert!(t.relays(&dests).is_empty());
+        // If 4 was not a requested destination it is a relay.
+        let dests = [NodeId(1), NodeId(6)];
+        assert_eq!(t.relays(&dests), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let t = sample_tree();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph multicast {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every receiver node declared; source double-circled.
+        assert!(dot.contains("doublecircle"));
+        for u in &t.unicasts {
+            assert!(dot.contains(&format!("\"{}\"", u.dst.0)));
+        }
+        // Balanced braces and quotes.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert_eq!(dot.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn dot_export_multihop_has_router_points() {
+        // 0 → 7 is 3 hops: two router pass-through points.
+        let t = MulticastTree::new(
+            Cube::of(3),
+            Resolution::HighToLow,
+            NodeId(0),
+            vec![Unicast { src: NodeId(0), dst: NodeId(7), step: 1, order: 0 }],
+        );
+        let dot = t.to_dot();
+        assert_eq!(dot.matches("shape=point").count(), 2);
+    }
+
+    #[test]
+    fn render_contains_every_receiver() {
+        let t = sample_tree();
+        let s = t.render();
+        assert!(s.contains("000 (source)"));
+        assert!(s.contains("100"));
+        assert!(s.contains("110"));
+        assert!(s.contains("[step 2]"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Structural validation of multicast trees.
+//!
+//! Independent of any particular algorithm, a well-formed scheduled
+//! multicast must satisfy the invariants listed on [`MulticastTree`];
+//! [`validate`] checks them all and is used by the property-test suites
+//! to hold every algorithm to the same contract.
+
+use crate::schedule::PortModel;
+use crate::tree::MulticastTree;
+use hcube::NodeId;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A violation of the multicast-tree contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeViolation {
+    /// A requested destination never receives the payload.
+    Unreached(NodeId),
+    /// A node receives the payload more than once.
+    DoubleDelivery(NodeId),
+    /// A node transmits before it holds the payload.
+    SendBeforeReceive {
+        /// The offending sender.
+        node: NodeId,
+        /// The step it transmitted in.
+        sent_at: u32,
+        /// The step it received in (`None` = never).
+        received_at: Option<u32>,
+    },
+    /// A step number of zero (steps are 1-based).
+    ZeroStep(NodeId),
+    /// Two sends of one node violate its port model within a step.
+    PortOversubscribed {
+        /// The offending sender.
+        node: NodeId,
+        /// The oversubscribed step.
+        step: u32,
+    },
+    /// A node other than the source or a destination handles the payload.
+    UnexpectedRelay(NodeId),
+    /// A unicast whose source equals its destination.
+    SelfSend(NodeId),
+}
+
+impl fmt::Display for TreeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeViolation::Unreached(v) => write!(f, "destination {v} unreached"),
+            TreeViolation::DoubleDelivery(v) => write!(f, "node {v} delivered twice"),
+            TreeViolation::SendBeforeReceive { node, sent_at, received_at } => write!(
+                f,
+                "node {node} sent at step {sent_at} but received at {received_at:?}"
+            ),
+            TreeViolation::ZeroStep(v) => write!(f, "unicast to {v} scheduled at step 0"),
+            TreeViolation::PortOversubscribed { node, step } => {
+                write!(f, "node {node} oversubscribed its ports in step {step}")
+            }
+            TreeViolation::UnexpectedRelay(v) => {
+                write!(f, "non-destination processor {v} handles the payload")
+            }
+            TreeViolation::SelfSend(v) => write!(f, "node {v} sends to itself"),
+        }
+    }
+}
+
+/// Options for [`validate`].
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateOptions {
+    /// The port model the schedule must respect.
+    pub port_model: PortModel,
+    /// Whether non-destination relays are forbidden (true for all
+    /// wormhole algorithms; false for the store-and-forward baseline).
+    pub forbid_relays: bool,
+}
+
+/// Checks every structural invariant of a scheduled multicast tree
+/// against the requested destination set. Returns all violations found.
+#[must_use]
+pub fn validate(
+    tree: &MulticastTree,
+    dests: &[NodeId],
+    options: ValidateOptions,
+) -> Vec<TreeViolation> {
+    let mut violations = Vec::new();
+    let wanted: HashSet<NodeId> = dests.iter().copied().collect();
+
+    // Delivery exactly once; steps positive; no self-sends.
+    let mut recv_step: HashMap<NodeId, u32> = HashMap::new();
+    recv_step.insert(tree.source, 0);
+    for u in &tree.unicasts {
+        if u.step == 0 {
+            violations.push(TreeViolation::ZeroStep(u.dst));
+        }
+        if u.src == u.dst {
+            violations.push(TreeViolation::SelfSend(u.src));
+        }
+        if recv_step.insert(u.dst, u.step).is_some() {
+            violations.push(TreeViolation::DoubleDelivery(u.dst));
+        }
+    }
+    for &d in &wanted {
+        if !recv_step.contains_key(&d) {
+            violations.push(TreeViolation::Unreached(d));
+        }
+    }
+
+    // Causality: each sender holds the payload strictly before sending.
+    for u in &tree.unicasts {
+        match recv_step.get(&u.src) {
+            Some(&r) if r < u.step => {}
+            other => violations.push(TreeViolation::SendBeforeReceive {
+                node: u.src,
+                sent_at: u.step,
+                received_at: other.copied(),
+            }),
+        }
+    }
+
+    // Port discipline within each (sender, step).
+    let mut port_use: HashMap<(NodeId, u32), Vec<Option<u8>>> = HashMap::new();
+    for u in &tree.unicasts {
+        let chan = tree.resolution.delta(u.src, u.dst).map(|d| d.0);
+        port_use.entry((u.src, u.step)).or_default().push(chan);
+    }
+    for ((node, step), chans) in port_use {
+        let distinct_ok = {
+            let mut c: Vec<_> = chans.clone();
+            c.sort_unstable();
+            c.dedup();
+            c.len() == chans.len()
+        };
+        let violated = match options.port_model {
+            PortModel::OnePort => chans.len() > 1,
+            PortModel::AllPort => !distinct_ok,
+            PortModel::KPort(k) => !distinct_ok || chans.len() > usize::from(k.max(1)),
+        };
+        if violated {
+            violations.push(TreeViolation::PortOversubscribed { node, step });
+        }
+    }
+
+    // Processor involvement: only source and destinations, unless the
+    // algorithm is an explicit relay-using baseline.
+    if options.forbid_relays {
+        for relay in tree.relays(dests) {
+            violations.push(TreeViolation::UnexpectedRelay(relay));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Unicast;
+    use hcube::{Cube, Resolution};
+
+    fn u(src: u32, dst: u32, step: u32, order: u32) -> Unicast {
+        Unicast { src: NodeId(src), dst: NodeId(dst), step, order }
+    }
+
+    fn opts() -> ValidateOptions {
+        ValidateOptions { port_model: PortModel::AllPort, forbid_relays: true }
+    }
+
+    fn tree(unicasts: Vec<Unicast>) -> MulticastTree {
+        MulticastTree::new(Cube::of(4), Resolution::HighToLow, NodeId(0), unicasts)
+    }
+
+    #[test]
+    fn valid_tree_passes() {
+        let t = tree(vec![u(0, 0b1000, 1, 0), u(0, 0b0001, 1, 1), u(0b1000, 0b1010, 2, 0)]);
+        let dests = [NodeId(0b1000), NodeId(0b0001), NodeId(0b1010)];
+        assert!(validate(&t, &dests, opts()).is_empty());
+    }
+
+    #[test]
+    fn detects_unreached_destination() {
+        let t = tree(vec![u(0, 0b1000, 1, 0)]);
+        let v = validate(&t, &[NodeId(0b1000), NodeId(0b0001)], opts());
+        assert!(v.contains(&TreeViolation::Unreached(NodeId(0b0001))));
+    }
+
+    #[test]
+    fn detects_double_delivery() {
+        let t = tree(vec![u(0, 0b1000, 1, 0), u(0, 0b1000, 2, 1)]);
+        let v = validate(&t, &[NodeId(0b1000)], opts());
+        assert!(v.contains(&TreeViolation::DoubleDelivery(NodeId(0b1000))));
+    }
+
+    #[test]
+    fn detects_send_before_receive() {
+        let t = tree(vec![u(0b1000, 0b1010, 1, 0), u(0, 0b1000, 1, 0)]);
+        let v = validate(&t, &[NodeId(0b1000), NodeId(0b1010)], opts());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TreeViolation::SendBeforeReceive { node, .. } if *node == NodeId(0b1000))));
+    }
+
+    #[test]
+    fn detects_all_port_channel_collision() {
+        // Two same-step sends from 0 both leaving on channel 3.
+        let t = tree(vec![u(0, 0b1000, 1, 0), u(0, 0b1010, 1, 1)]);
+        let v = validate(&t, &[NodeId(0b1000), NodeId(0b1010)], opts());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TreeViolation::PortOversubscribed { node, step: 1 } if *node == NodeId(0))));
+    }
+
+    #[test]
+    fn one_port_forbids_any_same_step_pair() {
+        let t = tree(vec![u(0, 0b1000, 1, 0), u(0, 0b0001, 1, 1)]);
+        let v = validate(
+            &t,
+            &[NodeId(0b1000), NodeId(0b0001)],
+            ValidateOptions { port_model: PortModel::OnePort, forbid_relays: true },
+        );
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, TreeViolation::PortOversubscribed { .. })));
+    }
+
+    #[test]
+    fn detects_unexpected_relay() {
+        let t = tree(vec![u(0, 0b1000, 1, 0), u(0b1000, 0b1010, 2, 0)]);
+        let v = validate(&t, &[NodeId(0b1010)], opts());
+        assert!(v.contains(&TreeViolation::UnexpectedRelay(NodeId(0b1000))));
+        // Allowed when relays are permitted.
+        let v = validate(
+            &t,
+            &[NodeId(0b1010)],
+            ValidateOptions { port_model: PortModel::AllPort, forbid_relays: false },
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn detects_zero_step_and_self_send() {
+        let t = tree(vec![u(0, 0b1000, 0, 0), u(0b1000, 0b1000, 1, 0)]);
+        let v = validate(&t, &[NodeId(0b1000)], opts());
+        assert!(v.contains(&TreeViolation::ZeroStep(NodeId(0b1000))));
+        assert!(v.contains(&TreeViolation::SelfSend(NodeId(0b1000))));
+    }
+}

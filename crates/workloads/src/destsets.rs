@@ -1,0 +1,127 @@
+//! Random destination-set generation.
+//!
+//! The paper evaluates "destination sets in which the nodes are randomly
+//! distributed throughout the hypercube": for each data point, `m`
+//! distinct destinations are drawn uniformly without replacement from the
+//! `N − 1` non-source nodes. Seeding is fully deterministic per
+//! (experiment, point, trial) so every figure regenerates bit-identically.
+
+use hcube::{Cube, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draws `m` distinct destinations uniformly from the non-source nodes.
+///
+/// ```
+/// use hcube::{Cube, NodeId};
+/// use workloads::destsets::{random_dests, trial_rng};
+///
+/// let mut rng = trial_rng("doc", 0, 0);
+/// let dests = random_dests(&mut rng, Cube::of(6), NodeId(0), 10);
+/// assert_eq!(dests.len(), 10);
+/// assert!(!dests.contains(&NodeId(0)));
+/// ```
+///
+/// # Panics
+/// If `m > N − 1` or the source is not in the cube.
+#[must_use]
+pub fn random_dests(rng: &mut StdRng, cube: Cube, source: NodeId, m: usize) -> Vec<NodeId> {
+    assert!(cube.contains(source), "source outside cube");
+    assert!(
+        m < cube.node_count(),
+        "cannot draw {m} destinations from {} candidates",
+        cube.node_count() - 1
+    );
+    let mut pool: Vec<NodeId> = cube.nodes().filter(|&v| v != source).collect();
+    // partial_shuffle picks m random elements into the prefix in O(m).
+    let (prefix, _) = pool.partial_shuffle(rng, m);
+    prefix.to_vec()
+}
+
+/// Deterministic RNG for one trial of one experiment point.
+///
+/// The stream is keyed by a stable FNV-1a hash of
+/// (experiment id, point index, trial index).
+#[must_use]
+pub fn trial_rng(experiment: &str, point: usize, trial: usize) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in experiment.bytes() {
+        eat(b);
+    }
+    for b in (point as u64).to_le_bytes() {
+        eat(b);
+    }
+    for b in (trial as u64).to_le_bytes() {
+        eat(b);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_distinct_and_exclude_source() {
+        let cube = Cube::of(6);
+        let mut rng = trial_rng("test", 0, 0);
+        for m in [1, 5, 31, 63] {
+            let d = random_dests(&mut rng, cube, NodeId(17), m);
+            assert_eq!(d.len(), m);
+            let mut s = d.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), m, "duplicates drawn");
+            assert!(!d.contains(&NodeId(17)));
+            assert!(d.iter().all(|&v| cube.contains(v)));
+        }
+    }
+
+    #[test]
+    fn full_broadcast_set() {
+        let cube = Cube::of(4);
+        let mut rng = trial_rng("test", 0, 1);
+        let d = random_dests(&mut rng, cube, NodeId(0), 15);
+        assert_eq!(d.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn rejects_oversized_request() {
+        let cube = Cube::of(3);
+        let mut rng = trial_rng("test", 0, 0);
+        let _ = random_dests(&mut rng, cube, NodeId(0), 8);
+    }
+
+    #[test]
+    fn trial_rngs_are_deterministic_and_distinct() {
+        let cube = Cube::of(8);
+        let a = random_dests(&mut trial_rng("fig09", 3, 7), cube, NodeId(0), 20);
+        let b = random_dests(&mut trial_rng("fig09", 3, 7), cube, NodeId(0), 20);
+        assert_eq!(a, b, "same key ⇒ same draw");
+        let c = random_dests(&mut trial_rng("fig09", 3, 8), cube, NodeId(0), 20);
+        assert_ne!(a, c, "different trial ⇒ different draw");
+        let d = random_dests(&mut trial_rng("fig10", 3, 7), cube, NodeId(0), 20);
+        assert_ne!(a, d, "different experiment ⇒ different draw");
+    }
+
+    #[test]
+    fn draws_cover_the_cube_statistically() {
+        // Over many draws, every node should appear at least once.
+        let cube = Cube::of(5);
+        let mut seen = vec![false; cube.node_count()];
+        for trial in 0..200 {
+            let mut rng = trial_rng("coverage", 0, trial);
+            for v in random_dests(&mut rng, cube, NodeId(0), 8) {
+                seen[v.0 as usize] = true;
+            }
+        }
+        let covered = seen.iter().filter(|&&b| b).count();
+        assert!(covered >= cube.node_count() - 1, "covered only {covered}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — experiment harness for the SC '93 reproduction
+//!
+//! Ties `hypercast` (the algorithms) and `wormsim` (the network model)
+//! together into the experiments of the paper's Section 5:
+//!
+//! * [`destsets`] — seeded random destination sets ("nodes randomly
+//!   distributed throughout the hypercube");
+//! * [`sweep`] — parallel (point × trial × algorithm) sweeps with paired
+//!   destination sets across algorithms;
+//! * [`figures`] — one entry point per paper figure (Figures 9–14);
+//! * [`ablations`] — extension experiments: port models, message sizes,
+//!   parameter sensitivity, optimality gaps, contention rates;
+//! * [`figure`] — the data model plus table / ASCII-plot / JSON output;
+//! * [`stats`] — summary statistics.
+//!
+//! Regeneration binaries live in the `bench` crate
+//! (`cargo run -p bench --release --bin all_figures`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablations;
+pub mod destsets;
+pub mod figure;
+pub mod figures;
+pub mod stats;
+pub mod sweep;
+
+pub use figure::{Figure, Series};
+pub use stats::Summary;

@@ -1,0 +1,182 @@
+//! Generic parallel parameter sweeps.
+//!
+//! A sweep evaluates a metric function over (point × trial × algorithm),
+//! with the *same* randomly drawn destination set shared by all
+//! algorithms within a trial (paired comparison, as in the paper), and
+//! aggregates per-(point, algorithm) summaries. Trials of different
+//! points run concurrently on scoped threads; results are deterministic
+//! because every trial's RNG is keyed by (experiment, point, trial).
+
+use crate::destsets::{random_dests, trial_rng};
+use crate::stats::Summary;
+use hcube::{Cube, NodeId};
+use hypercast::Algorithm;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sweep results: `cells[point][algo]` holds `K` metric summaries.
+#[derive(Clone, Debug)]
+pub struct MatrixResult<const K: usize> {
+    /// The swept destination-set sizes.
+    pub points: Vec<usize>,
+    /// The algorithms compared.
+    pub algos: Vec<Algorithm>,
+    /// Per-(point, algorithm) summaries of each of the `K` metrics.
+    pub cells: Vec<Vec<[Summary; K]>>,
+}
+
+impl<const K: usize> MatrixResult<K> {
+    /// Extracts metric `k` as figure series (one per algorithm).
+    ///
+    /// # Panics
+    /// If `k >= K`.
+    #[must_use]
+    pub fn series(&self, k: usize) -> Vec<crate::figure::Series> {
+        assert!(k < K);
+        self.algos
+            .iter()
+            .enumerate()
+            .map(|(ai, algo)| crate::figure::Series {
+                name: algo.name().to_string(),
+                xs: self.points.iter().map(|&m| m as f64).collect(),
+                ys: self.cells.iter().map(|row| row[ai][k].mean).collect(),
+                std: self.cells.iter().map(|row| row[ai][k].std).collect(),
+            })
+            .collect()
+    }
+}
+
+/// Runs the sweep. For every point `m` and trial, draws a destination set
+/// and evaluates `metric(cube, source, dests, algo) -> [f64; K]` for each
+/// algorithm.
+///
+/// The source is fixed at node 0, as in the paper's experiments (the
+/// problem is vertex-transitive: relabeling by XOR maps any source to 0).
+pub fn run_matrix<const K: usize, F>(
+    experiment: &str,
+    cube: Cube,
+    points: &[usize],
+    trials: usize,
+    algos: &[Algorithm],
+    metric: F,
+) -> MatrixResult<K>
+where
+    F: Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; K] + Sync,
+{
+    let source = NodeId(0);
+    // samples[point][algo][k][trial]
+    let results: Vec<Mutex<Vec<Vec<Vec<f64>>>>> = points
+        .iter()
+        .map(|_| Mutex::new(vec![vec![Vec::with_capacity(trials); K]; algos.len()]))
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let total_tasks = points.len() * trials;
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(32);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(total_tasks.max(1)) {
+            scope.spawn(|_| loop {
+                let task = next.fetch_add(1, Ordering::Relaxed);
+                if task >= total_tasks {
+                    break;
+                }
+                let point = task / trials;
+                let trial = task % trials;
+                let m = points[point];
+                let mut rng = trial_rng(experiment, point, trial);
+                let dests = random_dests(&mut rng, cube, source, m);
+                let mut row: Vec<[f64; K]> = Vec::with_capacity(algos.len());
+                for &algo in algos {
+                    row.push(metric(cube, source, &dests, algo));
+                }
+                let mut cell = results[point].lock();
+                for (ai, vals) in row.into_iter().enumerate() {
+                    for (k, v) in vals.into_iter().enumerate() {
+                        cell[ai][k].push(v);
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let cells = results
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .into_iter()
+                .map(|per_algo| {
+                    let mut out = [Summary::of(&[]); K];
+                    for (k, samples) in per_algo.into_iter().enumerate() {
+                        out[k] = Summary::of(&samples);
+                    }
+                    out
+                })
+                .collect()
+        })
+        .collect();
+    MatrixResult { points: points.to_vec(), algos: algos.to_vec(), cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercast::PortModel;
+
+    fn steps_metric(cube: Cube, src: NodeId, dests: &[NodeId], algo: Algorithm) -> [f64; 1] {
+        let t = algo
+            .build(cube, hcube::Resolution::HighToLow, PortModel::AllPort, src, dests)
+            .unwrap();
+        [f64::from(t.steps)]
+    }
+
+    #[test]
+    fn sweep_shapes_are_consistent() {
+        let r: MatrixResult<1> = run_matrix(
+            "test-sweep",
+            Cube::of(5),
+            &[1, 4, 16],
+            10,
+            &Algorithm::PAPER,
+            steps_metric,
+        );
+        assert_eq!(r.points, vec![1, 4, 16]);
+        assert_eq!(r.cells.len(), 3);
+        for row in &r.cells {
+            assert_eq!(row.len(), 4);
+            for cell in row {
+                assert_eq!(cell[0].n, 10);
+                assert!(cell[0].mean >= 1.0);
+            }
+        }
+        let series = r.series(0);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].xs, vec![1.0, 4.0, 16.0]);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let run = || -> Vec<f64> {
+            let r: MatrixResult<1> = run_matrix(
+                "det",
+                Cube::of(5),
+                &[3, 9],
+                8,
+                &[Algorithm::WSort, Algorithm::UCube],
+                steps_metric,
+            );
+            r.cells.iter().flat_map(|row| row.iter().map(|c| c[0].mean)).collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_destination_always_one_step() {
+        let r: MatrixResult<1> =
+            run_matrix("single", Cube::of(4), &[1], 20, &Algorithm::PAPER, steps_metric);
+        for cell in &r.cells[0] {
+            assert_eq!(cell[0].mean, 1.0);
+            assert_eq!(cell[0].std, 0.0);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Channel-level view of the hypercube for the simulator.
+//!
+//! Every directed external channel gets a dense index; under the one-port
+//! model two *virtual* channels per node are added — an injection channel
+//! (a node transmits at most one message at a time) and a consumption
+//! channel (it receives at most one at a time). A message's path is the
+//! optional injection channel, the E-cube external channels, and the
+//! optional consumption channel; the worm holds all of them from head
+//! acquisition to tail drain, so one-port serialization falls out of the
+//! ordinary channel-contention machinery.
+
+use hcube::{Cube, Dim, NodeId, Path, Resolution};
+use hypercast::PortModel;
+
+/// Dense indexing for external and virtual channels of a cube.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelMap {
+    n: u8,
+    externals: usize,
+    nodes: usize,
+}
+
+impl ChannelMap {
+    /// Builds the channel map for `cube`.
+    #[must_use]
+    pub fn new(cube: Cube) -> ChannelMap {
+        ChannelMap {
+            n: cube.dimension(),
+            externals: cube.channel_count(),
+            nodes: cube.node_count(),
+        }
+    }
+
+    /// Total number of channel slots (externals + 2·N virtuals).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.externals + 2 * self.nodes
+    }
+
+    /// Whether the map is empty (never true for a valid cube).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the directed external channel leaving `from` in `dim`.
+    #[inline]
+    #[must_use]
+    pub fn external(&self, from: NodeId, dim: Dim) -> usize {
+        from.0 as usize * self.n as usize + dim.0 as usize
+    }
+
+    /// Index of node `v`'s virtual consumption channel.
+    #[inline]
+    #[must_use]
+    pub fn consumption(&self, v: NodeId) -> usize {
+        self.externals + v.0 as usize
+    }
+
+    /// Index of node `v`'s virtual injection channel.
+    #[inline]
+    #[must_use]
+    pub fn injection(&self, v: NodeId) -> usize {
+        self.externals + self.nodes + v.0 as usize
+    }
+
+    /// Whether a channel index refers to a virtual (zero-latency) channel.
+    #[inline]
+    #[must_use]
+    pub fn is_virtual(&self, idx: usize) -> bool {
+        idx >= self.externals
+    }
+
+    /// The channel sequence a `src → dst` message occupies under the given
+    /// routing resolution and port model.
+    #[must_use]
+    pub fn route(
+        &self,
+        resolution: Resolution,
+        port_model: PortModel,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<usize> {
+        let path = Path::new(resolution, src, dst);
+        let mut channels = Vec::with_capacity(path.hops() as usize + 2);
+        if port_model == PortModel::OnePort {
+            channels.push(self.injection(src));
+        }
+        for arc in path.arcs() {
+            channels.push(self.external(arc.from, arc.dim));
+        }
+        if port_model == PortModel::OnePort {
+            channels.push(self.consumption(dst));
+        }
+        channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_disjoint() {
+        let cube = Cube::of(3);
+        let map = ChannelMap::new(cube);
+        assert_eq!(map.len(), 3 * 8 + 2 * 8);
+        let mut seen = vec![false; map.len()];
+        for v in cube.nodes() {
+            for d in cube.dims() {
+                let i = map.external(v, d);
+                assert!(!map.is_virtual(i));
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        for v in cube.nodes() {
+            for i in [map.consumption(v), map.injection(v)] {
+                assert!(map.is_virtual(i));
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn all_port_route_is_externals_only() {
+        let map = ChannelMap::new(Cube::of(4));
+        let route = map.route(
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0b0101),
+            NodeId(0b1110),
+        );
+        assert_eq!(route.len(), 3);
+        assert!(route.iter().all(|&c| !map.is_virtual(c)));
+    }
+
+    #[test]
+    fn one_port_route_wraps_with_virtuals() {
+        let map = ChannelMap::new(Cube::of(4));
+        let route = map.route(
+            Resolution::HighToLow,
+            PortModel::OnePort,
+            NodeId(0b0101),
+            NodeId(0b1110),
+        );
+        assert_eq!(route.len(), 5);
+        assert_eq!(route[0], map.injection(NodeId(0b0101)));
+        assert_eq!(*route.last().unwrap(), map.consumption(NodeId(0b1110)));
+        assert!(route[1..4].iter().all(|&c| !map.is_virtual(c)));
+    }
+
+    #[test]
+    fn single_hop_route() {
+        let map = ChannelMap::new(Cube::of(4));
+        let route = map.route(
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+            NodeId(0b1000),
+        );
+        assert_eq!(route, vec![map.external(NodeId(0), Dim(3))]);
+    }
+}

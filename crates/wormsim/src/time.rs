@@ -1,0 +1,162 @@
+//! Simulation time: integer nanoseconds.
+//!
+//! Integer time keeps the event queue exactly deterministic (no float
+//! comparison hazards) and nanosecond resolution comfortably covers the
+//! nCUBE-2's microsecond-scale constants while leaving headroom for
+//! multi-second simulated horizons in a `u64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from nanoseconds.
+    #[inline]
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Constructs from microseconds.
+    #[inline]
+    #[must_use]
+    pub const fn from_us(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    #[inline]
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// The value in nanoseconds.
+    #[inline]
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (fractional) microseconds.
+    #[inline]
+    #[must_use]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The value in (fractional) milliseconds.
+    #[inline]
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction (durations never go negative).
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.as_us())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_us(75).as_ns(), 75_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert!((SimTime::from_ns(450).as_us() - 0.45).abs() < 1e-12);
+        assert!((SimTime::from_us(1_840).as_ms() - 1.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(3);
+        assert_eq!(a + b, SimTime::from_us(13));
+        assert_eq!(a - b, SimTime::from_us(7));
+        assert_eq!(b * 4, SimTime::from_us(12));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let s: SimTime = [a, b, b].into_iter().sum();
+        assert_eq!(s, SimTime::from_us(16));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_us(75).to_string(), "75.000µs");
+        assert_eq!(SimTime::from_ms(2).to_string(), "2.000ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(999) < SimTime::from_us(1));
+    }
+}

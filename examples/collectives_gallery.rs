@@ -1,0 +1,81 @@
+//! Gallery of the collective operations built on the multicast trees:
+//! broadcast, reduction, barrier, scatter, gather, all-to-all broadcast,
+//! and pipelined chunked broadcast — each timed on the simulated nCUBE-2.
+//!
+//! ```text
+//! cargo run -p bench --release --example collectives_gallery
+//! ```
+
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::collectives::{
+    all_to_all_broadcast, barrier, broadcast, gather, scatter, ReductionSchedule,
+};
+use hypercast::{Algorithm, MulticastTree, PortModel};
+use wormsim::{
+    simulate_chunked_multicast, simulate_concurrent_multicasts, simulate_gather,
+    simulate_multicast, simulate_reduction, simulate_scatter, SimParams,
+};
+
+fn main() {
+    let cube = Cube::of(6);
+    let res = Resolution::HighToLow;
+    let port = PortModel::AllPort;
+    let params = SimParams::ncube2(port);
+    let algo = Algorithm::WSort;
+    let root = NodeId(0);
+    let everyone: Vec<NodeId> = cube.nodes().filter(|&v| v != root).collect();
+
+    println!(
+        "collective operations on a {}-cube ({} nodes), W-sort trees, nCUBE-2 parameters\n",
+        cube.dimension(),
+        cube.node_count()
+    );
+
+    // Broadcast: one 4 KB payload to all 63 nodes.
+    let bcast = broadcast(algo, cube, res, port, root).unwrap();
+    let r = simulate_multicast(&bcast, &params, 4096);
+    println!("broadcast        4 KB → all        : {:>10}   ({} steps)", format!("{}", r.max_delay), bcast.steps);
+
+    // Pipelined broadcast: same payload in 8 chunks.
+    let r = simulate_chunked_multicast(&bcast, &params, 4096, 8);
+    println!("broadcast (8-chunk pipeline)       : {:>10}", format!("{}", r.max_delay));
+
+    // Reduction: 64-byte contributions combined to the root.
+    let red = ReductionSchedule::from_multicast(&bcast);
+    let r = simulate_reduction(&red, cube, res, &params, 64);
+    println!("reduction        64 B from all     : {:>10}", format!("{}", r.max_delay));
+
+    // Barrier: reduce + release.
+    let b = barrier(algo, cube, res, port, root).unwrap();
+    let t = simulate_reduction(&b.reduce, cube, res, &params, 16).max_delay
+        + simulate_multicast(&b.release, &params, 16).max_delay;
+    println!("barrier          (reduce + release): {:>10}   ({} steps)", format!("{t}"), b.steps());
+
+    // Scatter: a distinct 1 KB block to every node.
+    let s = scatter(algo, cube, res, port, root, &everyone, 1024).unwrap();
+    let r = simulate_scatter(&s, &params);
+    println!(
+        "scatter          1 KB blocks       : {:>10}   (root injects {} KB, network carries {} KB·hop)",
+        format!("{}", r.max_delay),
+        s.root_bytes() / 1024,
+        s.network_bytes() / 1024
+    );
+
+    // Gather: a distinct 1 KB block from every node.
+    let g = gather(algo, cube, res, port, root, &everyone, 1024).unwrap();
+    let r = simulate_gather(&g, cube, res, &params);
+    println!("gather           1 KB blocks       : {:>10}", format!("{}", r.max_delay));
+
+    // All-to-all broadcast: every node broadcasts 512 B, concurrently.
+    let trees = all_to_all_broadcast(algo, cube, res, port).unwrap();
+    let refs: Vec<&MulticastTree> = trees.iter().collect();
+    let reports = simulate_concurrent_multicasts(&refs, &params, 512);
+    let slowest = reports.iter().map(|r| r.max_delay).max().unwrap();
+    let blocks: u64 = reports.iter().map(|r| r.blocks).sum();
+    println!(
+        "all-to-all bcast 512 B each        : {:>10}   ({} ops, {} cross-op blocking events)",
+        format!("{slowest}"),
+        reports.len(),
+        blocks
+    );
+}

@@ -1,0 +1,79 @@
+//! A realistic scientific-computing scenario: periodic data
+//! redistribution in a data-parallel iteration (the use case the paper's
+//! introduction motivates — HPF-style runtimes and MPI collectives).
+//!
+//! A 10-cube (1024-node) machine runs an iterative solver. Each
+//! iteration:
+//!   1. a coordinator multicasts updated boundary data (4 KB) to the
+//!      subset of nodes whose subdomains changed owners;
+//!   2. all nodes synchronize with a barrier (reduction + release);
+//!   3. the coordinator gathers 64-byte residuals (reduction).
+//!
+//! The example compares the per-iteration communication cost of the four
+//! multicast algorithms.
+//!
+//! ```text
+//! cargo run -p bench --release --example data_redistribution
+//! ```
+
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::collectives::{barrier, ReductionSchedule};
+use hypercast::{Algorithm, PortModel};
+use wormsim::{simulate_multicast, simulate_reduction, SimParams, SimTime};
+
+fn main() {
+    let cube = Cube::of(10);
+    let res = Resolution::HighToLow;
+    let port = PortModel::AllPort;
+    let params = SimParams::ncube2(port);
+    let coordinator = NodeId(0);
+
+    // The repartitioner moved 200 subdomains this iteration; their new
+    // owners are scattered across the machine.
+    let affected: Vec<NodeId> = (0..200u32).map(|i| NodeId((i * 41 + 13) % 1024)).collect();
+
+    println!(
+        "machine: {}-cube ({} nodes) | redistribution: {} affected nodes, 4 KB each",
+        cube.dimension(),
+        cube.node_count(),
+        affected.len()
+    );
+    println!(
+        "\n{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "algorithm", "redistribute", "barrier", "gather", "iteration"
+    );
+
+    for algo in Algorithm::PAPER {
+        // 1. boundary multicast to the affected nodes
+        let mcast = algo.build(cube, res, port, coordinator, &affected).unwrap();
+        let t_mcast = simulate_multicast(&mcast, &params, 4096).max_delay;
+
+        // 2. full-machine barrier rooted at the coordinator
+        let bar = barrier(algo, cube, res, port, coordinator).unwrap();
+        let t_bar = simulate_reduction(&bar.reduce, cube, res, &params, 16).max_delay
+            + simulate_multicast(&bar.release, &params, 16).max_delay;
+
+        // 3. residual gather (reverse of a broadcast tree)
+        let gather_tree =
+            hypercast::collectives::broadcast(algo, cube, res, port, coordinator).unwrap();
+        let gather = ReductionSchedule::from_multicast(&gather_tree);
+        let t_gather = simulate_reduction(&gather, cube, res, &params, 64).max_delay;
+
+        let total: SimTime = t_mcast + t_bar + t_gather;
+        println!(
+            "{:>10} {:>14} {:>14} {:>14} {:>14}",
+            algo.name(),
+            format!("{t_mcast}"),
+            format!("{t_bar}"),
+            format!("{t_gather}"),
+            format!("{total}"),
+        );
+    }
+
+    println!(
+        "\nThe multicast phase dominates and is where the all-port-aware\n\
+         algorithms (Maxport/Combine/W-sort) pay off; barrier and gather\n\
+         costs are similar across algorithms because a full-machine\n\
+         broadcast tree is the binomial tree for all of them."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a multicast tree, check it is contention-free, and
+//! measure its delay on the simulated nCUBE-2.
+//!
+//! ```text
+//! cargo run -p bench --release --example quickstart
+//! ```
+
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::contention::is_contention_free;
+use hypercast::{Algorithm, PortModel};
+use wormsim::{simulate_multicast, SimParams};
+
+fn main() {
+    // An 8-cube (256 nodes), all-port wormhole routers, as on an nCUBE-2.
+    let cube = Cube::of(8);
+    let resolution = Resolution::HighToLow;
+    let port = PortModel::AllPort;
+
+    // Multicast a 4 KB payload from node 0 to 40 scattered destinations.
+    let source = NodeId(0);
+    let dests: Vec<NodeId> = (1..=40u32).map(|i| NodeId(i * 6 % 256)).collect();
+
+    println!("multicast: {} destinations in an {}-cube\n", dests.len(), cube.dimension());
+    println!(
+        "{:>10} {:>6} {:>10} {:>12} {:>12} {:>8}",
+        "algorithm", "steps", "messages", "avg delay", "max delay", "blocks"
+    );
+
+    let params = SimParams::ncube2(port);
+    for algo in Algorithm::PAPER {
+        let tree = algo
+            .build(cube, resolution, port, source, &dests)
+            .expect("valid multicast request");
+        assert!(!algo.contention_free_all_port() || is_contention_free(&tree));
+        let report = simulate_multicast(&tree, &params, 4096);
+        println!(
+            "{:>10} {:>6} {:>10} {:>12} {:>12} {:>8}",
+            algo.name(),
+            tree.steps,
+            tree.message_count(),
+            format!("{}", report.avg_delay),
+            format!("{}", report.max_delay),
+            report.blocks,
+        );
+    }
+
+    // Show the winning tree.
+    let tree = Algorithm::WSort
+        .build(cube, resolution, port, source, &dests[..8])
+        .unwrap();
+    println!("\nW-sort tree for the first 8 destinations:\n{}", tree.render());
+}
