@@ -2,7 +2,7 @@
 //! size (the substrate the delay figures stand on).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hcube::{Cube, Resolution, NodeId};
+use hcube::{Cube, NodeId, Resolution};
 use hypercast::{collectives::broadcast, Algorithm, PortModel};
 use wormsim::{simulate_multicast, SimParams};
 

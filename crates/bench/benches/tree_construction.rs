@@ -13,24 +13,20 @@ fn bench_construction(c: &mut Criterion) {
         let mut rng = trial_rng("bench_construction", m, 0);
         let dests = random_dests(&mut rng, cube, NodeId(0), m);
         for algo in Algorithm::PAPER {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), m),
-                &dests,
-                |b, dests| {
-                    b.iter(|| {
-                        std::hint::black_box(
-                            algo.build(
-                                cube,
-                                Resolution::HighToLow,
-                                PortModel::AllPort,
-                                NodeId(0),
-                                dests,
-                            )
-                            .unwrap(),
+            g.bench_with_input(BenchmarkId::new(algo.name(), m), &dests, |b, dests| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        algo.build(
+                            cube,
+                            Resolution::HighToLow,
+                            PortModel::AllPort,
+                            NodeId(0),
+                            dests,
                         )
-                    })
-                },
-            );
+                        .unwrap(),
+                    )
+                })
+            });
         }
     }
     g.finish();

@@ -15,7 +15,13 @@ fn bench_verification(c: &mut Criterion) {
         let mut rng = trial_rng("bench_verification", m, 0);
         let dests = random_dests(&mut rng, cube, NodeId(0), m);
         let tree = Algorithm::WSort
-            .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+            .build(
+                cube,
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &dests,
+            )
             .unwrap();
         g.bench_with_input(BenchmarkId::new("contention_checker", m), &tree, |b, t| {
             b.iter(|| std::hint::black_box(contention_witnesses(t)))
@@ -23,14 +29,8 @@ fn bench_verification(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("protocol_execute", m), &dests, |b, d| {
             b.iter(|| {
                 std::hint::black_box(
-                    protocol::execute(
-                        Algorithm::WSort,
-                        cube,
-                        Resolution::HighToLow,
-                        NodeId(0),
-                        d,
-                    )
-                    .unwrap(),
+                    protocol::execute(Algorithm::WSort, cube, Resolution::HighToLow, NodeId(0), d)
+                        .unwrap(),
                 )
             })
         });

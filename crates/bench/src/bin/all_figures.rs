@@ -3,7 +3,7 @@
 //! `results/`. Pass `--trials N` to override the per-point trial count
 //! (applied to all experiments) for a quicker pass.
 
-use workloads::{ablations, figures};
+use workloads::{ablations, faultsweep, figures};
 
 fn main() {
     let steps_trials = bench::trials_arg(figures::PAPER_TRIALS_STEPS);
@@ -32,4 +32,7 @@ fn main() {
     bench::emit(&ablations::ablation_concurrency(ncube_trials));
     bench::emit(&ablations::ablation_model_fidelity(ncube_trials));
     bench::emit(&ablations::ablation_kport(ncube_trials));
+
+    eprintln!("== fault injection (robustness) ==");
+    bench::emit(&faultsweep::fault_sweep(ncube_trials));
 }

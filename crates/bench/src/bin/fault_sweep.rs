@@ -1,0 +1,9 @@
+//! Regenerates the fault-injection sweep (robustness extension):
+//! delivery ratio and makespan of a W-sort multicast vs number of dead
+//! directed links, unrepaired vs repaired with `hypercast::repair`.
+//! Archives `results/fault_sweep.{txt,json}`.
+
+fn main() {
+    let trials = bench::trials_arg(20);
+    bench::emit(&workloads::faultsweep::fault_sweep(trials));
+}

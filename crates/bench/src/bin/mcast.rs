@@ -4,13 +4,19 @@
 //! ```text
 //! cargo run -p bench --release --bin mcast -- \
 //!     --n 6 --algo wsort --port all --source 0 --dests 3,9,17,33,60 \
-//!     --bytes 4096 [--random 20] [--seed 7] [--trace] [--json]
+//!     --bytes 4096 [--random 20] [--seed 7] [--trace] [--json] \
+//!     [--faults K] [--fail-link V:D]... [--fail-node V]...
 //! ```
+//!
+//! With any fault flag, each tree is additionally replayed over the
+//! faulty network (delivery ratio, makespan) and then repaired with
+//! `hypercast::repair` and replayed again.
 
-use hcube::{Cube, NodeId, Resolution};
+use hcube::{Cube, Dim, NodeId, Resolution};
 use hypercast::contention::contention_witnesses;
+use hypercast::repair::{repair, NetworkFaults};
 use hypercast::{Algorithm, PortModel};
-use wormsim::{simulate, ChannelTrace, DepMessage, SimParams, SimTime};
+use wormsim::{simulate, ChannelTrace, DepMessage, FaultPlan, SimParams, SimTime};
 
 struct Args {
     n: u8,
@@ -23,6 +29,9 @@ struct Args {
     bytes: u32,
     trace: bool,
     json: bool,
+    faults: usize,
+    fail_links: Vec<(u32, u8)>,
+    fail_nodes: Vec<u32>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,13 +46,18 @@ fn parse_args() -> Result<Args, String> {
         bytes: 4096,
         trace: false,
         json: false,
+        faults: 0,
+        fail_links: Vec::new(),
+        fail_nodes: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let take = |i: &mut usize| -> Result<&str, String> {
             *i += 1;
-            argv.get(*i).map(String::as_str).ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+            argv.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--n" => args.n = take(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
@@ -71,23 +85,63 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown port model {other}")),
                 }
             }
-            "--source" => args.source = take(&mut i)?.parse().map_err(|e| format!("--source: {e}"))?,
+            "--source" => {
+                args.source = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--source: {e}"))?
+            }
             "--dests" => {
                 args.dests = take(&mut i)?
                     .split(',')
                     .map(|s| s.trim().parse().map_err(|e| format!("--dests: {e}")))
                     .collect::<Result<_, _>>()?;
             }
-            "--random" => args.random = Some(take(&mut i)?.parse().map_err(|e| format!("--random: {e}"))?),
+            "--random" => {
+                args.random = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--random: {e}"))?,
+                )
+            }
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--bytes" => args.bytes = take(&mut i)?.parse().map_err(|e| format!("--bytes: {e}"))?,
             "--trace" => args.trace = true,
             "--json" => args.json = true,
+            "--faults" => {
+                args.faults = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?
+            }
+            "--fail-link" => {
+                let v = take(&mut i)?;
+                let (node, dim) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--fail-link: expected V:D, got {v}"))?;
+                args.fail_links.push((
+                    node.trim()
+                        .parse()
+                        .map_err(|e| format!("--fail-link node: {e}"))?,
+                    dim.trim()
+                        .parse()
+                        .map_err(|e| format!("--fail-link dim: {e}"))?,
+                ));
+            }
+            "--fail-node" => args.fail_nodes.push(
+                take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--fail-node: {e}"))?,
+            ),
             "--help" | "-h" => {
                 println!(
                     "usage: mcast --n <dim> [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
                      \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
-                     \x20             [--bytes B] [--trace] [--json]"
+                     \x20             [--bytes B] [--trace] [--json]\n\
+                     \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
+                     \n\
+                     fault injection: --faults K kills K random directed links (seeded by --seed);\n\
+                     --fail-link V:D kills the channel leaving node V in dimension D;\n\
+                     --fail-node V kills node V. Each tree is then replayed over the faulty\n\
+                     network, repaired with hypercast::repair, and replayed again."
                 );
                 std::process::exit(0);
             }
@@ -123,6 +177,24 @@ fn main() {
         args.dests.iter().copied().map(NodeId).collect()
     };
 
+    // Assemble the fault plan, if any fault flag was given.
+    let mut plan = FaultPlan::random_links(cube, args.faults, args.seed);
+    for &(v, d) in &args.fail_links {
+        if v >= cube.node_count() as u32 || d >= args.n {
+            eprintln!("error: --fail-link {v}:{d} outside the {}-cube", args.n);
+            std::process::exit(2);
+        }
+        plan.fail_link(NodeId(v), Dim(d));
+    }
+    for &v in &args.fail_nodes {
+        if v >= cube.node_count() as u32 {
+            eprintln!("error: --fail-node {v} outside the {}-cube", args.n);
+            std::process::exit(2);
+        }
+        plan.fail_node(NodeId(v));
+    }
+    let faulty = !plan.is_empty();
+
     let params = SimParams::ncube2(args.port);
     let algos: Vec<Algorithm> = match args.algo {
         Some(a) => vec![a],
@@ -137,8 +209,13 @@ fn main() {
         args.bytes
     );
     for algo in algos {
-        let tree = match algo.build(cube, Resolution::HighToLow, args.port, NodeId(args.source), &dests)
-        {
+        let tree = match algo.build(
+            cube,
+            Resolution::HighToLow,
+            args.port,
+            NodeId(args.source),
+            &dests,
+        ) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -157,8 +234,38 @@ fn main() {
             report.max_delay,
             report.blocks
         );
+        if faulty {
+            match wormsim::simulate_multicast_with_faults(&tree, &params, args.bytes, &plan) {
+                Ok(r) => println!(
+                    "{:>9}  faulty net: delivered {}/{} (ratio {:.3}), makespan {}",
+                    "",
+                    r.deliveries.len(),
+                    r.deliveries.len() + r.lost.len(),
+                    r.delivery_ratio,
+                    r.makespan
+                ),
+                Err(e) => println!("{:>9}  faulty net: {e}", ""),
+            }
+            let fixed = repair(&tree, &NetworkFaults::from(&plan));
+            match wormsim::simulate_multicast_with_faults(&fixed.tree, &params, args.bytes, &plan) {
+                Ok(r) => println!(
+                    "{:>9}  repaired:   delivered {}/{} (ratio {:.3}), makespan {}, \
+                     {} rerouted, {} dropped, {} unreachable, +{} steps",
+                    "",
+                    r.deliveries.len(),
+                    r.deliveries.len() + r.lost.len(),
+                    r.delivery_ratio,
+                    r.makespan,
+                    fixed.rerouted.len(),
+                    fixed.dropped.len(),
+                    fixed.unreachable.len(),
+                    fixed.extra_steps
+                ),
+                Err(e) => println!("{:>9}  repaired:   {e}", ""),
+            }
+        }
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&tree).expect("tree serializes"));
+            println!("{}", tree.to_json());
         }
         if args.algo.is_some() && !args.json {
             println!("\n{}", tree.render());

@@ -27,8 +27,7 @@ pub fn emit(figure: &Figure) {
     artifact.push('\n');
     artifact.push_str(&plot);
     std::fs::write(dir.join(format!("{}.txt", figure.id)), artifact).expect("write txt");
-    std::fs::write(dir.join(format!("{}.json", figure.id)), figure.to_json())
-        .expect("write json");
+    std::fs::write(dir.join(format!("{}.json", figure.id)), figure.to_json()).expect("write json");
     eprintln!("[saved results/{0}.txt results/{0}.json]", figure.id);
 }
 

@@ -14,7 +14,7 @@ use std::fmt;
 /// Addresses are plain `u32` bit patterns; a [`crate::Cube`] of dimension
 /// `n` contains the addresses `0..2^n`. The newtype keeps node addresses
 /// from being confused with dimensions, counts, or channel indices.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -107,7 +107,7 @@ impl From<u32> for NodeId {
 ///
 /// Channel `d` of node `x` connects `x` to `x ⊕ 2^d`; a message using that
 /// channel is said to *travel in dimension `d`*.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Dim(pub u8);
 
 impl fmt::Debug for Dim {

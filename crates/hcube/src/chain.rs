@@ -188,11 +188,17 @@ fn check_rec(chain: &[NodeId], base: usize, s: Subcube) -> Result<(), usize> {
 /// If the segment is empty or `n_s == 0` with more than one element.
 #[must_use]
 pub fn cube_center(segment: &[NodeId], n_s: u8) -> usize {
-    assert!(!segment.is_empty(), "cube_center requires a non-empty segment");
+    assert!(
+        !segment.is_empty(),
+        "cube_center requires a non-empty segment"
+    );
     if segment.len() == 1 {
         return 1;
     }
-    assert!(n_s >= 1, "multiple nodes cannot share a 0-dimensional subcube");
+    assert!(
+        n_s >= 1,
+        "multiple nodes cannot share a 0-dimensional subcube"
+    );
     let enclosing = Subcube::new(n_s, segment[0].0 >> n_s);
     let h0 = enclosing.high_half(segment[0]);
     segment
@@ -224,7 +230,9 @@ mod tests {
     #[test]
     fn relative_chain_of_figure_5() {
         // Source 0100, destinations of Figure 5; expected Φ from the paper.
-        let dests = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111]);
+        let dests = ids(&[
+            0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111,
+        ]);
         let chain = relative_chain(Resolution::HighToLow, 4, NodeId(0b0100), &dests).unwrap();
         assert_eq!(
             chain,

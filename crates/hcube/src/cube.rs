@@ -10,7 +10,7 @@ use crate::error::HcubeError;
 /// `‖u ⊕ v‖ = 1`.
 ///
 /// `Cube` is a lightweight value (one byte of state) passed by copy.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Cube {
     n: u8,
 }

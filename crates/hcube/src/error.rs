@@ -49,7 +49,10 @@ impl fmt::Display for HcubeError {
                 write!(f, "node address {node} does not fit in a {n}-cube")
             }
             HcubeError::NotDimensionOrdered { at } => {
-                write!(f, "chain is not dimension-ordered (violation at index {at})")
+                write!(
+                    f,
+                    "chain is not dimension-ordered (violation at index {at})"
+                )
             }
             HcubeError::NotCubeOrdered { at } => {
                 write!(f, "chain is not cube-ordered (violation at index {at})")
@@ -71,7 +74,10 @@ mod tests {
     fn display_messages_are_descriptive() {
         let e = HcubeError::BadDimension { n: 0 };
         assert!(e.to_string().contains("dimension 0"));
-        let e = HcubeError::NodeOutOfRange { node: NodeId(9), n: 3 };
+        let e = HcubeError::NodeOutOfRange {
+            node: NodeId(9),
+            n: 3,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3-cube"));
         let e = HcubeError::NotDimensionOrdered { at: 2 };

@@ -8,7 +8,7 @@ use crate::routing::{Resolution, RouteDims};
 ///
 /// Two unicasts *contend* only if they occupy a common `Channel` at the
 /// same time; paths with no common channel are *arc-disjoint*.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Channel {
     /// The node the arc leaves.
     pub from: NodeId,
@@ -45,7 +45,11 @@ impl Path {
     #[inline]
     #[must_use]
     pub fn new(resolution: Resolution, src: NodeId, dst: NodeId) -> Path {
-        Path { src, dst, resolution }
+        Path {
+            src,
+            dst,
+            resolution,
+        }
     }
 
     /// The number of hops, `‖u ⊕ v‖`.
@@ -213,10 +217,22 @@ mod tests {
     #[test]
     fn uses_detects_membership() {
         let path = p(0b0101, 0b1110);
-        assert!(path.uses(Channel { from: NodeId(0b0101), dim: Dim(3) }));
-        assert!(path.uses(Channel { from: NodeId(0b1111), dim: Dim(0) }));
-        assert!(!path.uses(Channel { from: NodeId(0b0101), dim: Dim(0) }));
+        assert!(path.uses(Channel {
+            from: NodeId(0b0101),
+            dim: Dim(3)
+        }));
+        assert!(path.uses(Channel {
+            from: NodeId(0b1111),
+            dim: Dim(0)
+        }));
+        assert!(!path.uses(Channel {
+            from: NodeId(0b0101),
+            dim: Dim(0)
+        }));
         // Reverse direction of a used link is a *different* channel.
-        assert!(!path.uses(Channel { from: NodeId(0b1101), dim: Dim(3) }));
+        assert!(!path.uses(Channel {
+            from: NodeId(0b1101),
+            dim: Dim(3)
+        }));
     }
 }

@@ -10,7 +10,7 @@
 use crate::addr::{delta_high, delta_low, Dim, NodeId};
 
 /// The address-resolution order of the deterministic router.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Resolution {
     /// Resolve the highest-order differing bit first (the paper's default).
     HighToLow,

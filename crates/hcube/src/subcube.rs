@@ -23,7 +23,7 @@ use crate::addr::NodeId;
 /// assert_eq!((lo.min_node().0, lo.max_node().0), (8, 11));
 /// assert_eq!((hi.min_node().0, hi.max_node().0), (12, 15));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Subcube {
     /// The subcube's dimensionality `n_S`.
     pub dim: u8,
@@ -86,8 +86,14 @@ impl Subcube {
         assert!(self.dim >= 1, "a 0-dimensional subcube has no halves");
         let d = self.dim - 1;
         (
-            Subcube { dim: d, mask: self.mask << 1 },
-            Subcube { dim: d, mask: (self.mask << 1) | 1 },
+            Subcube {
+                dim: d,
+                mask: self.mask << 1,
+            },
+            Subcube {
+                dim: d,
+                mask: (self.mask << 1) | 1,
+            },
         )
     }
 
@@ -127,7 +133,10 @@ impl Subcube {
             Some(d) => d.0 + 1,
             None => 0,
         };
-        Subcube { dim, mask: u.0 >> dim }
+        Subcube {
+            dim,
+            mask: u.0 >> dim,
+        }
     }
 
     /// The smallest subcube containing every node of a non-empty set.
@@ -138,7 +147,10 @@ impl Subcube {
     pub fn enclosing_set<I: IntoIterator<Item = NodeId>>(nodes: I) -> Subcube {
         let mut it = nodes.into_iter();
         let first = it.next().expect("enclosing_set requires a non-empty set");
-        let mut acc = Subcube { dim: 0, mask: first.0 };
+        let mut acc = Subcube {
+            dim: 0,
+            mask: first.0,
+        };
         for v in it {
             if !acc.contains(v) {
                 let grown = Subcube::enclosing_pair(acc.min_node(), v);
@@ -184,8 +196,7 @@ mod tests {
         for dim in 0..=4u8 {
             for mask in 0..(1u32 << (4 - dim)) {
                 let s = Subcube::new(dim, mask);
-                let members: Vec<u32> =
-                    (0..16).filter(|&v| s.contains(NodeId(v))).collect();
+                let members: Vec<u32> = (0..16).filter(|&v| s.contains(NodeId(v))).collect();
                 for w in members.windows(2) {
                     assert_eq!(w[1], w[0] + 1, "subcube addresses must be contiguous");
                 }
@@ -216,7 +227,10 @@ mod tests {
             let t = Subcube::new(smaller, NodeId(0b1011).0 >> smaller);
             assert!(!(t.contains(NodeId(0b1011)) && t.contains(NodeId(0b1100))));
         }
-        assert_eq!(Subcube::enclosing_pair(NodeId(5), NodeId(5)), Subcube::new(0, 5));
+        assert_eq!(
+            Subcube::enclosing_pair(NodeId(5), NodeId(5)),
+            Subcube::new(0, 5)
+        );
     }
 
     #[test]

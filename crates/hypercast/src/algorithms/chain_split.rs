@@ -44,8 +44,7 @@ pub(crate) fn chain_split_plan(chain: &[NodeId], rule: SplitRule) -> SendPlan {
             // x: position of the first bit difference between the local
             // address and the chain's last address — the highest dimension
             // spanned by the remaining chain.
-            let x = delta_high(chain[left], chain[right])
-                .expect("chain elements are distinct");
+            let x = delta_high(chain[left], chain[right]).expect("chain elements are distinct");
             // d_highdim: the leftmost destination whose first difference
             // from d_left is x. δ(d_left, ·) is monotone along a
             // dimension-ordered chain, so binary search applies.

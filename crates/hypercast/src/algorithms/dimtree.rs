@@ -104,7 +104,9 @@ mod tests {
         // The paper's Figure 3(a) notes non-destination relays are needed
         // for this destination set (it lists five under its tree shape;
         // the canonical dimensional tree needs some relays too).
-        let dests = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]);
+        let dests = ids(&[
+            0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+        ]);
         let (nodes, plan) = dimtree_plan(&dests, 4);
         let received: Vec<NodeId> = plan
             .iter()

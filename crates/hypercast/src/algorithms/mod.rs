@@ -27,7 +27,7 @@ use hcube::chain::relative_chain;
 use hcube::{Cube, HcubeError, NodeId, Resolution};
 
 /// A multicast tree-construction algorithm.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Algorithm {
     /// U-cube [McKinley et al. '92]: optimal on one-port architectures;
     /// oblivious to multiple ports.
@@ -49,8 +49,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// The four algorithms the paper's evaluation compares.
-    pub const PAPER: [Algorithm; 4] =
-        [Algorithm::UCube, Algorithm::Maxport, Algorithm::Combine, Algorithm::WSort];
+    pub const PAPER: [Algorithm; 4] = [
+        Algorithm::UCube,
+        Algorithm::Maxport,
+        Algorithm::Combine,
+        Algorithm::WSort,
+    ];
 
     /// Every implemented algorithm, including the baselines.
     pub const ALL: [Algorithm; 6] = [
@@ -133,7 +137,9 @@ impl Algorithm {
                 plan
             }
         };
-        Ok(schedule(cube, resolution, source, &chain, &plan, port_model))
+        Ok(schedule(
+            cube, resolution, source, &chain, &plan, port_model,
+        ))
     }
 }
 
@@ -151,13 +157,7 @@ mod tests {
         v.iter().copied().map(NodeId).collect()
     }
 
-    fn build(
-        algo: Algorithm,
-        n: u8,
-        port: PortModel,
-        source: u32,
-        dests: &[u32],
-    ) -> MulticastTree {
+    fn build(algo: Algorithm, n: u8, port: PortModel, source: u32, dests: &[u32]) -> MulticastTree {
         algo.build(
             Cube::of(n),
             Resolution::HighToLow,
@@ -179,7 +179,9 @@ mod tests {
             4,
             PortModel::AllPort,
             0b0000,
-            &[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111],
+            &[
+                0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+            ],
         );
         assert_eq!(t.steps, 4);
         // The delayed unicast: 1011 received at step 3.
@@ -195,7 +197,9 @@ mod tests {
             4,
             PortModel::OnePort,
             0b0000,
-            &[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111],
+            &[
+                0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+            ],
         );
         assert_eq!(t.steps, 4);
     }
@@ -208,7 +212,9 @@ mod tests {
             4,
             PortModel::AllPort,
             0b0000,
-            &[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111],
+            &[
+                0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+            ],
         );
         assert_eq!(t.steps, 2);
     }
@@ -222,7 +228,9 @@ mod tests {
             4,
             PortModel::OnePort,
             0b0100,
-            &[0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111],
+            &[
+                0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111,
+            ],
         );
         assert_eq!(t.steps, 4);
         assert_eq!(t.message_count(), 8);
@@ -247,23 +255,40 @@ mod tests {
     #[test]
     fn figure_8_step_counts() {
         let dests = [1, 3, 5, 7, 11, 12, 14, 15];
-        assert_eq!(build(Algorithm::UCube, 4, PortModel::AllPort, 0, &dests).steps, 4);
-        assert_eq!(build(Algorithm::Maxport, 4, PortModel::AllPort, 0, &dests).steps, 4);
-        assert_eq!(build(Algorithm::WSort, 4, PortModel::AllPort, 0, &dests).steps, 2);
+        assert_eq!(
+            build(Algorithm::UCube, 4, PortModel::AllPort, 0, &dests).steps,
+            4
+        );
+        assert_eq!(
+            build(Algorithm::Maxport, 4, PortModel::AllPort, 0, &dests).steps,
+            4
+        );
+        assert_eq!(
+            build(Algorithm::WSort, 4, PortModel::AllPort, 0, &dests).steps,
+            2
+        );
     }
 
     #[test]
     fn separate_addressing_step_counts() {
         // One-port: m steps. All-port: destinations split across channels.
         let dests = [1, 2, 3];
-        assert_eq!(build(Algorithm::Separate, 3, PortModel::OnePort, 0, &dests).steps, 3);
+        assert_eq!(
+            build(Algorithm::Separate, 3, PortModel::OnePort, 0, &dests).steps,
+            3
+        );
         // Channels: 1→dim0, 2→dim1, 3→dim1 (δ(0,3)=1): dim1 serializes.
-        assert_eq!(build(Algorithm::Separate, 3, PortModel::AllPort, 0, &dests).steps, 2);
+        assert_eq!(
+            build(Algorithm::Separate, 3, PortModel::AllPort, 0, &dests).steps,
+            2
+        );
     }
 
     #[test]
     fn dimtree_reaches_all_with_single_hops() {
-        let dests = [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111];
+        let dests = [
+            0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+        ];
         let t = build(Algorithm::DimTree, 4, PortModel::OnePort, 0, &dests);
         assert!(t.unicasts.iter().all(|u| u.src.distance(u.dst) == 1));
         for &d in &dests {
@@ -277,10 +302,18 @@ mod tests {
         let c = Cube::of(3);
         let r = Resolution::HighToLow;
         let p = PortModel::AllPort;
-        assert!(Algorithm::UCube.build(c, r, p, NodeId(9), &ids(&[1])).is_err());
-        assert!(Algorithm::UCube.build(c, r, p, NodeId(0), &ids(&[9])).is_err());
-        assert!(Algorithm::UCube.build(c, r, p, NodeId(0), &ids(&[1, 1])).is_err());
-        assert!(Algorithm::UCube.build(c, r, p, NodeId(1), &ids(&[1])).is_err());
+        assert!(Algorithm::UCube
+            .build(c, r, p, NodeId(9), &ids(&[1]))
+            .is_err());
+        assert!(Algorithm::UCube
+            .build(c, r, p, NodeId(0), &ids(&[9]))
+            .is_err());
+        assert!(Algorithm::UCube
+            .build(c, r, p, NodeId(0), &ids(&[1, 1]))
+            .is_err());
+        assert!(Algorithm::UCube
+            .build(c, r, p, NodeId(1), &ids(&[1]))
+            .is_err());
     }
 
     #[test]

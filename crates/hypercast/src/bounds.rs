@@ -74,7 +74,9 @@ pub fn min_steps_port_limited(
         cube.check_node(d)?;
     }
     if dests.len() > MAX_EXACT_DESTS {
-        return Err(HcubeError::BadDimension { n: dests.len().min(255) as u8 });
+        return Err(HcubeError::BadDimension {
+            n: dests.len().min(255) as u8,
+        });
     }
     if dests.is_empty() {
         return Ok(0);
@@ -129,8 +131,12 @@ fn feasible_one_step(
     port_model: PortModel,
     n: u8,
 ) -> bool {
-    let receivers: Vec<usize> = (0..chain.len()).filter(|i| targets & (1 << i) != 0).collect();
-    let senders: Vec<usize> = (0..chain.len()).filter(|i| informed & (1 << i) != 0).collect();
+    let receivers: Vec<usize> = (0..chain.len())
+        .filter(|i| targets & (1 << i) != 0)
+        .collect();
+    let senders: Vec<usize> = (0..chain.len())
+        .filter(|i| informed & (1 << i) != 0)
+        .collect();
     match port_model {
         PortModel::OnePort => receivers.len() <= senders.len(),
         PortModel::KPort(k) => {
@@ -236,7 +242,9 @@ mod tests {
             &[1],
             &[1, 2],
             &[1, 2, 4, 8],
-            &[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111],
+            &[
+                0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+            ],
         ];
         for dests in cases {
             let exact = min_steps_port_limited(
@@ -254,7 +262,9 @@ mod tests {
     #[test]
     fn exact_all_port_on_figure_3e_set_is_two() {
         // W-sort achieves 2 steps on this set, and 2 is exactly optimal.
-        let dests = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]);
+        let dests = ids(&[
+            0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+        ]);
         let exact = min_steps_port_limited(
             Cube::of(4),
             Resolution::HighToLow,

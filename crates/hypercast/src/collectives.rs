@@ -79,7 +79,11 @@ impl ReductionSchedule {
             })
             .collect();
         unicasts.sort_by_key(|u| (u.step, u.src, u.order));
-        ReductionSchedule { root: tree.source, unicasts, steps }
+        ReductionSchedule {
+            root: tree.source,
+            unicasts,
+            steps,
+        }
     }
 
     /// Checks the combining constraint: every node sends to its parent
@@ -172,7 +176,10 @@ pub fn scatter(
         .iter()
         .map(|u| u64::from(block_bytes) * tree.reachable_set(u.dst).len() as u64)
         .collect();
-    Ok(ScatterSchedule { tree, bytes_per_edge })
+    Ok(ScatterSchedule {
+        tree,
+        bytes_per_edge,
+    })
 }
 
 /// A gather schedule: the inverse of [`scatter`] — every destination

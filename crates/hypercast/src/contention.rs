@@ -64,7 +64,11 @@ pub fn contention_witnesses(tree: &MulticastTree) -> Vec<Contention> {
                 continue; // Definition 4, condition 2
             }
             if let Some(arc) = shared_arc(e.path(res), l.path(res)) {
-                witnesses.push(Contention { earlier: e, later: l, arc });
+                witnesses.push(Contention {
+                    earlier: e,
+                    later: l,
+                    arc,
+                });
             }
         }
     }
@@ -96,7 +100,12 @@ mod tests {
     use hcube::{Cube, Resolution};
 
     fn u(src: u32, dst: u32, step: u32, order: u32) -> Unicast {
-        Unicast { src: NodeId(src), dst: NodeId(dst), step, order }
+        Unicast {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            step,
+            order,
+        }
     }
 
     fn tree(unicasts: Vec<Unicast>) -> MulticastTree {
@@ -158,15 +167,15 @@ mod tests {
         // 1101→0101→0111. Shares arc 0101→0111.
         // 1101 is not in R_{0001} (they are unrelated senders here).
         let t = tree(vec![
-            u(0, 0b0001, 1, 0) /* make 0001 informed */,
+            u(0, 0b0001, 1, 0), /* make 0001 informed */
             u(0, 0b1101, 1, 1),
             u(0b0001, 0b0110, 2, 0),
             u(0b1101, 0b0111, 3, 0),
         ]);
         let w = contention_witnesses(&t);
         assert!(
-            w.iter().any(|c| c.arc.from == NodeId(0b0101)
-                && c.arc.to() == NodeId(0b0111)),
+            w.iter()
+                .any(|c| c.arc.from == NodeId(0b0101) && c.arc.to() == NodeId(0b0111)),
             "expected shared arc 0101→0111, got {w:?}"
         );
     }

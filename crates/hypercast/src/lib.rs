@@ -13,6 +13,8 @@
 //!   Theorem 5's guarantees;
 //! * [`contention`] — the exact Definition 4 contention-freedom checker;
 //! * [`verify`] — structural tree validation shared by the test suites;
+//! * [`repair`] — fault-tolerant tree repair around dead links and nodes
+//!   (robustness extension beyond the paper);
 //! * [`bounds`] — step lower bounds and an exact port-limited optimum for
 //!   small instances;
 //! * [`collectives`] — broadcast / reduction / barrier built on the trees
@@ -49,10 +51,12 @@ pub mod bounds;
 pub mod collectives;
 pub mod contention;
 pub mod protocol;
+pub mod repair;
 pub mod schedule;
 pub mod tree;
 pub mod verify;
 
 pub use algorithms::Algorithm;
+pub use repair::{NetworkFaults, RepairOutcome};
 pub use schedule::PortModel;
 pub use tree::{MulticastTree, Unicast};

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 /// The number of internal channel pairs connecting each local processor
 /// to its router (Section 1 of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PortModel {
     /// One pair of internal channels: sends (and receives) serialize.
     OnePort,
@@ -219,7 +219,15 @@ mod tests {
         let chain = ids(&[0b0000, 0b0001, 0b0010, 0b0100, 0b1000]);
         let plan: SendPlan = vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]];
         let steps = |port: PortModel| {
-            schedule(Cube::of(4), Resolution::HighToLow, NodeId(0), &chain, &plan, port).steps
+            schedule(
+                Cube::of(4),
+                Resolution::HighToLow,
+                NodeId(0),
+                &chain,
+                &plan,
+                port,
+            )
+            .steps
         };
         assert_eq!(steps(PortModel::AllPort), 1);
         assert_eq!(steps(PortModel::KPort(2)), 2);

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 
 /// One constituent unicast `(u, v, P(u, v), t)` of a multicast
 /// implementation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Unicast {
     /// The sending node `u` (the source or an earlier destination).
     pub src: NodeId,
@@ -44,7 +44,7 @@ impl Unicast {
 /// * every destination appears as `dst` of exactly one unicast;
 /// * every `src` is the source or a node that received in an earlier step;
 /// * `steps` is the maximum step over all unicasts.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MulticastTree {
     /// The cube the multicast runs in.
     pub cube: Cube,
@@ -71,7 +71,13 @@ impl MulticastTree {
     ) -> MulticastTree {
         unicasts.sort_by_key(|u| (u.step, u.src, u.order));
         let steps = unicasts.iter().map(|u| u.step).max().unwrap_or(0);
-        MulticastTree { cube, resolution, source, unicasts, steps }
+        MulticastTree {
+            cube,
+            resolution,
+            source,
+            unicasts,
+            steps,
+        }
     }
 
     /// The nodes that receive the payload (every `dst`), in receipt order.
@@ -153,6 +159,39 @@ impl MulticastTree {
         relays
     }
 
+    /// Serializes the tree as pretty JSON (hand-written; the workspace
+    /// carries no serialization dependency).
+    ///
+    /// The output is a flat object — cube dimension, resolution order,
+    /// source, step count, and one record per constituent unicast — so
+    /// external tooling can consume trees without knowing this crate.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"cube\": {},", self.cube.dimension());
+        let _ = writeln!(out, "  \"resolution\": \"{:?}\",", self.resolution);
+        let _ = writeln!(out, "  \"source\": {},", self.source.0);
+        let _ = writeln!(out, "  \"steps\": {},", self.steps);
+        out.push_str("  \"unicasts\": [");
+        for (i, u) in self.unicasts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"src\": {}, \"dst\": {}, \"step\": {}, \"order\": {}}}",
+                u.src.0, u.dst.0, u.step, u.order
+            );
+        }
+        if self.unicasts.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push('}');
+        out
+    }
+
     /// Renders the tree in Graphviz DOT format: nodes labeled with binary
     /// addresses, edges labeled with their step, intermediate E-cube
     /// routers drawn as points on multi-hop unicasts.
@@ -168,12 +207,7 @@ impl MulticastTree {
             self.source.binary(n)
         );
         for u in &self.unicasts {
-            let _ = writeln!(
-                out,
-                "  \"{}\" [label=\"{}\"];",
-                u.dst.0,
-                u.dst.binary(n)
-            );
+            let _ = writeln!(out, "  \"{}\" [label=\"{}\"];", u.dst.0, u.dst.binary(n));
             let path = Path::new(self.resolution, u.src, u.dst);
             if path.hops() <= 1 {
                 let _ = writeln!(
@@ -187,11 +221,8 @@ impl MulticastTree {
                 for w in nodes.windows(2) {
                     let (a, b) = (w[0], w[1]);
                     if b != u.dst {
-                        let _ = writeln!(
-                            out,
-                            "  \"r{}_{}\" [shape=point,label=\"\"];",
-                            u.dst.0, b.0
-                        );
+                        let _ =
+                            writeln!(out, "  \"r{}_{}\" [shape=point,label=\"\"];", u.dst.0, b.0);
                     }
                     let aa = if a == u.src {
                         format!("\"{}\"", a.0)
@@ -345,7 +376,12 @@ mod tests {
             Cube::of(3),
             Resolution::HighToLow,
             NodeId(0),
-            vec![Unicast { src: NodeId(0), dst: NodeId(7), step: 1, order: 0 }],
+            vec![Unicast {
+                src: NodeId(0),
+                dst: NodeId(7),
+                step: 1,
+                order: 0,
+            }],
         );
         let dot = t.to_dot();
         assert_eq!(dot.matches("shape=point").count(), 2);

@@ -47,7 +47,11 @@ impl fmt::Display for TreeViolation {
         match self {
             TreeViolation::Unreached(v) => write!(f, "destination {v} unreached"),
             TreeViolation::DoubleDelivery(v) => write!(f, "node {v} delivered twice"),
-            TreeViolation::SendBeforeReceive { node, sent_at, received_at } => write!(
+            TreeViolation::SendBeforeReceive {
+                node,
+                sent_at,
+                received_at,
+            } => write!(
                 f,
                 "node {node} sent at step {sent_at} but received at {received_at:?}"
             ),
@@ -157,11 +161,19 @@ mod tests {
     use hcube::{Cube, Resolution};
 
     fn u(src: u32, dst: u32, step: u32, order: u32) -> Unicast {
-        Unicast { src: NodeId(src), dst: NodeId(dst), step, order }
+        Unicast {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            step,
+            order,
+        }
     }
 
     fn opts() -> ValidateOptions {
-        ValidateOptions { port_model: PortModel::AllPort, forbid_relays: true }
+        ValidateOptions {
+            port_model: PortModel::AllPort,
+            forbid_relays: true,
+        }
     }
 
     fn tree(unicasts: Vec<Unicast>) -> MulticastTree {
@@ -170,7 +182,11 @@ mod tests {
 
     #[test]
     fn valid_tree_passes() {
-        let t = tree(vec![u(0, 0b1000, 1, 0), u(0, 0b0001, 1, 1), u(0b1000, 0b1010, 2, 0)]);
+        let t = tree(vec![
+            u(0, 0b1000, 1, 0),
+            u(0, 0b0001, 1, 1),
+            u(0b1000, 0b1010, 2, 0),
+        ]);
         let dests = [NodeId(0b1000), NodeId(0b0001), NodeId(0b1010)];
         assert!(validate(&t, &dests, opts()).is_empty());
     }
@@ -214,7 +230,10 @@ mod tests {
         let v = validate(
             &t,
             &[NodeId(0b1000), NodeId(0b0001)],
-            ValidateOptions { port_model: PortModel::OnePort, forbid_relays: true },
+            ValidateOptions {
+                port_model: PortModel::OnePort,
+                forbid_relays: true,
+            },
         );
         assert!(v
             .iter()
@@ -230,7 +249,10 @@ mod tests {
         let v = validate(
             &t,
             &[NodeId(0b1010)],
-            ValidateOptions { port_model: PortModel::AllPort, forbid_relays: false },
+            ValidateOptions {
+                port_model: PortModel::AllPort,
+                forbid_relays: false,
+            },
         );
         assert!(v.is_empty());
     }

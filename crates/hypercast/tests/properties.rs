@@ -34,7 +34,8 @@ fn build(
     dests: &[u32],
 ) -> hypercast::MulticastTree {
     let dests: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
-    algo.build(Cube::of(n), res, port, NodeId(src), &dests).unwrap()
+    algo.build(Cube::of(n), res, port, NodeId(src), &dests)
+        .unwrap()
 }
 
 proptest! {
@@ -273,7 +274,13 @@ fn average_step_ordering_on_random_sets() {
         let dests: Vec<NodeId> = pool[..m].iter().map(|&v| NodeId(v)).collect();
         for algo in Algorithm::PAPER {
             let t = algo
-                .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+                .build(
+                    cube,
+                    Resolution::HighToLow,
+                    PortModel::AllPort,
+                    NodeId(0),
+                    &dests,
+                )
                 .unwrap();
             *totals.entry(algo).or_insert(0u64) += u64::from(t.steps);
         }

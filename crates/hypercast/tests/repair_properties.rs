@@ -1,0 +1,175 @@
+//! Property-based tests of the fault-tolerance machinery: on randomized
+//! instances with randomized fault sets, repaired trees never traverse a
+//! dead channel, stay structurally valid, and never silently lose a live
+//! destination.
+
+use hcube::{Cube, Dim, NodeId, Resolution};
+use hypercast::protocol::{self, RetryPolicy};
+use hypercast::repair::{broken_unicasts, path_is_clean, repair, NetworkFaults};
+use hypercast::verify::{validate, ValidateOptions};
+use hypercast::{Algorithm, PortModel};
+use proptest::prelude::*;
+
+/// A random faulty multicast instance: cube dimension, source,
+/// destination set, dead directed-link indices, dead nodes.
+#[allow(clippy::type_complexity)]
+fn faulty_instance() -> impl Strategy<Value = (u8, u32, Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (3u8..=7).prop_flat_map(|n| {
+        let m = 1u32 << n;
+        let links = m * u32::from(n);
+        (
+            Just(n),
+            0..m,
+            prop::collection::btree_set(0..m, 1..=(m as usize - 1).min(24)),
+            prop::collection::btree_set(0..links, 0..=6),
+            prop::collection::btree_set(0..m, 0..=2),
+        )
+            .prop_map(|(n, src, dset, lset, nset)| {
+                let dests: Vec<u32> = dset.into_iter().filter(|&d| d != src).collect();
+                (
+                    n,
+                    src,
+                    dests,
+                    lset.into_iter().collect(),
+                    nset.into_iter().collect(),
+                )
+            })
+    })
+}
+
+fn make_faults(n: u8, links: &[u32], nodes: &[u32]) -> NetworkFaults {
+    let mut f = NetworkFaults::new();
+    for &ix in links {
+        f.fail_link(NodeId(ix / u32::from(n)), Dim((ix % u32::from(n)) as u8));
+    }
+    for &v in nodes {
+        f.fail_node(NodeId(v));
+    }
+    f
+}
+
+proptest! {
+    /// The repaired tree never schedules a unicast whose E-cube path
+    /// crosses a dead channel or dead node.
+    #[test]
+    fn repaired_trees_never_traverse_a_dead_channel(
+        (n, src, dests, links, nodes) in faulty_instance(),
+        wsort in any::<bool>(),
+    ) {
+        prop_assume!(!dests.is_empty());
+        let algo = if wsort { Algorithm::WSort } else { Algorithm::UCube };
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        let tree = algo
+            .build(Cube::of(n), Resolution::HighToLow, PortModel::AllPort, NodeId(src), &dest_ids)
+            .unwrap();
+        let faults = make_faults(n, &links, &nodes);
+        let out = repair(&tree, &faults);
+        for u in &out.tree.unicasts {
+            prop_assert!(
+                path_is_clean(out.tree.resolution, u.src, u.dst, &faults),
+                "unicast {} -> {} crosses a fault", u.src, u.dst
+            );
+        }
+        prop_assert!(broken_unicasts(&out.tree, &faults).is_empty());
+    }
+
+    /// The repaired tree stays valid per `hypercast::verify` (relays
+    /// allowed) against the destinations it claims to deliver, and every
+    /// live destination is either delivered or reported unreachable —
+    /// never silently lost.
+    #[test]
+    fn repaired_trees_remain_valid_and_lose_nothing_silently(
+        (n, src, dests, links, nodes) in faulty_instance(),
+    ) {
+        prop_assume!(!dests.is_empty());
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        let tree = Algorithm::WSort
+            .build(Cube::of(n), Resolution::HighToLow, PortModel::AllPort, NodeId(src), &dest_ids)
+            .unwrap();
+        let faults = make_faults(n, &links, &nodes);
+        let out = repair(&tree, &faults);
+
+        // Partition of the original destinations.
+        let delivered: std::collections::HashSet<NodeId> =
+            out.tree.receivers().into_iter().collect();
+        for &d in &dest_ids {
+            let dead = faults.node_dead(d);
+            let dropped = out.dropped.contains(&d);
+            let unreachable = out.unreachable.contains(&d);
+            prop_assert_eq!(dead, dropped, "dropped iff dead: {}", d);
+            prop_assert!(
+                dead || delivered.contains(&d) || unreachable,
+                "live destination {} silently lost", d
+            );
+            prop_assert!(
+                !(delivered.contains(&d) && unreachable),
+                "{} both delivered and unreachable", d
+            );
+        }
+
+        // Structural validity against the claimed-delivered set.
+        let claim: Vec<NodeId> = dest_ids
+            .iter()
+            .copied()
+            .filter(|d| delivered.contains(d))
+            .collect();
+        let violations = validate(
+            &out.tree,
+            &claim,
+            ValidateOptions { port_model: PortModel::AllPort, forbid_relays: false },
+        );
+        prop_assert!(violations.is_empty(), "repair violates tree contract: {:?}", violations);
+    }
+
+    /// Repair on a healthy network is the identity.
+    #[test]
+    fn repair_without_faults_is_identity((n, src, dests, _l, _n2) in faulty_instance()) {
+        prop_assume!(!dests.is_empty());
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        let tree = Algorithm::WSort
+            .build(Cube::of(n), Resolution::HighToLow, PortModel::AllPort, NodeId(src), &dest_ids)
+            .unwrap();
+        let out = repair(&tree, &NetworkFaults::new());
+        prop_assert_eq!(&out.tree.unicasts, &tree.unicasts);
+        prop_assert_eq!(out.extra_steps, 0);
+        prop_assert!(out.rerouted.is_empty() && out.unreachable.is_empty());
+    }
+
+    /// The retrying executor delivers to every destination it does not
+    /// explicitly report undelivered, and its relay messages also avoid
+    /// permanently dead channels.
+    #[test]
+    fn retrying_executor_accounts_for_every_destination(
+        (n, src, dests, links, nodes) in faulty_instance(),
+    ) {
+        prop_assume!(!dests.is_empty());
+        let faults = make_faults(n, &links, &nodes);
+        prop_assume!(!faults.node_dead(NodeId(src)));
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        let run = protocol::execute_with_faults(
+            Algorithm::WSort,
+            Cube::of(n),
+            Resolution::HighToLow,
+            NodeId(src),
+            &dest_ids,
+            &faults,
+            &[],
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        let got: std::collections::HashSet<NodeId> = run.messages.iter().map(|m| m.to).collect();
+        for &d in &dest_ids {
+            prop_assert!(
+                got.contains(&d) || run.undelivered.contains(&d),
+                "destination {} neither delivered nor reported undelivered", d
+            );
+        }
+        for m in &run.messages {
+            prop_assert!(
+                path_is_clean(Resolution::HighToLow, m.from, m.to, &faults),
+                "delivered message {} -> {} crosses a permanent fault", m.from, m.to
+            );
+        }
+        prop_assert_eq!(run.acks, run.messages.len());
+    }
+}

@@ -81,7 +81,11 @@ pub fn ablation_message_size(trials: usize) -> Figure {
                 let t = algo
                     .build(cube, Resolution::HighToLow, PortModel::AllPort, src, &dests)
                     .expect("valid instance");
-                samples[ai].push(simulate_multicast(&t, &params, bytes as u32).max_delay.as_ms());
+                samples[ai].push(
+                    simulate_multicast(&t, &params, bytes as u32)
+                        .max_delay
+                        .as_ms(),
+                );
             }
         }
         for (ai, s) in samples.iter().enumerate() {
@@ -168,14 +172,9 @@ pub fn ablation_optimality(trials: usize) -> Figure {
         trials,
         &[Algorithm::UCube], // algorithm ignored by the metric below
         |cube, src, dests, _| {
-            let s = min_steps_port_limited(
-                cube,
-                Resolution::HighToLow,
-                PortModel::AllPort,
-                src,
-                dests,
-            )
-            .expect("small instance");
+            let s =
+                min_steps_port_limited(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
+                    .expect("small instance");
             [f64::from(s)]
         },
     );
@@ -266,12 +265,24 @@ pub fn ablation_background_load(trials: usize) -> Figure {
                     while dst == src {
                         dst = NodeId(rng.gen_range(0..cube.node_count() as u32));
                     }
-                    DepMessage { src, dst, bytes: 4096, deps: Vec::new(), min_start: SimTime::ZERO }
+                    DepMessage {
+                        src,
+                        dst,
+                        bytes: 4096,
+                        deps: Vec::new(),
+                        min_start: SimTime::ZERO,
+                    }
                 })
                 .collect();
             for (ai, algo) in algos.iter().enumerate() {
                 let tree = algo
-                    .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+                    .build(
+                        cube,
+                        Resolution::HighToLow,
+                        PortModel::AllPort,
+                        NodeId(0),
+                        &dests,
+                    )
                     .expect("valid instance");
                 // Compose the tree's dependency workload with background.
                 let mut inbound = std::collections::HashMap::new();
@@ -439,7 +450,13 @@ pub fn ablation_scaling(trials: usize) -> Figure {
             let dests = crate::destsets::random_dests(&mut rng, cube, NodeId(0), m);
             for (ai, algo) in algos.iter().enumerate() {
                 let t = algo
-                    .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+                    .build(
+                        cube,
+                        Resolution::HighToLow,
+                        PortModel::AllPort,
+                        NodeId(0),
+                        &dests,
+                    )
                     .expect("valid instance");
                 samples[ai].push(simulate_multicast(&t, &params, 4096).max_delay.as_ms());
             }
@@ -502,8 +519,8 @@ pub fn ablation_concurrency(trials: usize) -> Figure {
                 .collect();
             let refs: Vec<&hypercast::MulticastTree> = trees.iter().collect();
             let reports = simulate_concurrent_multicasts(&refs, &params, 4096);
-            let mean_delay = reports.iter().map(|r| r.max_delay.as_ms()).sum::<f64>()
-                / reports.len() as f64;
+            let mean_delay =
+                reports.iter().map(|r| r.max_delay.as_ms()).sum::<f64>() / reports.len() as f64;
             let mean_blocks =
                 reports.iter().map(|r| r.blocks as f64).sum::<f64>() / reports.len() as f64;
             d_samples.push(mean_delay);
@@ -583,11 +600,21 @@ pub fn ablation_model_fidelity(trials: usize) -> Figure {
                 .collect();
             let flit_w: Vec<FlitMessage> = pairs
                 .iter()
-                .map(|&(s, d)| FlitMessage { src: s, dst: d, flits, start_cycle: 0 })
+                .map(|&(s, d)| FlitMessage {
+                    src: s,
+                    dst: d,
+                    flits,
+                    start_cycle: 0,
+                })
                 .collect();
             let er = simulate(cube, Resolution::HighToLow, &cycle_params, &event_w);
             let fr = simulate_flits(cube, Resolution::HighToLow, &flit_w);
-            let em = er.messages.iter().map(|m| m.delivered.as_ns()).max().unwrap() as f64;
+            let em = er
+                .messages
+                .iter()
+                .map(|m| m.delivered.as_ns())
+                .max()
+                .unwrap() as f64;
             let fm = fr.iter().map(|f| f.delivered_cycle + 1).max().unwrap() as f64;
             o_samples.push((em - fm) / fm * 100.0);
             if er.stats.blocks > 0 {
@@ -630,7 +657,8 @@ pub fn ablation_kport(trials: usize) -> Figure {
     // Paired design: the same destination sets are reused for every k, so
     // the per-instance monotonicity of k-port scheduling carries over to
     // the means.
-    let mut samples: Vec<Vec<Vec<f64>>> = vec![vec![Vec::with_capacity(trials); ks.len()]; algos.len()];
+    let mut samples: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::with_capacity(trials); ks.len()]; algos.len()];
     for trial in 0..trials {
         let mut rng = crate::destsets::trial_rng("ablation_kport", 0, trial);
         let dests = crate::destsets::random_dests(&mut rng, cube, NodeId(0), 64);
@@ -673,9 +701,7 @@ mod tests {
     fn ports_ablation_orders_architectures() {
         let f = ablation_ports(3);
         assert_eq!(f.series.len(), 4);
-        let get = |name: &str| -> &Series {
-            f.series.iter().find(|s| s.name == name).unwrap()
-        };
+        let get = |name: &str| -> &Series { f.series.iter().find(|s| s.name == name).unwrap() };
         let w_one = get("W-sort one-port");
         let w_all = get("W-sort all-port");
         // At an intermediate multicast size, all-port must beat one-port.
@@ -718,7 +744,11 @@ mod tests {
         for s in &f.series {
             let first = s.ys[0];
             let last = *s.ys.last().unwrap();
-            assert!(last > first, "{}: load must hurt ({first} → {last})", s.name);
+            assert!(
+                last > first,
+                "{}: load must hurt ({first} → {last})",
+                s.name
+            );
         }
     }
 
@@ -750,7 +780,11 @@ mod tests {
         let f = ablation_scaling(2);
         let ucube = f.series.iter().find(|s| s.name == "U-cube").unwrap();
         let wsort = f.series.iter().find(|s| s.name == "W-sort").unwrap();
-        let ratio = f.series.iter().find(|s| s.name == "U-cube / W-sort").unwrap();
+        let ratio = f
+            .series
+            .iter()
+            .find(|s| s.name == "U-cube / W-sort")
+            .unwrap();
         assert!(ratio.ys.iter().all(|&r| r >= 1.0), "U-cube never faster");
         // The absolute saving grows with machine size...
         let first_gap = ucube.ys[0] - wsort.ys[0];
@@ -806,7 +840,11 @@ mod tests {
             .iter()
             .find(|s| s.name == "W-sort contention incidence")
             .unwrap();
-        let w_blk = f.series.iter().find(|s| s.name == "W-sort sim blocks").unwrap();
+        let w_blk = f
+            .series
+            .iter()
+            .find(|s| s.name == "W-sort sim blocks")
+            .unwrap();
         assert!(w_inc.ys.iter().all(|&y| y == 0.0));
         assert!(w_blk.ys.iter().all(|&y| y == 0.0));
     }

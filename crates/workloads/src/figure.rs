@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 
 /// One curve of a figure.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend name (usually an algorithm).
     pub name: String,
@@ -21,7 +21,7 @@ pub struct Series {
 }
 
 /// A complete figure: several series over one x-axis.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Short identifier (`fig09`, `ablation_ports`, …).
     pub id: String,
@@ -128,13 +128,80 @@ impl Figure {
         out
     }
 
-    /// Serializes the figure as pretty JSON.
-    ///
-    /// # Panics
-    /// Never in practice (the data model is always serializable).
+    /// Serializes the figure as pretty JSON (via [`crate::json`]).
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serialization")
+        use crate::json::Value;
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let nums = |v: &[f64]| Value::Array(v.iter().map(|&x| Value::Number(x)).collect());
+                Value::Object(vec![
+                    ("name".into(), Value::from(s.name.as_str())),
+                    ("xs".into(), nums(&s.xs)),
+                    ("ys".into(), nums(&s.ys)),
+                    ("std".into(), nums(&s.std)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("id".into(), Value::from(self.id.as_str())),
+            ("title".into(), Value::from(self.title.as_str())),
+            ("x_label".into(), Value::from(self.x_label.as_str())),
+            ("y_label".into(), Value::from(self.y_label.as_str())),
+            ("series".into(), Value::Array(series)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a figure previously produced by [`Figure::to_json`].
+    ///
+    /// # Errors
+    /// Returns a message describing the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<Figure, String> {
+        use crate::json::Value;
+        let v = crate::json::parse(text).map_err(|e| e.to_string())?;
+        let field = |key: &str| -> Result<String, String> {
+            v[key]
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field `{key}`"))
+        };
+        let nums = |v: &Value, key: &str| -> Result<Vec<f64>, String> {
+            v[key]
+                .as_array()
+                .ok_or_else(|| format!("missing array field `{key}`"))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| format!("non-numeric entry in `{key}`"))
+                })
+                .collect()
+        };
+        let series = v["series"]
+            .as_array()
+            .ok_or_else(|| "missing array field `series`".to_string())?
+            .iter()
+            .map(|s| {
+                Ok(Series {
+                    name: s["name"]
+                        .as_str()
+                        .ok_or_else(|| "series missing `name`".to_string())?
+                        .to_string(),
+                    xs: nums(s, "xs")?,
+                    ys: nums(s, "ys")?,
+                    std: nums(s, "std")?,
+                })
+            })
+            .collect::<Result<Vec<Series>, String>>()?;
+        Ok(Figure {
+            id: field("id")?,
+            title: field("title")?,
+            x_label: field("x_label")?,
+            y_label: field("y_label")?,
+            series,
+        })
     }
 }
 
@@ -172,7 +239,12 @@ mod tests {
         assert!(t.contains("W-sort"));
         assert!(t.contains("test figure"));
         // 3 data rows
-        assert_eq!(t.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3'])).count(), 3);
+        assert_eq!(
+            t.lines()
+                .filter(|l| l.trim_start().starts_with(['1', '2', '3']))
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -200,8 +272,16 @@ mod tests {
     fn json_round_trip() {
         let f = sample();
         let j = f.to_json();
-        let back: Figure = serde_json::from_str(&j).unwrap();
+        let back = Figure::from_json(&j).unwrap();
+        assert_eq!(back.id, f.id);
         assert_eq!(back.series.len(), 2);
         assert_eq!(back.series[0].ys, f.series[0].ys);
+        assert_eq!(back.series[1].name, "W-sort");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Figure::from_json("not json").is_err());
+        assert!(Figure::from_json("{\"id\": 3}").is_err());
     }
 }

@@ -43,9 +43,7 @@ pub fn ten_cube_points() -> Vec<usize> {
     pts
 }
 
-fn steps_metric(
-    port: PortModel,
-) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; 1] + Sync {
+fn steps_metric(port: PortModel) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; 1] + Sync {
     move |cube, src, dests, algo| {
         let t = algo
             .build(cube, Resolution::HighToLow, port, src, dests)
@@ -123,7 +121,13 @@ fn delay_figures(
 #[must_use]
 pub fn fig09(trials: usize) -> Figure {
     let points: Vec<usize> = (1..=63).collect();
-    steps_figure("fig09", "Stepwise comparisons on a 6-cube", 6, &points, trials)
+    steps_figure(
+        "fig09",
+        "Stepwise comparisons on a 6-cube",
+        6,
+        &points,
+        trials,
+    )
 }
 
 /// Figure 10: stepwise comparisons on a 10-cube (all-port), sampled m.

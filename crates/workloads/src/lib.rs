@@ -10,7 +10,11 @@
 //! * [`figures`] — one entry point per paper figure (Figures 9–14);
 //! * [`ablations`] — extension experiments: port models, message sizes,
 //!   parameter sensitivity, optimality gaps, contention rates;
+//! * [`faultsweep`] — fault-injection sweep: delivery ratio and makespan
+//!   vs dead links, with and without `hypercast::repair`;
 //! * [`figure`] — the data model plus table / ASCII-plot / JSON output;
+//! * [`json`] — a minimal first-party JSON tree, parser, and printer
+//!   (the build environment is offline, so no `serde_json`);
 //! * [`stats`] — summary statistics.
 //!
 //! Regeneration binaries live in the `bench` crate
@@ -22,8 +26,10 @@
 
 pub mod ablations;
 pub mod destsets;
+pub mod faultsweep;
 pub mod figure;
 pub mod figures;
+pub mod json;
 pub mod stats;
 pub mod sweep;
 

@@ -1,7 +1,7 @@
 //! Small summary-statistics helpers for experiment aggregation.
 
 /// Summary of a sample: count, mean, standard deviation, extrema.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -22,7 +22,13 @@ impl Summary {
     #[must_use]
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
-            return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let mut mean = 0.0f64;
         let mut m2 = 0.0f64;
@@ -36,8 +42,18 @@ impl Summary {
             max = max.max(x);
         }
         let n = samples.len();
-        let std = if n >= 2 { (m2 / (n as f64 - 1.0)).sqrt() } else { 0.0 };
-        Summary { n, mean, std, min, max }
+        let std = if n >= 2 {
+            (m2 / (n as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std,
+            min,
+            max,
+        }
     }
 }
 

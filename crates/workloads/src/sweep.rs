@@ -11,8 +11,8 @@ use crate::destsets::{random_dests, trial_rng};
 use crate::stats::Summary;
 use hcube::{Cube, NodeId};
 use hypercast::Algorithm;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Sweep results: `cells[point][algo]` holds `K` metric summaries.
 #[derive(Clone, Debug)]
@@ -72,10 +72,12 @@ where
 
     let next = AtomicUsize::new(0);
     let total_tasks = points.len() * trials;
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(32);
-    crossbeam::scope(|scope| {
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(32);
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(total_tasks.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let task = next.fetch_add(1, Ordering::Relaxed);
                 if task >= total_tasks {
                     break;
@@ -89,7 +91,7 @@ where
                 for &algo in algos {
                     row.push(metric(cube, source, &dests, algo));
                 }
-                let mut cell = results[point].lock();
+                let mut cell = results[point].lock().expect("sweep mutex poisoned");
                 for (ai, vals) in row.into_iter().enumerate() {
                     for (k, v) in vals.into_iter().enumerate() {
                         cell[ai][k].push(v);
@@ -97,13 +99,13 @@ where
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     let cells = results
         .into_iter()
         .map(|cell| {
             cell.into_inner()
+                .expect("sweep mutex poisoned")
                 .into_iter()
                 .map(|per_algo| {
                     let mut out = [Summary::of(&[]); K];
@@ -115,7 +117,11 @@ where
                 .collect()
         })
         .collect();
-    MatrixResult { points: points.to_vec(), algos: algos.to_vec(), cells }
+    MatrixResult {
+        points: points.to_vec(),
+        algos: algos.to_vec(),
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +131,13 @@ mod tests {
 
     fn steps_metric(cube: Cube, src: NodeId, dests: &[NodeId], algo: Algorithm) -> [f64; 1] {
         let t = algo
-            .build(cube, hcube::Resolution::HighToLow, PortModel::AllPort, src, dests)
+            .build(
+                cube,
+                hcube::Resolution::HighToLow,
+                PortModel::AllPort,
+                src,
+                dests,
+            )
             .unwrap();
         [f64::from(t.steps)]
     }
@@ -165,15 +177,24 @@ mod tests {
                 &[Algorithm::WSort, Algorithm::UCube],
                 steps_metric,
             );
-            r.cells.iter().flat_map(|row| row.iter().map(|c| c[0].mean)).collect()
+            r.cells
+                .iter()
+                .flat_map(|row| row.iter().map(|c| c[0].mean))
+                .collect()
         };
         assert_eq!(run(), run());
     }
 
     #[test]
     fn single_destination_always_one_step() {
-        let r: MatrixResult<1> =
-            run_matrix("single", Cube::of(4), &[1], 20, &Algorithm::PAPER, steps_metric);
+        let r: MatrixResult<1> = run_matrix(
+            "single",
+            Cube::of(4),
+            &[1],
+            20,
+            &Algorithm::PAPER,
+            steps_metric,
+        );
         for cell in &r.cells[0] {
             assert_eq!(cell[0].mean, 1.0);
             assert_eq!(cell[0].std, 0.0);

@@ -16,15 +16,28 @@
 //!    approximation, see DESIGN.md) and delivery completes `t_recv_sw`
 //!    later.
 //!
+//! ## Faults and the watchdog
+//!
+//! [`simulate_with_faults`] threads a [`FaultPlan`] through the run:
+//! dead channels abort worms ([`Outcome::Failed`]), stall windows delay
+//! acquisition, deadlines abort undelivered messages
+//! ([`Outcome::TimedOut`]), and stuck channels wedge their waiters
+//! forever. When the event heap drains with unfinished messages the
+//! engine's *watchdog* examines the channel wait-for state and reports
+//! [`SimError::Deadlock`] with the holder and waiter sets — the typed
+//! replacement for silently dropping messages or spinning.
+//!
 //! The engine is fully deterministic: integer time, FIFO queues, and a
 //! sequence-numbered event heap.
 
+use crate::faults::FaultPlan;
 use crate::network::ChannelMap;
 use crate::params::SimParams;
 use crate::time::SimTime;
-use hcube::{Cube, NodeId, Resolution};
+use hcube::{Cube, Dim, NodeId, Resolution};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 /// One message of a dependency workload.
 #[derive(Clone, Debug)]
@@ -42,25 +55,63 @@ pub struct DepMessage {
     pub min_start: SimTime,
 }
 
+/// Why a message failed under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The source or destination node is dead.
+    DeadEndpoint,
+    /// The worm's header reached a dead channel and aborted.
+    DeadChannel,
+    /// A dependency of this message failed or timed out, so it could
+    /// never be sent.
+    DependencyFailed,
+}
+
+/// Per-message terminal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The payload reached the destination processor.
+    Delivered,
+    /// The message was lost to a fault; see the cause.
+    Failed(FaultCause),
+    /// The message missed its deadline and aborted, releasing every
+    /// channel it held (the recovery path that distinguishes a timeout
+    /// from a deadlock).
+    TimedOut,
+}
+
+impl Outcome {
+    /// Whether the message was delivered.
+    #[must_use]
+    pub fn is_delivered(self) -> bool {
+        self == Outcome::Delivered
+    }
+}
+
 /// Per-message outcome.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MessageResult {
-    /// Time the worm entered the network (after software startup).
+    /// Time the worm entered the network (after software startup);
+    /// [`SimTime::ZERO`] if the message failed before injection.
     pub injected: SimTime,
-    /// Time the tail drained at the destination router.
+    /// Time the tail drained at the destination router. For a message
+    /// that was not delivered, the time it aborted.
     pub network_done: SimTime,
     /// Time the destination processor holds the payload
-    /// (`network_done + t_recv_sw`).
+    /// (`network_done + t_recv_sw`). For a message that was not
+    /// delivered, the time it aborted.
     pub delivered: SimTime,
     /// Total time spent blocked waiting for busy channels (external
     /// contention and one-port serialization combined).
     pub blocked_time: SimTime,
     /// Blocking episodes on *external* channels — genuine wormhole
-    /// channel contention.
+    /// channel contention (stall-window retries count here too).
     pub blocks: u32,
     /// Blocking episodes on virtual injection/consumption channels —
     /// intended one-port serialization, not contention.
     pub port_waits: u32,
+    /// How the message ended.
+    pub outcome: Outcome,
 }
 
 /// Aggregate network statistics of a run.
@@ -76,6 +127,10 @@ pub struct NetStats {
     pub port_waits: u64,
     /// Completion time of the last delivery.
     pub makespan: SimTime,
+    /// Messages that ended [`Outcome::Failed`].
+    pub failed: u64,
+    /// Messages that ended [`Outcome::TimedOut`].
+    pub timed_out: u64,
 }
 
 /// Outcome of [`simulate`].
@@ -87,6 +142,96 @@ pub struct RunResult {
     pub stats: NetStats,
 }
 
+impl RunResult {
+    /// Number of messages that were delivered.
+    #[must_use]
+    pub fn delivered_count(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.outcome.is_delivered())
+            .count()
+    }
+
+    /// Delivered fraction of the workload (1.0 for an empty workload).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages.is_empty() {
+            1.0
+        } else {
+            self.delivered_count() as f64 / self.messages.len() as f64
+        }
+    }
+}
+
+/// Typed failure modes of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A workload message sends to itself.
+    SelfSend {
+        /// Index of the offending message.
+        index: usize,
+    },
+    /// A dependency index points outside the workload.
+    DependencyOutOfRange {
+        /// Index of the offending message.
+        index: usize,
+        /// The out-of-range dependency value.
+        dep: usize,
+    },
+    /// The dependency graph contains a cycle (or depends on something
+    /// unsatisfiable), so some messages can never become eligible.
+    DependencyCycle {
+        /// Messages that never became eligible.
+        stuck: Vec<usize>,
+    },
+    /// The network wedged: the event heap drained while worms were still
+    /// blocked on channels that will never be released.
+    Deadlock {
+        /// Simulated time of the last event before the wedge.
+        at: SimTime,
+        /// Messages holding at least one channel another message waits
+        /// on (a stuck channel's phantom holder is not a message and is
+        /// not listed).
+        holders: Vec<usize>,
+        /// Messages waiting in some channel's queue.
+        waiters: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SelfSend { index } => {
+                write!(f, "self-send in workload (message {index})")
+            }
+            SimError::DependencyOutOfRange { index, dep } => {
+                write!(
+                    f,
+                    "dependency index out of range (message {index} depends on {dep})"
+                )
+            }
+            SimError::DependencyCycle { stuck } => write!(
+                f,
+                "workload contains a dependency cycle or unsatisfiable message ({} stuck)",
+                stuck.len()
+            ),
+            SimError::Deadlock {
+                at,
+                holders,
+                waiters,
+            } => write!(
+                f,
+                "deadlock at {at}: {} waiter(s) {:?} blocked behind holder(s) {:?}",
+                waiters.len(),
+                waiters,
+                holders
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Event {
     /// All dependencies of the message are delivered; start send
@@ -96,7 +241,12 @@ enum Event {
     TryAcquire(usize, usize),
     /// The message's tail has drained; release channels and deliver.
     Complete(usize),
+    /// The message's deadline passes; abort it if undelivered.
+    Deadline(usize),
 }
+
+/// Phantom holder index marking channels stuck by the fault plan.
+const PHANTOM: usize = usize::MAX;
 
 #[derive(Clone, Debug, Default)]
 struct ChannelState {
@@ -115,7 +265,425 @@ struct MsgState {
     blocked_time: SimTime,
     blocks: u32,
     port_waits: u32,
-    delivered: Option<SimTime>,
+    /// Number of route channels currently held.
+    acquired: usize,
+    /// Channel whose queue this message currently sits in, if blocked.
+    waiting_on: Option<usize>,
+    /// Terminal state, once reached; time in `finished_at`.
+    outcome: Option<Outcome>,
+    finished_at: SimTime,
+}
+
+struct Engine<'a> {
+    cube: Cube,
+    map: ChannelMap,
+    params: &'a SimParams,
+    plan: &'a FaultPlan,
+    workload: &'a [DepMessage],
+    channels: Vec<ChannelState>,
+    msgs: Vec<MsgState>,
+    /// Per-external/virtual-channel dead flag, indexed like `channels`.
+    dead: Vec<bool>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize, usize)>>,
+    seq: u64,
+    cpu_free: Vec<SimTime>,
+    stats: NetStats,
+    finished: usize,
+    last_time: SimTime,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cube: Cube,
+        resolution: Resolution,
+        params: &'a SimParams,
+        workload: &'a [DepMessage],
+        plan: &'a FaultPlan,
+    ) -> Result<Engine<'a>, SimError> {
+        let map = ChannelMap::new(cube);
+        let mut msgs = Vec::with_capacity(workload.len());
+        for (i, m) in workload.iter().enumerate() {
+            if m.src == m.dst {
+                return Err(SimError::SelfSend { index: i });
+            }
+            msgs.push(MsgState {
+                route: map.route(resolution, params.port_model, m.src, m.dst),
+                pending_deps: m.deps.len(),
+                dependents: Vec::new(),
+                eligible_at: m.min_start,
+                injected: SimTime::ZERO,
+                wait_since: SimTime::ZERO,
+                blocked_time: SimTime::ZERO,
+                blocks: 0,
+                port_waits: 0,
+                acquired: 0,
+                waiting_on: None,
+                outcome: None,
+                finished_at: SimTime::ZERO,
+            });
+        }
+        for (i, m) in workload.iter().enumerate() {
+            for &d in &m.deps {
+                if d >= workload.len() {
+                    return Err(SimError::DependencyOutOfRange { index: i, dep: d });
+                }
+                msgs[d].dependents.push(i);
+            }
+        }
+
+        let mut channels: Vec<ChannelState> =
+            (0..map.len()).map(|_| ChannelState::default()).collect();
+        let mut dead = vec![false; map.len()];
+        if !plan.is_empty() {
+            for v in cube.nodes() {
+                for d in cube.dims() {
+                    let i = map.external(v, d);
+                    dead[i] = plan.channel_dead(v, d);
+                    if plan.channel_stuck(v, d) {
+                        channels[i].holder = Some(PHANTOM);
+                    }
+                }
+                if plan.node_dead(v) {
+                    dead[map.injection(v)] = true;
+                    dead[map.consumption(v)] = true;
+                }
+            }
+        }
+
+        Ok(Engine {
+            cube,
+            map,
+            params,
+            plan,
+            workload,
+            channels,
+            msgs,
+            dead,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            cpu_free: vec![SimTime::ZERO; cube.node_count()],
+            stats: NetStats::default(),
+            finished: 0,
+            last_time: SimTime::ZERO,
+        })
+    }
+
+    fn push(&mut self, t: SimTime, e: Event) {
+        let (kind, a, b) = match e {
+            Event::Eligible(m) => (0usize, m, 0usize),
+            Event::TryAcquire(m, h) => (1, m, h),
+            Event::Complete(m) => (2, m, 0),
+            Event::Deadline(m) => (3, m, 0),
+        };
+        self.heap
+            .push(Reverse((t, self.seq, kind * (1 << 28) + a, b)));
+        self.seq += 1;
+    }
+
+    /// Decodes an external channel index back to `(from, dim)`.
+    fn external_coords(&self, ch: usize) -> (NodeId, Dim) {
+        let n = self.cube.dimension() as usize;
+        (NodeId((ch / n) as u32), Dim((ch % n) as u8))
+    }
+
+    /// If `ch` is inside a stall window at `t`, when it reopens.
+    fn stalled_until(&self, ch: usize, t: SimTime) -> Option<SimTime> {
+        if self.plan.is_empty() || self.map.is_virtual(ch) {
+            return None;
+        }
+        let (v, d) = self.external_coords(ch);
+        self.plan.stalled_until(v, d, t)
+    }
+
+    /// Marks `m` finished, records stats, and cascades failure to
+    /// dependents that now can never be sent.
+    fn finish(&mut self, m: usize, t: SimTime, outcome: Outcome) {
+        let mut stack = vec![(m, outcome)];
+        while let Some((i, out)) = stack.pop() {
+            if self.msgs[i].outcome.is_some() {
+                continue;
+            }
+            self.msgs[i].outcome = Some(out);
+            self.msgs[i].finished_at = t;
+            self.finished += 1;
+            match out {
+                Outcome::Delivered => {}
+                Outcome::Failed(_) => self.stats.failed += 1,
+                Outcome::TimedOut => self.stats.timed_out += 1,
+            }
+            if out != Outcome::Delivered {
+                // Dependents of a lost message can never start.
+                for d in 0..self.msgs[i].dependents.len() {
+                    let dep = self.msgs[i].dependents[d];
+                    stack.push((dep, Outcome::Failed(FaultCause::DependencyFailed)));
+                }
+            }
+        }
+    }
+
+    /// Releases `msgs[m].route[..count]`, waking the first waiter of each
+    /// channel.
+    fn release_channels(&mut self, m: usize, count: usize, t: SimTime) {
+        let route = std::mem::take(&mut self.msgs[m].route);
+        for &ch in &route[..count] {
+            debug_assert_eq!(self.channels[ch].holder, Some(m));
+            self.channels[ch].holder = None;
+            if let Some((w, whop)) = self.channels[ch].queue.pop_front() {
+                self.msgs[w].waiting_on = None;
+                let waited = t.saturating_sub(self.msgs[w].wait_since);
+                self.msgs[w].blocked_time += waited;
+                if self.map.is_virtual(ch) || whop == 0 {
+                    self.stats.port_wait_time += waited;
+                } else {
+                    self.stats.blocked_time += waited;
+                }
+                self.push(t, Event::TryAcquire(w, whop));
+            }
+        }
+        self.msgs[m].route = route;
+        self.msgs[m].acquired = 0;
+    }
+
+    /// Aborts an in-flight (or not-yet-started) message: releases held
+    /// channels, leaves any wait queue, finishes with `outcome`.
+    fn abort(&mut self, m: usize, t: SimTime, outcome: Outcome) {
+        let held = self.msgs[m].acquired;
+        if held > 0 {
+            self.release_channels(m, held, t);
+        }
+        if let Some(ch) = self.msgs[m].waiting_on.take() {
+            self.channels[ch].queue.retain(|&(w, _)| w != m);
+        }
+        self.finish(m, t, outcome);
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
+        // Pre-fail messages with dead endpoints (cascades to dependents).
+        if !self.plan.is_empty() {
+            for i in 0..self.workload.len() {
+                let m = &self.workload[i];
+                if self.plan.node_dead(m.src) || self.plan.node_dead(m.dst) {
+                    self.finish(i, m.min_start, Outcome::Failed(FaultCause::DeadEndpoint));
+                }
+            }
+        }
+        for i in 0..self.workload.len() {
+            if self.msgs[i].outcome.is_none() {
+                if self.workload[i].deps.is_empty() {
+                    self.push(self.workload[i].min_start, Event::Eligible(i));
+                }
+                if let Some(d) = self.plan.deadline(i) {
+                    self.push(d, Event::Deadline(i));
+                }
+            }
+        }
+
+        while let Some(Reverse((t, _, code, hop))) = self.heap.pop() {
+            self.last_time = t;
+            let kind = code >> 28;
+            let m = code & ((1 << 28) - 1);
+            if self.msgs[m].outcome.is_some() {
+                continue; // stale event for an aborted/failed message
+            }
+            match kind {
+                0 => self.on_eligible(m, t),
+                1 => self.on_try_acquire(m, hop, t),
+                2 => self.on_complete(m, t),
+                3 => self.abort(m, t, Outcome::TimedOut),
+                _ => unreachable!("corrupt event encoding"),
+            }
+        }
+
+        if self.finished == self.workload.len() {
+            return Ok(());
+        }
+        // Watchdog: the heap drained with unfinished messages. Blocked
+        // worms mean a deadlock (stuck channels / lost releases); with no
+        // blocked worm the dependency graph itself is unsatisfiable.
+        let waiters: Vec<usize> = (0..self.msgs.len())
+            .filter(|&i| self.msgs[i].outcome.is_none() && self.msgs[i].waiting_on.is_some())
+            .collect();
+        if waiters.is_empty() {
+            let stuck: Vec<usize> = (0..self.msgs.len())
+                .filter(|&i| self.msgs[i].outcome.is_none())
+                .collect();
+            return Err(SimError::DependencyCycle { stuck });
+        }
+        let mut holders: Vec<usize> = self
+            .channels
+            .iter()
+            .filter(|c| !c.queue.is_empty())
+            .filter_map(|c| c.holder)
+            .filter(|&h| h != PHANTOM)
+            .collect();
+        holders.sort_unstable();
+        holders.dedup();
+        Err(SimError::Deadlock {
+            at: self.last_time,
+            holders,
+            waiters,
+        })
+    }
+
+    fn on_eligible(&mut self, m: usize, t: SimTime) {
+        let src = self.workload[m].src.0 as usize;
+        let start = if self.params.cpu_serialized_startup {
+            let s = t.max(self.cpu_free[src]);
+            self.cpu_free[src] = s + self.params.t_send_sw;
+            s
+        } else {
+            t
+        };
+        let inject = start + self.params.t_send_sw;
+        self.msgs[m].injected = inject;
+        self.push(inject, Event::TryAcquire(m, 0));
+    }
+
+    fn on_try_acquire(&mut self, m: usize, hop: usize, t: SimTime) {
+        let ch = self.msgs[m].route[hop];
+        if self.dead[ch] {
+            // The header hit a dead channel: abort-and-discard.
+            self.msgs[m].acquired = hop;
+            self.abort(m, t, Outcome::Failed(FaultCause::DeadChannel));
+            return;
+        }
+        if let Some(reopen) = self.stalled_until(ch, t) {
+            // Transient stall: the channel refuses acquisition until the
+            // window closes. Counts as contention blocking.
+            let waited = reopen - t;
+            self.msgs[m].blocked_time += waited;
+            if self.map.is_virtual(ch) || hop == 0 {
+                self.msgs[m].port_waits += 1;
+                self.stats.port_waits += 1;
+                self.stats.port_wait_time += waited;
+            } else {
+                self.msgs[m].blocks += 1;
+                self.stats.blocks += 1;
+                self.stats.blocked_time += waited;
+            }
+            self.push(reopen, Event::TryAcquire(m, hop));
+            return;
+        }
+        if self.channels[ch].holder.is_none() {
+            self.channels[ch].holder = Some(m);
+            self.msgs[m].acquired = hop + 1;
+            let hop_cost = if self.map.is_virtual(ch) {
+                SimTime::ZERO
+            } else {
+                self.params.t_hop
+            };
+            let arrive = t + hop_cost;
+            if hop + 1 < self.msgs[m].route.len() {
+                self.push(arrive, Event::TryAcquire(m, hop + 1));
+            } else {
+                let drain = arrive + self.params.t_byte * u64::from(self.workload[m].bytes);
+                self.push(drain, Event::Complete(m));
+            }
+        } else {
+            // Block in place: keep held channels, queue FIFO.
+            // A block at hop 0 holds nothing upstream — it is
+            // source-side port serialization (Theorem 3's benign
+            // case), not network contention.
+            self.msgs[m].wait_since = t;
+            self.msgs[m].waiting_on = Some(ch);
+            if self.map.is_virtual(ch) || hop == 0 {
+                self.msgs[m].port_waits += 1;
+                self.stats.port_waits += 1;
+            } else {
+                self.msgs[m].blocks += 1;
+                self.stats.blocks += 1;
+            }
+            self.channels[ch].queue.push_back((m, hop));
+        }
+    }
+
+    fn on_complete(&mut self, m: usize, t: SimTime) {
+        let held = self.msgs[m].acquired;
+        self.release_channels(m, held, t);
+        let delivered = t + self.params.t_recv_sw;
+        self.finish(m, delivered, Outcome::Delivered);
+        self.stats.makespan = self.stats.makespan.max(delivered);
+        let dependents = std::mem::take(&mut self.msgs[m].dependents);
+        for &d in &dependents {
+            if self.msgs[d].outcome.is_some() {
+                continue;
+            }
+            self.msgs[d].pending_deps -= 1;
+            if self.msgs[d].pending_deps == 0 {
+                let at = self.msgs[d].eligible_at.max(delivered);
+                self.push(at, Event::Eligible(d));
+            }
+        }
+        self.msgs[m].dependents = dependents;
+    }
+
+    fn into_result(self) -> RunResult {
+        let t_recv = self.params.t_recv_sw;
+        let messages = self
+            .msgs
+            .iter()
+            .map(|s| {
+                let outcome = s.outcome.expect("every message reached a terminal state");
+                let network_done = if outcome.is_delivered() {
+                    s.finished_at - t_recv
+                } else {
+                    s.finished_at
+                };
+                MessageResult {
+                    injected: s.injected,
+                    network_done,
+                    delivered: s.finished_at,
+                    blocked_time: s.blocked_time,
+                    blocks: s.blocks,
+                    port_waits: s.port_waits,
+                    outcome,
+                }
+            })
+            .collect();
+        RunResult {
+            messages,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Runs a dependency workload through the wormhole network model with a
+/// fault plan injected.
+///
+/// Per-message outcomes land in [`MessageResult::outcome`]; lost
+/// messages have [`Outcome::Failed`] or [`Outcome::TimedOut`] and their
+/// `delivered` field records the abort time. A wedged network (stuck
+/// channels with no deadline to rescue the waiters) is a typed
+/// [`SimError::Deadlock`] from the watchdog, not a hang.
+///
+/// # Errors
+/// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
+/// [`SimError::DependencyCycle`] for malformed workloads, and
+/// [`SimError::Deadlock`] when blocked worms can never progress.
+pub fn simulate_with_faults(
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    workload: &[DepMessage],
+    plan: &FaultPlan,
+) -> Result<RunResult, SimError> {
+    let mut engine = Engine::new(cube, resolution, params, workload, plan)?;
+    engine.run()?;
+    Ok(engine.into_result())
+}
+
+/// Fault-free [`simulate_with_faults`]: same typed errors, no plan.
+///
+/// # Errors
+/// See [`simulate_with_faults`]; without faults only the malformed
+/// workload variants can occur.
+pub fn try_simulate(
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    workload: &[DepMessage],
+) -> Result<RunResult, SimError> {
+    simulate_with_faults(cube, resolution, params, workload, &FaultPlan::none())
 }
 
 /// Runs a dependency workload through the wormhole network model.
@@ -141,6 +709,7 @@ struct MsgState {
 /// # Panics
 /// Panics on malformed workloads: self-sends, out-of-range dependency
 /// indices, or dependency cycles (messages that never become eligible).
+/// Use [`try_simulate`] for a `Result` instead.
 #[must_use]
 pub fn simulate(
     cube: Cube,
@@ -148,163 +717,10 @@ pub fn simulate(
     params: &SimParams,
     workload: &[DepMessage],
 ) -> RunResult {
-    let map = ChannelMap::new(cube);
-    let mut channels: Vec<ChannelState> = (0..map.len()).map(|_| ChannelState::default()).collect();
-
-    let mut msgs: Vec<MsgState> = workload
-        .iter()
-        .map(|m| {
-            assert_ne!(m.src, m.dst, "self-send in workload");
-            MsgState {
-                route: map.route(resolution, params.port_model, m.src, m.dst),
-                pending_deps: m.deps.len(),
-                dependents: Vec::new(),
-                eligible_at: m.min_start,
-                injected: SimTime::ZERO,
-                wait_since: SimTime::ZERO,
-                blocked_time: SimTime::ZERO,
-                blocks: 0,
-                port_waits: 0,
-                delivered: None,
-            }
-        })
-        .collect();
-    for (i, m) in workload.iter().enumerate() {
-        for &d in &m.deps {
-            assert!(d < workload.len(), "dependency index out of range");
-            msgs[d].dependents.push(i);
-        }
+    match try_simulate(cube, resolution, params, workload) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
     }
-
-    // Event heap: (time, seq, event); seq makes ordering fully
-    // deterministic for simultaneous events.
-    let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize, usize)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<_>, seq: &mut u64, t: SimTime, e: Event| {
-        let (kind, a, b) = match e {
-            Event::Eligible(m) => (0usize, m, 0usize),
-            Event::TryAcquire(m, h) => (1, m, h),
-            Event::Complete(m) => (2, m, 0),
-        };
-        heap.push(Reverse((t, *seq, kind * (1 << 30) + a, b)));
-        *seq += 1;
-    };
-
-    for (i, m) in workload.iter().enumerate() {
-        if m.deps.is_empty() {
-            push(&mut heap, &mut seq, m.min_start, Event::Eligible(i));
-        }
-    }
-
-    // Per-node CPU availability for serialized send startup.
-    let mut cpu_free: Vec<SimTime> = vec![SimTime::ZERO; cube.node_count()];
-    let mut stats = NetStats::default();
-    let mut completed = 0usize;
-
-    while let Some(Reverse((t, _, code, hop))) = heap.pop() {
-        let kind = code >> 30;
-        let m = code & ((1 << 30) - 1);
-        match kind {
-            0 => {
-                // Eligible: run send software, then inject.
-                let src = workload[m].src.0 as usize;
-                let start = if params.cpu_serialized_startup {
-                    let s = t.max(cpu_free[src]);
-                    cpu_free[src] = s + params.t_send_sw;
-                    s
-                } else {
-                    t
-                };
-                let inject = start + params.t_send_sw;
-                msgs[m].injected = inject;
-                push(&mut heap, &mut seq, inject, Event::TryAcquire(m, 0));
-            }
-            1 => {
-                // TryAcquire channel `hop` of msg `m`.
-                let ch = msgs[m].route[hop];
-                if channels[ch].holder.is_none() {
-                    channels[ch].holder = Some(m);
-                    let hop_cost = if map.is_virtual(ch) { SimTime::ZERO } else { params.t_hop };
-                    let arrive = t + hop_cost;
-                    if hop + 1 < msgs[m].route.len() {
-                        push(&mut heap, &mut seq, arrive, Event::TryAcquire(m, hop + 1));
-                    } else {
-                        let drain = arrive + params.t_byte * u64::from(workload[m].bytes);
-                        push(&mut heap, &mut seq, drain, Event::Complete(m));
-                    }
-                } else {
-                    // Block in place: keep held channels, queue FIFO.
-                    // A block at hop 0 holds nothing upstream — it is
-                    // source-side port serialization (Theorem 3's benign
-                    // case), not network contention.
-                    msgs[m].wait_since = t;
-                    if map.is_virtual(ch) || hop == 0 {
-                        msgs[m].port_waits += 1;
-                        stats.port_waits += 1;
-                    } else {
-                        msgs[m].blocks += 1;
-                        stats.blocks += 1;
-                    }
-                    channels[ch].queue.push_back((m, hop));
-                }
-            }
-            2 => {
-                // Complete: release the whole route, deliver, wake deps.
-                let route = std::mem::take(&mut msgs[m].route);
-                for &ch in &route {
-                    debug_assert_eq!(channels[ch].holder, Some(m));
-                    channels[ch].holder = None;
-                    if let Some((w, whop)) = channels[ch].queue.pop_front() {
-                        let waited = t.saturating_sub(msgs[w].wait_since);
-                        msgs[w].blocked_time += waited;
-                        if map.is_virtual(ch) || whop == 0 {
-                            stats.port_wait_time += waited;
-                        } else {
-                            stats.blocked_time += waited;
-                        }
-                        push(&mut heap, &mut seq, t, Event::TryAcquire(w, whop));
-                    }
-                }
-                msgs[m].route = route;
-                let delivered = t + params.t_recv_sw;
-                msgs[m].delivered = Some(delivered);
-                stats.makespan = stats.makespan.max(delivered);
-                completed += 1;
-                let dependents = std::mem::take(&mut msgs[m].dependents);
-                for &d in &dependents {
-                    msgs[d].pending_deps -= 1;
-                    if msgs[d].pending_deps == 0 {
-                        let at = msgs[d].eligible_at.max(delivered);
-                        push(&mut heap, &mut seq, at, Event::Eligible(d));
-                    }
-                }
-                msgs[m].dependents = dependents;
-            }
-            _ => unreachable!(),
-        }
-    }
-
-    assert_eq!(
-        completed,
-        workload.len(),
-        "workload contains a dependency cycle or unsatisfiable message"
-    );
-
-    let messages = msgs
-        .iter()
-        .map(|s| {
-            let delivered = s.delivered.expect("all messages completed");
-            MessageResult {
-                injected: s.injected,
-                network_done: delivered - params.t_recv_sw,
-                delivered,
-                blocked_time: s.blocked_time,
-                blocks: s.blocks,
-                port_waits: s.port_waits,
-            }
-        })
-        .collect();
-    RunResult { messages, stats }
 }
 
 #[cfg(test)]
@@ -332,6 +748,8 @@ mod tests {
         let r = run(4, &p, &[msg(0b0101, 0b1110, 4096, vec![])]);
         assert_eq!(r.messages[0].delivered, p.unicast_latency(3, 4096));
         assert_eq!(r.messages[0].blocks, 0);
+        assert_eq!(r.messages[0].outcome, Outcome::Delivered);
+        assert_eq!(r.delivery_ratio(), 1.0);
     }
 
     #[test]
@@ -374,7 +792,10 @@ mod tests {
         let r = run(
             3,
             &p,
-            &[msg(0b000, 0b011, 4096, vec![]), msg(0b110, 0b011, 4096, vec![])],
+            &[
+                msg(0b000, 0b011, 4096, vec![]),
+                msg(0b110, 0b011, 4096, vec![]),
+            ],
         );
         let loser = &r.messages[1];
         assert_eq!(loser.blocks, 1);
@@ -434,7 +855,10 @@ mod tests {
         let r = run(
             3,
             &p,
-            &[msg(0b001, 0b011, 4096, vec![]), msg(0b111, 0b011, 4096, vec![])],
+            &[
+                msg(0b001, 0b011, 4096, vec![]),
+                msg(0b111, 0b011, 4096, vec![]),
+            ],
         );
         let early = r.messages.iter().map(|m| m.delivered).min().unwrap();
         let late = r.messages.iter().map(|m| m.delivered).max().unwrap();
@@ -447,7 +871,10 @@ mod tests {
         let r = run(
             3,
             &p,
-            &[msg(0, 0b100, 4096, vec![]), msg(0b100, 0b110, 4096, vec![0])],
+            &[
+                msg(0, 0b100, 4096, vec![]),
+                msg(0b100, 0b110, 4096, vec![0]),
+            ],
         );
         // The forward cannot start before delivery of the inbound.
         assert!(r.messages[1].injected >= r.messages[0].delivered + p.t_send_sw);
@@ -481,5 +908,221 @@ mod tests {
     fn rejects_self_send() {
         let p = SimParams::ideal(PortModel::AllPort);
         let _ = run(3, &p, &[msg(1, 1, 10, vec![])]);
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_workloads() {
+        let p = SimParams::ideal(PortModel::AllPort);
+        let cube = Cube::of(3);
+        let r = try_simulate(cube, Resolution::HighToLow, &p, &[msg(1, 1, 10, vec![])]);
+        assert_eq!(r.unwrap_err(), SimError::SelfSend { index: 0 });
+        let r = try_simulate(cube, Resolution::HighToLow, &p, &[msg(0, 1, 10, vec![9])]);
+        assert_eq!(
+            r.unwrap_err(),
+            SimError::DependencyOutOfRange { index: 0, dep: 9 }
+        );
+        // Two messages depending on each other: a cycle.
+        let r = try_simulate(
+            cube,
+            Resolution::HighToLow,
+            &p,
+            &[msg(0, 1, 10, vec![1]), msg(2, 3, 10, vec![0])],
+        );
+        match r.unwrap_err() {
+            SimError::DependencyCycle { stuck } => assert_eq!(stuck, vec![0, 1]),
+            e => panic!("expected cycle, got {e}"),
+        }
+    }
+
+    // ----- fault injection ----------------------------------------------
+
+    fn with_faults(
+        n: u8,
+        params: &SimParams,
+        workload: &[DepMessage],
+        plan: &FaultPlan,
+    ) -> Result<RunResult, SimError> {
+        simulate_with_faults(Cube::of(n), Resolution::HighToLow, params, workload, plan)
+    }
+
+    #[test]
+    fn empty_plan_is_identical_to_fault_free_run() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let workload: Vec<DepMessage> = (1..8u32).map(|d| msg(0, d, 4096, vec![])).collect();
+        let a = run(3, &p, &workload);
+        let b = with_faults(3, &p, &workload, &FaultPlan::none()).unwrap();
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn dead_channel_fails_the_worm_and_releases_holds() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        // 0 → 0b011 routes 0 → 0b010 → 0b011 (high-to-low). Kill the
+        // second hop: the worm aborts after holding the first channel,
+        // which a subsequent message must then be able to acquire.
+        let mut plan = FaultPlan::none();
+        plan.fail_link(NodeId(0b010), Dim(0));
+        let r = with_faults(
+            3,
+            &p,
+            &[msg(0, 0b011, 4096, vec![]), msg(0, 0b010, 4096, vec![])],
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(
+            r.messages[0].outcome,
+            Outcome::Failed(FaultCause::DeadChannel)
+        );
+        assert_eq!(r.messages[1].outcome, Outcome::Delivered);
+        assert_eq!(r.stats.failed, 1);
+        assert!(r.delivery_ratio() < 1.0);
+    }
+
+    #[test]
+    fn dead_endpoint_fails_immediately_and_cascades() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let mut plan = FaultPlan::none();
+        plan.fail_node(NodeId(0b100));
+        let r = with_faults(
+            3,
+            &p,
+            &[
+                msg(0, 0b100, 4096, vec![]),      // dest dead
+                msg(0b100, 0b110, 4096, vec![0]), // source dead AND dep failed
+                msg(0b110, 0b111, 4096, vec![1]), // transitively lost
+                msg(0, 0b001, 4096, vec![]),      // unaffected
+            ],
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(
+            r.messages[0].outcome,
+            Outcome::Failed(FaultCause::DeadEndpoint)
+        );
+        assert!(matches!(r.messages[1].outcome, Outcome::Failed(_)));
+        assert_eq!(
+            r.messages[2].outcome,
+            Outcome::Failed(FaultCause::DependencyFailed)
+        );
+        assert_eq!(r.messages[3].outcome, Outcome::Delivered);
+        assert_eq!(r.delivered_count(), 1);
+    }
+
+    #[test]
+    fn routing_through_a_dead_node_fails_the_worm() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        // 0 → 0b011 passes through 0b010; killing that node (not an
+        // endpoint) kills the route's channels.
+        let mut plan = FaultPlan::none();
+        plan.fail_node(NodeId(0b010));
+        let r = with_faults(3, &p, &[msg(0, 0b011, 4096, vec![])], &plan).unwrap();
+        assert_eq!(
+            r.messages[0].outcome,
+            Outcome::Failed(FaultCause::DeadChannel)
+        );
+    }
+
+    #[test]
+    fn transient_stall_delays_but_delivers() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let clean = run(3, &p, &[msg(0, 0b100, 4096, vec![])]);
+        let mut plan = FaultPlan::none();
+        // Stall the only hop across its acquisition time.
+        plan.stall(NodeId(0), Dim(2), SimTime::ZERO, SimTime::from_us(500));
+        let r = with_faults(3, &p, &[msg(0, 0b100, 4096, vec![])], &plan).unwrap();
+        assert_eq!(r.messages[0].outcome, Outcome::Delivered);
+        assert!(r.messages[0].delivered > clean.messages[0].delivered);
+        assert!(r.messages[0].blocked_time >= SimTime::from_us(400));
+    }
+
+    #[test]
+    fn stuck_channel_is_a_detected_deadlock() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let mut plan = FaultPlan::none();
+        plan.stick(NodeId(0b010), Dim(0));
+        // msg 0 holds 0→0b010 then queues forever on the stuck channel;
+        // msg 1 queues behind msg 0's held channel.
+        let err = with_faults(
+            3,
+            &p,
+            &[msg(0, 0b011, 4096, vec![]), msg(0b100, 0b010, 4096, vec![])],
+            &plan,
+        )
+        .unwrap_err();
+        match err {
+            SimError::Deadlock {
+                holders, waiters, ..
+            } => {
+                assert_eq!(waiters, vec![0, 1]);
+                assert_eq!(holders, vec![0], "msg 0 holds what msg 1 waits on");
+            }
+            e => panic!("expected deadlock, got {e}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_detection_is_deterministic() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let mut plan = FaultPlan::none();
+        plan.stick(NodeId(0b010), Dim(0));
+        let workload = [msg(0, 0b011, 4096, vec![]), msg(0b100, 0b010, 4096, vec![])];
+        let a = with_faults(3, &p, &workload, &plan).unwrap_err();
+        let b = with_faults(3, &p, &workload, &plan).unwrap_err();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadline_rescues_a_wedged_worm_as_timeout() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let mut plan = FaultPlan::none();
+        plan.stick(NodeId(0b010), Dim(0));
+        plan.deadline_all(SimTime::from_ms(10));
+        // Same wedge as above, but the deadline converts the deadlock
+        // into TimedOut outcomes and the run completes.
+        let r = with_faults(
+            3,
+            &p,
+            &[msg(0, 0b011, 4096, vec![]), msg(0b100, 0b010, 4096, vec![])],
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(r.messages[0].outcome, Outcome::TimedOut);
+        assert_eq!(r.messages[0].delivered, SimTime::from_ms(10));
+        assert_eq!(r.stats.timed_out, 2);
+    }
+
+    #[test]
+    fn timeout_releases_channels_for_later_traffic() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let mut plan = FaultPlan::none();
+        plan.stick(NodeId(0b010), Dim(0));
+        // Only msg 0 gets a deadline; msg 1 wants the channel 0→0b010
+        // that msg 0 holds while wedged, and starts after the timeout.
+        plan.deadline_for(0, SimTime::from_ms(5));
+        let mut late = msg(0, 0b010, 4096, vec![]);
+        late.min_start = SimTime::from_ms(1);
+        let r = with_faults(3, &p, &[msg(0, 0b011, 4096, vec![]), late], &plan).unwrap();
+        assert_eq!(r.messages[0].outcome, Outcome::TimedOut);
+        assert_eq!(r.messages[1].outcome, Outcome::Delivered);
+        // Delivery happened only after the timeout released the channel.
+        assert!(r.messages[1].delivered > SimTime::from_ms(5));
+    }
+
+    #[test]
+    fn per_message_deadline_overrides_global() {
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let mut plan = FaultPlan::none();
+        plan.deadline_all(SimTime::from_ns(1)); // brutally tight
+        plan.deadline_for(0, SimTime::from_ms(100)); // rescue msg 0
+        let r = with_faults(
+            3,
+            &p,
+            &[msg(0, 0b100, 4096, vec![]), msg(0b001, 0b011, 4096, vec![])],
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(r.messages[0].outcome, Outcome::Delivered);
+        assert_eq!(r.messages[1].outcome, Outcome::TimedOut);
     }
 }

@@ -1,0 +1,375 @@
+//! Fault injection for the wormhole simulator.
+//!
+//! A [`FaultPlan`] describes which parts of the network are broken and
+//! when, independent of any particular workload:
+//!
+//! * **dead links** — directed external channels that can never be
+//!   acquired: a worm whose header reaches one aborts, releasing every
+//!   channel it holds (the router's abort-and-discard path), and its
+//!   message finishes [`Failed`](crate::engine::Outcome::Failed);
+//! * **dead nodes** — every incident channel is dead, and messages whose
+//!   source or destination is dead fail immediately;
+//! * **transient stalls** — time windows during which a channel refuses
+//!   acquisition (arbitration glitches, hot-spot backpressure): worms
+//!   retry when the window closes, accruing blocked time;
+//! * **stuck channels** — held forever by a phantom worm. These never
+//!   abort anyone; they produce genuine *deadlock*, which the engine's
+//!   watchdog detects and reports as
+//!   [`SimError::Deadlock`](crate::engine::SimError::Deadlock);
+//! * **deadlines** — a global and/or per-message time bound. A message
+//!   undelivered at its deadline aborts with
+//!   [`TimedOut`](crate::engine::Outcome::TimedOut), releasing its
+//!   channels — the recovery story that distinguishes a timeout from a
+//!   deadlock.
+//!
+//! Plans are plain data: deterministic, cheap to clone, and buildable
+//! either explicitly ([`FaultPlan::fail_link`] …) or randomly from a
+//! seed ([`FaultPlan::random_links`], [`FaultPlan::random_nodes`]).
+
+use crate::time::SimTime;
+use hcube::{Cube, Dim, NodeId};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A declarative description of injected faults. See the module docs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Directed external channels that are permanently dead, as
+    /// `(from, dim)` pairs.
+    dead_links: BTreeSet<(u32, u8)>,
+    /// Nodes that are down entirely.
+    dead_nodes: BTreeSet<u32>,
+    /// Transient unavailability windows `[from, until)` per channel,
+    /// kept sorted by start time.
+    stalls: BTreeMap<(u32, u8), Vec<(SimTime, SimTime)>>,
+    /// Channels held forever by a phantom worm (deadlock injection).
+    stuck: BTreeSet<(u32, u8)>,
+    /// Absolute deadline applied to every message without an override.
+    default_deadline: Option<SimTime>,
+    /// Absolute per-message deadlines, keyed by workload index.
+    message_deadlines: BTreeMap<usize, SimTime>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults). [`Default`] gives the same.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self == &FaultPlan::default()
+    }
+
+    // ----- construction -------------------------------------------------
+
+    /// Kills the directed external channel leaving `from` in `dim`.
+    pub fn fail_link(&mut self, from: NodeId, dim: Dim) -> &mut Self {
+        self.dead_links.insert((from.0, dim.0));
+        self
+    }
+
+    /// Kills both directions of the physical link between `a` and its
+    /// neighbor across `dim` (a severed cable rather than a dead driver).
+    pub fn fail_duplex(&mut self, a: NodeId, dim: Dim) -> &mut Self {
+        let b = NodeId(a.0 ^ (1 << dim.0));
+        self.fail_link(a, dim);
+        self.fail_link(b, dim)
+    }
+
+    /// Takes node `v` down: every incident channel dies, and messages
+    /// sourced at or destined to `v` fail immediately.
+    pub fn fail_node(&mut self, v: NodeId) -> &mut Self {
+        self.dead_nodes.insert(v.0);
+        self
+    }
+
+    /// Makes the channel leaving `from` in `dim` refuse acquisition
+    /// during `[from_t, until_t)`. Windows may overlap; later lookups
+    /// resolve chains.
+    ///
+    /// # Panics
+    /// If `until_t <= from_t` (an empty window is a plan bug).
+    pub fn stall(
+        &mut self,
+        from: NodeId,
+        dim: Dim,
+        from_t: SimTime,
+        until_t: SimTime,
+    ) -> &mut Self {
+        assert!(until_t > from_t, "stall window must have positive length");
+        let windows = self.stalls.entry((from.0, dim.0)).or_default();
+        windows.push((from_t, until_t));
+        windows.sort_unstable();
+        self
+    }
+
+    /// Marks the channel leaving `from` in `dim` as held forever by a
+    /// phantom worm — the deterministic way to inject a deadlock.
+    pub fn stick(&mut self, from: NodeId, dim: Dim) -> &mut Self {
+        self.stuck.insert((from.0, dim.0));
+        self
+    }
+
+    /// Sets the absolute deadline applied to every message that has no
+    /// per-message override: undelivered at `t`, a message aborts with
+    /// `TimedOut` and releases its channels.
+    pub fn deadline_all(&mut self, t: SimTime) -> &mut Self {
+        self.default_deadline = Some(t);
+        self
+    }
+
+    /// Sets an absolute deadline for workload message `index` only.
+    pub fn deadline_for(&mut self, index: usize, t: SimTime) -> &mut Self {
+        self.message_deadlines.insert(index, t);
+        self
+    }
+
+    // ----- random generation --------------------------------------------
+
+    /// A plan with `k` distinct directed external links of `cube` chosen
+    /// uniformly at random from `seed` (deterministic). `k` saturates at
+    /// the channel count.
+    #[must_use]
+    pub fn random_links(cube: Cube, k: usize, seed: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c69_6e6b); // "link"
+        let mut all: Vec<(u32, u8)> = cube
+            .nodes()
+            .flat_map(|v| cube.dims().map(move |d| (v.0, d.0)))
+            .collect();
+        let k = k.min(all.len());
+        let (chosen, _) = all.partial_shuffle(&mut rng, k);
+        let mut plan = FaultPlan::none();
+        for &(v, d) in chosen.iter() {
+            plan.fail_link(NodeId(v), Dim(d));
+        }
+        plan
+    }
+
+    /// A plan with `k` distinct dead nodes chosen uniformly at random
+    /// from `seed`, never choosing nodes listed in `protected` (the
+    /// multicast source, typically). `k` saturates at the number of
+    /// eligible nodes.
+    #[must_use]
+    pub fn random_nodes(cube: Cube, k: usize, seed: u64, protected: &[NodeId]) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6e6f_6465); // "node"
+        let mut all: Vec<u32> = cube
+            .nodes()
+            .map(|v| v.0)
+            .filter(|v| !protected.iter().any(|p| p.0 == *v))
+            .collect();
+        let k = k.min(all.len());
+        let (chosen, _) = all.partial_shuffle(&mut rng, k);
+        let mut plan = FaultPlan::none();
+        for &v in chosen.iter() {
+            plan.fail_node(NodeId(v));
+        }
+        plan
+    }
+
+    // ----- queries (used by the engine) ---------------------------------
+
+    /// Whether node `v` is down.
+    #[must_use]
+    pub fn node_dead(&self, v: NodeId) -> bool {
+        self.dead_nodes.contains(&v.0)
+    }
+
+    /// Whether the directed channel leaving `from` in `dim` is unusable:
+    /// the link itself is dead, or either endpoint node is down.
+    #[must_use]
+    pub fn channel_dead(&self, from: NodeId, dim: Dim) -> bool {
+        self.dead_links.contains(&(from.0, dim.0))
+            || self.node_dead(from)
+            || self.node_dead(NodeId(from.0 ^ (1 << dim.0)))
+    }
+
+    /// Whether the channel leaving `from` in `dim` is stuck (phantom
+    /// holder, never released).
+    #[must_use]
+    pub fn channel_stuck(&self, from: NodeId, dim: Dim) -> bool {
+        self.stuck.contains(&(from.0, dim.0))
+    }
+
+    /// If the channel is inside a stall window at `t`, the time the
+    /// window (including any chained overlapping windows) ends.
+    #[must_use]
+    pub fn stalled_until(&self, from: NodeId, dim: Dim, t: SimTime) -> Option<SimTime> {
+        let windows = self.stalls.get(&(from.0, dim.0))?;
+        let mut now = t;
+        let mut hit = false;
+        // Windows are sorted by start; chase chained windows forward.
+        loop {
+            let mut advanced = false;
+            for &(s, e) in windows {
+                if s <= now && now < e {
+                    now = e;
+                    advanced = true;
+                    hit = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        hit.then_some(now)
+    }
+
+    /// The absolute deadline of workload message `index`, if any.
+    #[must_use]
+    pub fn deadline(&self, index: usize) -> Option<SimTime> {
+        self.message_deadlines
+            .get(&index)
+            .copied()
+            .or(self.default_deadline)
+    }
+
+    /// The dead directed links, as `(from, dim)`.
+    pub fn dead_links(&self) -> impl Iterator<Item = (NodeId, Dim)> + '_ {
+        self.dead_links.iter().map(|&(v, d)| (NodeId(v), Dim(d)))
+    }
+
+    /// The dead nodes.
+    pub fn dead_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dead_nodes.iter().map(|&v| NodeId(v))
+    }
+
+    /// The stuck channels, as `(from, dim)`.
+    pub fn stuck_channels(&self) -> impl Iterator<Item = (NodeId, Dim)> + '_ {
+        self.stuck.iter().map(|&(v, d)| (NodeId(v), Dim(d)))
+    }
+
+    /// Number of dead directed links (not counting links implied by dead
+    /// nodes).
+    #[must_use]
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.len()
+    }
+}
+
+/// Bridge to `hypercast`'s tree-repair machinery: the structural
+/// (time-independent) faults of a plan — dead links and dead nodes — as
+/// a [`hypercast::repair::NetworkFaults`]. Transient stalls, stuck
+/// channels, and deadlines have no structural counterpart and are
+/// dropped: a repaired tree routes around permanent damage and rides out
+/// temporal faults at simulation time.
+impl From<&FaultPlan> for hypercast::repair::NetworkFaults {
+    fn from(plan: &FaultPlan) -> hypercast::repair::NetworkFaults {
+        let mut f = hypercast::repair::NetworkFaults::new();
+        for (v, d) in plan.dead_links() {
+            f.fail_link(v, d);
+        }
+        for v in plan.dead_nodes() {
+            f.fail_node(v);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_kills_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.channel_dead(NodeId(0), Dim(0)));
+        assert!(!p.node_dead(NodeId(3)));
+        assert_eq!(p.deadline(7), None);
+        assert_eq!(p.stalled_until(NodeId(0), Dim(0), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn dead_node_kills_incident_channels_both_ways() {
+        let mut p = FaultPlan::none();
+        p.fail_node(NodeId(0b010));
+        // Outgoing from the dead node.
+        assert!(p.channel_dead(NodeId(0b010), Dim(0)));
+        // Incoming from each neighbor.
+        assert!(p.channel_dead(NodeId(0b011), Dim(0)));
+        assert!(p.channel_dead(NodeId(0b000), Dim(1)));
+        assert!(p.channel_dead(NodeId(0b110), Dim(2)));
+        // Unrelated channels live.
+        assert!(!p.channel_dead(NodeId(0b100), Dim(0)));
+    }
+
+    #[test]
+    fn duplex_failure_kills_both_directions() {
+        let mut p = FaultPlan::none();
+        p.fail_duplex(NodeId(0b00), Dim(1));
+        assert!(p.channel_dead(NodeId(0b00), Dim(1)));
+        assert!(p.channel_dead(NodeId(0b10), Dim(1)));
+        assert!(!p.channel_dead(NodeId(0b00), Dim(0)));
+        assert_eq!(p.dead_link_count(), 2);
+    }
+
+    #[test]
+    fn stall_windows_chain() {
+        let mut p = FaultPlan::none();
+        p.stall(
+            NodeId(1),
+            Dim(0),
+            SimTime::from_us(10),
+            SimTime::from_us(20),
+        );
+        p.stall(
+            NodeId(1),
+            Dim(0),
+            SimTime::from_us(20),
+            SimTime::from_us(30),
+        );
+        assert_eq!(
+            p.stalled_until(NodeId(1), Dim(0), SimTime::from_us(15)),
+            Some(SimTime::from_us(30))
+        );
+        assert_eq!(
+            p.stalled_until(NodeId(1), Dim(0), SimTime::from_us(30)),
+            None
+        );
+        assert_eq!(
+            p.stalled_until(NodeId(1), Dim(0), SimTime::from_us(5)),
+            None
+        );
+    }
+
+    #[test]
+    fn deadlines_prefer_per_message() {
+        let mut p = FaultPlan::none();
+        p.deadline_all(SimTime::from_ms(1));
+        p.deadline_for(3, SimTime::from_ms(2));
+        assert_eq!(p.deadline(0), Some(SimTime::from_ms(1)));
+        assert_eq!(p.deadline(3), Some(SimTime::from_ms(2)));
+    }
+
+    #[test]
+    fn random_links_are_deterministic_and_distinct() {
+        let cube = Cube::of(4);
+        let a = FaultPlan::random_links(cube, 6, 42);
+        let b = FaultPlan::random_links(cube, 6, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.dead_link_count(), 6);
+        let c = FaultPlan::random_links(cube, 6, 43);
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+        // Saturation: more than exist.
+        let all = FaultPlan::random_links(cube, 1000, 1);
+        assert_eq!(all.dead_link_count(), 16 * 4);
+    }
+
+    #[test]
+    fn random_nodes_respect_protection() {
+        let cube = Cube::of(3);
+        for seed in 0..20 {
+            let p = FaultPlan::random_nodes(cube, 4, seed, &[NodeId(0)]);
+            assert!(!p.node_dead(NodeId(0)), "seed {seed}");
+            assert_eq!(p.dead_nodes().count(), 4);
+        }
+        // Saturation never claims the protected node.
+        let p = FaultPlan::random_nodes(cube, 100, 9, &[NodeId(5)]);
+        assert_eq!(p.dead_nodes().count(), 7);
+        assert!(!p.node_dead(NodeId(5)));
+    }
+}

@@ -99,7 +99,10 @@ pub fn simulate_flits(
     let mut remaining = msgs.len();
     let mut cycle: u64 = 0;
     while remaining > 0 {
-        assert!(cycle < 100_000_000, "flit simulation exceeded safety horizon");
+        assert!(
+            cycle < 100_000_000,
+            "flit simulation exceeded safety horizon"
+        );
         for (i, m) in msgs.iter_mut().enumerate() {
             if m.delivered.is_some() || workload[i].start_cycle > cycle {
                 continue;
@@ -205,7 +208,13 @@ fn try_acquire_advance(
 /// After the head (or the consumed slot) moved forward one position, the
 /// packed pipeline advances: either a new flit injects at the tail, or
 /// the tail channel is released (tail flit has left it).
-fn shift_tail(i: usize, m: &mut MsgState, total: u32, owner: &mut [Option<usize>], queue: &mut [VecDeque<usize>]) {
+fn shift_tail(
+    i: usize,
+    m: &mut MsgState,
+    total: u32,
+    owner: &mut [Option<usize>],
+    queue: &mut [VecDeque<usize>],
+) {
     let _ = queue;
     let in_network = total - m.at_source - m.consumed;
     if m.at_source > 0 {
@@ -233,7 +242,12 @@ mod tests {
     use hypercast::PortModel;
 
     fn fm(src: u32, dst: u32, flits: u32) -> FlitMessage {
-        FlitMessage { src: NodeId(src), dst: NodeId(dst), flits, start_cycle: 0 }
+        FlitMessage {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            flits,
+            start_cycle: 0,
+        }
     }
 
     /// Event-engine parameters equivalent to 1 cycle per hop and per flit,
@@ -267,7 +281,11 @@ mod tests {
     fn matches_event_engine_on_contention_free_workloads() {
         // Disjoint unicasts: event model = flit model + 1 cycle, exactly.
         let cube = Cube::of(4);
-        let flit_w = vec![fm(0, 0b0011, 8), fm(0b1000, 0b1100, 5), fm(0b0100, 0b0110, 13)];
+        let flit_w = vec![
+            fm(0, 0b0011, 8),
+            fm(0b1000, 0b1100, 5),
+            fm(0b0100, 0b0110, 13),
+        ];
         let event_w: Vec<DepMessage> = flit_w
             .iter()
             .map(|m| DepMessage {
@@ -347,7 +365,11 @@ mod tests {
         //    010→000→001 — no. C = 000→011: 000→010→011 shares (010,d0)
         //    via (000,d1) first: it will queue behind B on (010,d0).
         let big = 64;
-        let flit_w = vec![fm(0b010, 0b011, big), fm(0b110, 0b011, big), fm(0b000, 0b011, big)];
+        let flit_w = vec![
+            fm(0b010, 0b011, big),
+            fm(0b110, 0b011, big),
+            fm(0b000, 0b011, big),
+        ];
         let fr = simulate_flits(cube, Resolution::HighToLow, &flit_w);
         // All three serialize on channel (010 → 011): deliveries are
         // spread by at least a worm length each.
@@ -362,7 +384,12 @@ mod tests {
         let r = simulate_flits(
             Cube::of(3),
             Resolution::HighToLow,
-            &[FlitMessage { src: NodeId(0), dst: NodeId(1), flits: 4, start_cycle: 100 }],
+            &[FlitMessage {
+                src: NodeId(0),
+                dst: NodeId(1),
+                flits: 4,
+                start_cycle: 100,
+            }],
         );
         assert_eq!(r[0].delivered_cycle, 100 + 1 + 4 - 1);
     }
@@ -386,7 +413,13 @@ mod tests {
         let cube = Cube::of(4);
         let dests: Vec<NodeId> = (1..12).map(NodeId).collect();
         let tree = hypercast::Algorithm::WSort
-            .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+            .build(
+                cube,
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &dests,
+            )
             .unwrap();
         // Event run with cycle params.
         let mut inbound = std::collections::HashMap::new();
@@ -415,7 +448,12 @@ mod tests {
                     .get(&u.src)
                     .map(|&i| er.messages[i].delivered.as_ns())
                     .unwrap_or(0);
-                FlitMessage { src: u.src, dst: u.dst, flits: 32, start_cycle: start }
+                FlitMessage {
+                    src: u.src,
+                    dst: u.dst,
+                    flits: 32,
+                    start_cycle: start,
+                }
             })
             .collect();
         let fr = simulate_flits(cube, Resolution::HighToLow, &flit_w);

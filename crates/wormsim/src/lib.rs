@@ -43,6 +43,7 @@
 #![warn(clippy::all)]
 
 pub mod engine;
+pub mod faults;
 pub mod flit;
 pub mod multicast;
 pub mod network;
@@ -50,12 +51,17 @@ pub mod params;
 pub mod time;
 pub mod trace;
 
-pub use engine::{simulate, DepMessage, MessageResult, NetStats, RunResult};
+pub use engine::{
+    simulate, simulate_with_faults, try_simulate, DepMessage, FaultCause, MessageResult, NetStats,
+    Outcome, RunResult, SimError,
+};
+pub use faults::FaultPlan;
 pub use flit::{simulate_flits, FlitMessage, FlitResult};
 pub use multicast::{
     simulate_chunked_multicast, simulate_concurrent_multicasts, simulate_gather,
-    simulate_multicast, simulate_reduction, simulate_scatter, simulate_unicast, SimReport,
+    simulate_multicast, simulate_multicast_with_faults, simulate_reduction, simulate_scatter,
+    simulate_unicast, FaultSimReport, SimReport,
 };
-pub use trace::ChannelTrace;
 pub use params::SimParams;
 pub use time::SimTime;
+pub use trace::ChannelTrace;

@@ -8,7 +8,8 @@
 //! abstraction; contention-freedom (Definition 4) is what guarantees the
 //! self-timed execution never blocks.
 
-use crate::engine::{simulate, DepMessage, RunResult};
+use crate::engine::{simulate, simulate_with_faults, DepMessage, RunResult, SimError};
+use crate::faults::FaultPlan;
 use crate::params::SimParams;
 use crate::time::SimTime;
 use hcube::NodeId;
@@ -35,13 +36,16 @@ pub struct SimReport {
 
 impl SimReport {
     fn from_run(deliveries: Vec<(NodeId, SimTime)>, run: &RunResult) -> SimReport {
-        let max_delay = deliveries.iter().map(|&(_, t)| t).max().unwrap_or(SimTime::ZERO);
+        let max_delay = deliveries
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let avg = if deliveries.is_empty() {
             SimTime::ZERO
         } else {
             SimTime(
-                deliveries.iter().map(|&(_, t)| t.as_ns()).sum::<u64>()
-                    / deliveries.len() as u64,
+                deliveries.iter().map(|&(_, t)| t.as_ns()).sum::<u64>() / deliveries.len() as u64,
             )
         };
         SimReport {
@@ -52,6 +56,80 @@ impl SimReport {
             blocked_time: run.stats.blocked_time,
         }
     }
+}
+
+/// Outcome of a multicast replayed over a faulty network.
+#[derive(Clone, Debug)]
+pub struct FaultSimReport {
+    /// Delivery time per destination that actually received the payload.
+    pub deliveries: Vec<(NodeId, SimTime)>,
+    /// Destinations that did not receive the payload (their unicast
+    /// failed, timed out, or an ancestor's did).
+    pub lost: Vec<NodeId>,
+    /// `delivered / (delivered + lost)`; 1.0 for an empty tree.
+    pub delivery_ratio: f64,
+    /// Completion time of the last successful delivery.
+    pub makespan: SimTime,
+    /// External-channel blocking episodes (contention + stall retries).
+    pub blocks: u64,
+}
+
+/// Replays a multicast tree over a network with `plan`'s faults
+/// injected. Unicasts whose ancestors fail are themselves lost, so the
+/// report's `lost` set is exactly the subtrees cut off by the faults.
+///
+/// # Errors
+/// Propagates the engine's [`SimError`] — notably
+/// [`SimError::Deadlock`] when the plan wedges a worm forever without a
+/// deadline to rescue it.
+pub fn simulate_multicast_with_faults(
+    tree: &MulticastTree,
+    params: &SimParams,
+    bytes: u32,
+    plan: &FaultPlan,
+) -> Result<FaultSimReport, SimError> {
+    let mut inbound: HashMap<NodeId, usize> = HashMap::new();
+    for (i, u) in tree.unicasts.iter().enumerate() {
+        inbound.insert(u.dst, i);
+    }
+    let workload: Vec<DepMessage> = tree
+        .unicasts
+        .iter()
+        .map(|u| DepMessage {
+            src: u.src,
+            dst: u.dst,
+            bytes,
+            deps: inbound.get(&u.src).map(|&i| vec![i]).unwrap_or_default(),
+            min_start: SimTime::ZERO,
+        })
+        .collect();
+    let run = simulate_with_faults(tree.cube, tree.resolution, params, &workload, plan)?;
+    let mut deliveries = Vec::new();
+    let mut lost = Vec::new();
+    for (u, r) in tree.unicasts.iter().zip(&run.messages) {
+        if r.outcome.is_delivered() {
+            deliveries.push((u.dst, r.delivered));
+        } else {
+            lost.push(u.dst);
+        }
+    }
+    let total = deliveries.len() + lost.len();
+    let makespan = deliveries
+        .iter()
+        .map(|&(_, t)| t)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    Ok(FaultSimReport {
+        delivery_ratio: if total == 0 {
+            1.0
+        } else {
+            deliveries.len() as f64 / total as f64
+        },
+        deliveries,
+        lost,
+        makespan,
+        blocks: run.stats.blocks,
+    })
 }
 
 /// Simulates a multicast tree delivering a `bytes`-byte payload.
@@ -181,11 +259,16 @@ pub fn simulate_concurrent_multicasts(
                 .map(|(u, r)| (u.dst, r.delivered))
                 .collect();
             // Blocks attributable to this tree's messages only.
-            let blocks: u64 = run.messages[range.clone()].iter().map(|m| u64::from(m.blocks)).sum();
-            let blocked_time: SimTime =
-                run.messages[range].iter().map(|m| m.blocked_time).sum();
-            let max_delay =
-                deliveries.iter().map(|&(_, t)| t).max().unwrap_or(SimTime::ZERO);
+            let blocks: u64 = run.messages[range.clone()]
+                .iter()
+                .map(|m| u64::from(m.blocks))
+                .sum();
+            let blocked_time: SimTime = run.messages[range].iter().map(|m| m.blocked_time).sum();
+            let max_delay = deliveries
+                .iter()
+                .map(|&(_, t)| t)
+                .max()
+                .unwrap_or(SimTime::ZERO);
             let avg_delay = if deliveries.is_empty() {
                 SimTime::ZERO
             } else {
@@ -194,7 +277,13 @@ pub fn simulate_concurrent_multicasts(
                         / deliveries.len() as u64,
                 )
             };
-            SimReport { deliveries, avg_delay, max_delay, blocks, blocked_time }
+            SimReport {
+                deliveries,
+                avg_delay,
+                max_delay,
+                blocks,
+                blocked_time,
+            }
         })
         .collect()
 }
@@ -219,7 +308,9 @@ pub fn simulate_scatter(
         .map(|(u, &bytes)| DepMessage {
             src: u.src,
             dst: u.dst,
-            bytes: u32::try_from(bytes).expect("scatter payload fits u32"),
+            // Oversized blocks saturate instead of panicking; 4 GiB per
+            // edge is already far outside the modeled machine.
+            bytes: u32::try_from(bytes).unwrap_or(u32::MAX),
             deps: inbound.get(&u.src).map(|&i| vec![i]).unwrap_or_default(),
             min_start: SimTime::ZERO,
         })
@@ -254,7 +345,8 @@ pub fn simulate_gather(
         .map(|(u, &bytes)| DepMessage {
             src: u.src,
             dst: u.dst,
-            bytes: u32::try_from(bytes).expect("gather payload fits u32"),
+            // Saturate like `simulate_scatter` rather than panicking.
+            bytes: u32::try_from(bytes).unwrap_or(u32::MAX),
             deps: inbound.get(&u.src).cloned().unwrap_or_default(),
             min_start: SimTime::ZERO,
         })
@@ -345,7 +437,13 @@ pub fn simulate_unicast(
         cube,
         resolution,
         params,
-        &[DepMessage { src, dst, bytes, deps: Vec::new(), min_start: SimTime::ZERO }],
+        &[DepMessage {
+            src,
+            dst,
+            bytes,
+            deps: Vec::new(),
+            min_start: SimTime::ZERO,
+        }],
     );
     run.messages[0].delivered
 }
@@ -371,7 +469,9 @@ mod tests {
                 Resolution::HighToLow,
                 PortModel::AllPort,
                 NodeId(0),
-                &dests(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]),
+                &dests(&[
+                    0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+                ]),
             )
             .unwrap();
         let r = simulate_multicast(&t, &p, 4096);
@@ -385,10 +485,18 @@ mod tests {
     #[test]
     fn ucube_all_port_slower_than_wsort_here() {
         let p = SimParams::ncube2(PortModel::AllPort);
-        let set = dests(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]);
+        let set = dests(&[
+            0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+        ]);
         let build = |a: Algorithm| {
-            a.build(Cube::of(4), Resolution::HighToLow, PortModel::AllPort, NodeId(0), &set)
-                .unwrap()
+            a.build(
+                Cube::of(4),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &set,
+            )
+            .unwrap()
         };
         let u = simulate_multicast(&build(Algorithm::UCube), &p, 4096);
         let w = simulate_multicast(&build(Algorithm::WSort), &p, 4096);
@@ -447,7 +555,10 @@ mod tests {
         assert_eq!(r.deliveries.len(), 7);
         // Root receives the last contribution at max_delay; every inbound
         // edge of the root is among the deliveries.
-        assert!(r.deliveries.iter().any(|&(dst, t)| dst == NodeId(0) && t == r.max_delay));
+        assert!(r
+            .deliveries
+            .iter()
+            .any(|&(dst, t)| dst == NodeId(0) && t == r.max_delay));
     }
 
     #[test]
@@ -583,7 +694,10 @@ mod tests {
         .unwrap();
         let rg = simulate_gather(&g, cube, Resolution::HighToLow, &p);
         assert_eq!(rg.deliveries.len(), 15);
-        assert!(rg.deliveries.iter().any(|&(dst, t)| dst == NodeId(0) && t == rg.max_delay));
+        assert!(rg
+            .deliveries
+            .iter()
+            .any(|&(dst, t)| dst == NodeId(0) && t == rg.max_delay));
         let bcast = hypercast::collectives::broadcast(
             Algorithm::WSort,
             cube,
@@ -666,10 +780,48 @@ mod tests {
     }
 
     #[test]
+    fn faulty_multicast_loses_exactly_the_cut_subtree() {
+        use crate::faults::FaultPlan;
+        let p = SimParams::ncube2(PortModel::AllPort);
+        let t = hypercast::collectives::broadcast(
+            Algorithm::UCube,
+            Cube::of(3),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(0),
+        )
+        .unwrap();
+        // Kill node 0b100: its inbound unicast and every forward out of
+        // it are lost; the low half still delivers.
+        let mut plan = FaultPlan::none();
+        plan.fail_node(NodeId(0b100));
+        let r = simulate_multicast_with_faults(&t, &p, 1024, &plan).unwrap();
+        assert!(r.lost.contains(&NodeId(0b100)));
+        // U-cube broadcast from 0: node 4 forwards to 5, 6 (and 6→7 is
+        // sent by 6). Whatever the exact shape, the live half {1,2,3}
+        // must be delivered.
+        for v in [1u32, 2, 3] {
+            assert!(
+                r.deliveries.iter().any(|&(d, _)| d == NodeId(v)),
+                "node {v} should be reachable"
+            );
+        }
+        assert!(r.delivery_ratio < 1.0);
+        let clean = simulate_multicast(&t, &p, 1024);
+        assert_eq!(r.deliveries.len() + r.lost.len(), clean.deliveries.len());
+    }
+
+    #[test]
     fn empty_tree_reports_zero() {
         let p = SimParams::ncube2(PortModel::AllPort);
         let t = Algorithm::UCube
-            .build(Cube::of(3), Resolution::HighToLow, PortModel::AllPort, NodeId(0), &[])
+            .build(
+                Cube::of(3),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &[],
+            )
             .unwrap();
         let r = simulate_multicast(&t, &p, 4096);
         assert_eq!(r.max_delay, SimTime::ZERO);
@@ -686,14 +838,8 @@ mod tests {
                 if s == d {
                     continue;
                 }
-                let t = simulate_unicast(
-                    cube,
-                    Resolution::HighToLow,
-                    &p,
-                    NodeId(s),
-                    NodeId(d),
-                    1024,
-                );
+                let t =
+                    simulate_unicast(cube, Resolution::HighToLow, &p, NodeId(s), NodeId(d), 1024);
                 assert_eq!(t, p.unicast_latency(NodeId(s).distance(NodeId(d)), 1024));
             }
         }

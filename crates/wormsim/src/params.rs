@@ -14,7 +14,7 @@ use hypercast::PortModel;
 /// matching the classic wormhole latency model (startup + almost
 /// distance-insensitive network term). Channel contention adds waiting
 /// time on top, computed by the discrete-event engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimParams {
     /// Software send startup, paid on the sending processor per message
     /// (message-passing library entry, DMA setup).
@@ -127,10 +127,7 @@ mod tests {
     fn unicast_latency_formula() {
         let p = SimParams::ncube2(PortModel::AllPort);
         let t = p.unicast_latency(3, 4096);
-        assert_eq!(
-            t.as_ns(),
-            75_000 + 3 * 2_000 + 4096 * 450 + 35_000
-        );
+        assert_eq!(t.as_ns(), 75_000 + 3 * 2_000 + 4096 * 450 + 35_000);
     }
 
     #[test]

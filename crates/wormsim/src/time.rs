@@ -10,9 +10,7 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// A point in (or duration of) simulated time, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

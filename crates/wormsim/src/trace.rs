@@ -122,7 +122,11 @@ impl ChannelTrace {
             let lo = (o.from.as_ns() * width as u64 / total) as usize;
             let hi = (o.until.as_ns() * width as u64 / total) as usize;
             if let Some((_, row)) = rows.iter_mut().find(|(c, _)| *c == o.channel) {
-                for cell in row.iter_mut().take(hi.min(width - 1) + 1).skip(lo.min(width - 1)) {
+                for cell in row
+                    .iter_mut()
+                    .take(hi.min(width - 1) + 1)
+                    .skip(lo.min(width - 1))
+                {
                     *cell = glyph;
                 }
             }
@@ -159,8 +163,7 @@ mod tests {
         let cube = Cube::of(4);
         let params = SimParams::ncube2(PortModel::AllPort);
         let run = simulate(cube, Resolution::HighToLow, &params, workload);
-        let trace =
-            ChannelTrace::reconstruct(cube, Resolution::HighToLow, &params, workload, &run);
+        let trace = ChannelTrace::reconstruct(cube, Resolution::HighToLow, &params, workload, &run);
         (cube, params, trace, run)
     }
 
@@ -210,6 +213,9 @@ mod tests {
         let run = simulate(cube, Resolution::HighToLow, &params, &w);
         let trace = ChannelTrace::reconstruct(cube, Resolution::HighToLow, &params, &w, &run);
         assert_eq!(trace.occupancies.len(), 3, "injection/consumption excluded");
-        assert!(trace.occupancies.iter().all(|o| o.channel < cube.channel_count()));
+        assert!(trace
+            .occupancies
+            .iter()
+            .all(|o| o.channel < cube.channel_count()));
     }
 }

@@ -22,10 +22,22 @@ fn instance() -> impl Strategy<Value = (u8, u32, Vec<u32>)> {
     })
 }
 
-fn build(algo: Algorithm, n: u8, port: PortModel, src: u32, dests: &[u32]) -> hypercast::MulticastTree {
+fn build(
+    algo: Algorithm,
+    n: u8,
+    port: PortModel,
+    src: u32,
+    dests: &[u32],
+) -> hypercast::MulticastTree {
     let dests: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
-    algo.build(Cube::of(n), Resolution::HighToLow, port, NodeId(src), &dests)
-        .unwrap()
+    algo.build(
+        Cube::of(n),
+        Resolution::HighToLow,
+        port,
+        NodeId(src),
+        &dests,
+    )
+    .unwrap()
 }
 
 proptest! {
@@ -144,7 +156,13 @@ fn random_workload() -> impl Strategy<Value = (u8, Vec<RawMessage>)> {
     (2u8..=6).prop_flat_map(|n| {
         let nodes = 1u32 << n;
         let raw = prop::collection::vec(
-            (0..nodes, 0..nodes, 1u32..8192, prop::collection::vec(0usize..64, 0..3), 0u64..1000),
+            (
+                0..nodes,
+                0..nodes,
+                1u32..8192,
+                prop::collection::vec(0usize..64, 0..3),
+                0u64..1000,
+            ),
             1..24,
         );
         (Just(n), raw)

@@ -34,22 +34,36 @@ fn main() {
     // Broadcast: one 4 KB payload to all 63 nodes.
     let bcast = broadcast(algo, cube, res, port, root).unwrap();
     let r = simulate_multicast(&bcast, &params, 4096);
-    println!("broadcast        4 KB → all        : {:>10}   ({} steps)", format!("{}", r.max_delay), bcast.steps);
+    println!(
+        "broadcast        4 KB → all        : {:>10}   ({} steps)",
+        format!("{}", r.max_delay),
+        bcast.steps
+    );
 
     // Pipelined broadcast: same payload in 8 chunks.
     let r = simulate_chunked_multicast(&bcast, &params, 4096, 8);
-    println!("broadcast (8-chunk pipeline)       : {:>10}", format!("{}", r.max_delay));
+    println!(
+        "broadcast (8-chunk pipeline)       : {:>10}",
+        format!("{}", r.max_delay)
+    );
 
     // Reduction: 64-byte contributions combined to the root.
     let red = ReductionSchedule::from_multicast(&bcast);
     let r = simulate_reduction(&red, cube, res, &params, 64);
-    println!("reduction        64 B from all     : {:>10}", format!("{}", r.max_delay));
+    println!(
+        "reduction        64 B from all     : {:>10}",
+        format!("{}", r.max_delay)
+    );
 
     // Barrier: reduce + release.
     let b = barrier(algo, cube, res, port, root).unwrap();
     let t = simulate_reduction(&b.reduce, cube, res, &params, 16).max_delay
         + simulate_multicast(&b.release, &params, 16).max_delay;
-    println!("barrier          (reduce + release): {:>10}   ({} steps)", format!("{t}"), b.steps());
+    println!(
+        "barrier          (reduce + release): {:>10}   ({} steps)",
+        format!("{t}"),
+        b.steps()
+    );
 
     // Scatter: a distinct 1 KB block to every node.
     let s = scatter(algo, cube, res, port, root, &everyone, 1024).unwrap();
@@ -64,7 +78,10 @@ fn main() {
     // Gather: a distinct 1 KB block from every node.
     let g = gather(algo, cube, res, port, root, &everyone, 1024).unwrap();
     let r = simulate_gather(&g, cube, res, &params);
-    println!("gather           1 KB blocks       : {:>10}", format!("{}", r.max_delay));
+    println!(
+        "gather           1 KB blocks       : {:>10}",
+        format!("{}", r.max_delay)
+    );
 
     // All-to-all broadcast: every node broadcasts 512 B, concurrently.
     let trees = all_to_all_broadcast(algo, cube, res, port).unwrap();

@@ -34,15 +34,37 @@ fn show(title: &str, algo: Algorithm, port: PortModel, source: u32, dests: &[Nod
 
 fn main() {
     // ------------------------- Figure 3 -------------------------------
-    let fig3 = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]);
+    let fig3 = ids(&[
+        0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+    ]);
     println!("== Figure 3: multicast from 0000 to 8 destinations in a 4-cube ==\n");
-    show("Figure 3(c): U-cube, one-port", Algorithm::UCube, PortModel::OnePort, 0, &fig3);
-    show("Figure 3(d): U-cube, all-port", Algorithm::UCube, PortModel::AllPort, 0, &fig3);
-    show("Figure 3(e): W-sort, all-port (optimal)", Algorithm::WSort, PortModel::AllPort, 0, &fig3);
+    show(
+        "Figure 3(c): U-cube, one-port",
+        Algorithm::UCube,
+        PortModel::OnePort,
+        0,
+        &fig3,
+    );
+    show(
+        "Figure 3(d): U-cube, all-port",
+        Algorithm::UCube,
+        PortModel::AllPort,
+        0,
+        &fig3,
+    );
+    show(
+        "Figure 3(e): W-sort, all-port (optimal)",
+        Algorithm::WSort,
+        PortModel::AllPort,
+        0,
+        &fig3,
+    );
 
     // ------------------------- Figure 5 -------------------------------
     println!("== Figure 5: the d0-relative dimension-ordered chain ==\n");
-    let dests = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111]);
+    let dests = ids(&[
+        0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111,
+    ]);
     let chain = relative_chain(Resolution::HighToLow, 4, NodeId(0b0100), &dests).unwrap();
     println!(
         "source 0100, destinations {:?}",
@@ -52,22 +74,64 @@ fn main() {
         "Φ = {:?}\n",
         chain.iter().map(|d| d.binary(4)).collect::<Vec<_>>()
     );
-    show("Figure 5: U-cube from 0100, one-port", Algorithm::UCube, PortModel::OnePort, 0b0100, &dests);
+    show(
+        "Figure 5: U-cube from 0100, one-port",
+        Algorithm::UCube,
+        PortModel::OnePort,
+        0b0100,
+        &dests,
+    );
 
     // ------------------------- Figure 6 -------------------------------
     println!("== Figure 6: the Maxport pathology ==\n");
     let fig6 = ids(&[0b1001, 0b1010, 0b1011]);
-    show("Figure 6(a): Maxport needs 3 steps", Algorithm::Maxport, PortModel::AllPort, 0, &fig6);
-    show("Figure 6(b): U-cube needs only 2", Algorithm::UCube, PortModel::AllPort, 0, &fig6);
+    show(
+        "Figure 6(a): Maxport needs 3 steps",
+        Algorithm::Maxport,
+        PortModel::AllPort,
+        0,
+        &fig6,
+    );
+    show(
+        "Figure 6(b): U-cube needs only 2",
+        Algorithm::UCube,
+        PortModel::AllPort,
+        0,
+        &fig6,
+    );
 
     // ------------------------- Figure 8 -------------------------------
     println!("== Figure 8: weighted_sort in action ==\n");
     let mut d = ids(&[0, 1, 3, 5, 7, 11, 12, 14, 15]);
-    println!("dimension-ordered D = {:?}", d.iter().map(|v| v.0).collect::<Vec<_>>());
+    println!(
+        "dimension-ordered D = {:?}",
+        d.iter().map(|v| v.0).collect::<Vec<_>>()
+    );
     weighted_sort(&mut d, 4);
-    println!("weighted_sort(D)   = {:?}  (matches the paper)\n", d.iter().map(|v| v.0).collect::<Vec<_>>());
+    println!(
+        "weighted_sort(D)   = {:?}  (matches the paper)\n",
+        d.iter().map(|v| v.0).collect::<Vec<_>>()
+    );
     let fig8 = ids(&[1, 3, 5, 7, 11, 12, 14, 15]);
-    show("Figure 8(a): U-cube, 4 steps", Algorithm::UCube, PortModel::AllPort, 0, &fig8);
-    show("Figure 8(b): Maxport, 4 steps", Algorithm::Maxport, PortModel::AllPort, 0, &fig8);
-    show("Figure 8(c): W-sort, 2 steps", Algorithm::WSort, PortModel::AllPort, 0, &fig8);
+    show(
+        "Figure 8(a): U-cube, 4 steps",
+        Algorithm::UCube,
+        PortModel::AllPort,
+        0,
+        &fig8,
+    );
+    show(
+        "Figure 8(b): Maxport, 4 steps",
+        Algorithm::Maxport,
+        PortModel::AllPort,
+        0,
+        &fig8,
+    );
+    show(
+        "Figure 8(c): W-sort, 2 steps",
+        Algorithm::WSort,
+        PortModel::AllPort,
+        0,
+        &fig8,
+    );
 }

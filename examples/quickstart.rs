@@ -20,7 +20,11 @@ fn main() {
     let source = NodeId(0);
     let dests: Vec<NodeId> = (1..=40u32).map(|i| NodeId(i * 6 % 256)).collect();
 
-    println!("multicast: {} destinations in an {}-cube\n", dests.len(), cube.dimension());
+    println!(
+        "multicast: {} destinations in an {}-cube\n",
+        dests.len(),
+        cube.dimension()
+    );
     println!(
         "{:>10} {:>6} {:>10} {:>12} {:>12} {:>8}",
         "algorithm", "steps", "messages", "avg delay", "max delay", "blocks"
@@ -48,5 +52,8 @@ fn main() {
     let tree = Algorithm::WSort
         .build(cube, resolution, port, source, &dests[..8])
         .unwrap();
-    println!("\nW-sort tree for the first 8 destinations:\n{}", tree.render());
+    println!(
+        "\nW-sort tree for the first 8 destinations:\n{}",
+        tree.render()
+    );
 }

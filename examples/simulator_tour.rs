@@ -38,10 +38,7 @@ fn main() {
     println!("\n== 2. Distance insensitivity (4 KB payload) ==");
     for dst in [1u32, 0b11, 0b1111, 0b111111] {
         let t = simulate_unicast(cube, res, &params, NodeId(0), NodeId(dst), 4096);
-        println!(
-            "  {} hops → {t}",
-            NodeId(0).distance(NodeId(dst))
-        );
+        println!("  {} hops → {t}", NodeId(0).distance(NodeId(dst)));
     }
     println!("  (5 extra hops cost 10 µs of ~2 ms: wormhole routing)");
 
@@ -51,7 +48,10 @@ fn main() {
         cube,
         res,
         &params,
-        &[msg(0b000000, 0b000011, 4096, vec![]), msg(0b000110, 0b000011, 4096, vec![])],
+        &[
+            msg(0b000000, 0b000011, 4096, vec![]),
+            msg(0b000110, 0b000011, 4096, vec![]),
+        ],
     );
     for (i, m) in run.messages.iter().enumerate() {
         println!(
@@ -96,7 +96,10 @@ fn main() {
         ],
     );
     for (i, m) in run.messages.iter().enumerate() {
-        println!("  stage {i}: injected {} delivered {}", m.injected, m.delivered);
+        println!(
+            "  stage {i}: injected {} delivered {}",
+            m.injected, m.delivered
+        );
     }
     println!("  each stage starts only after the previous payload arrives");
 }

@@ -22,7 +22,10 @@ fn broadcast_delay_scales_with_tree_depth() {
         let r = simulate_multicast(&t, &params, 4096);
         assert_eq!(r.blocks, 0);
         assert_eq!(r.deliveries.len(), (1 << n) - 1);
-        assert!(r.max_delay > prev, "broadcast cost must grow with cube size");
+        assert!(
+            r.max_delay > prev,
+            "broadcast cost must grow with cube size"
+        );
         prev = r.max_delay;
     }
 }
@@ -32,8 +35,14 @@ fn reduction_simulates_cleanly_for_every_algorithm() {
     let params = SimParams::ncube2(PortModel::AllPort);
     let cube = Cube::of(5);
     for algo in Algorithm::PAPER {
-        let bcast = broadcast(algo, cube, Resolution::HighToLow, PortModel::AllPort, NodeId(9))
-            .unwrap();
+        let bcast = broadcast(
+            algo,
+            cube,
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            NodeId(9),
+        )
+        .unwrap();
         let red = ReductionSchedule::from_multicast(&bcast);
         assert!(red.is_causal());
         let r = simulate_reduction(&red, cube, Resolution::HighToLow, &params, 64);

@@ -65,7 +65,10 @@ fn witness_contention_is_physical() {
         )
         .unwrap();
     let r = simulate_multicast(&t, &SimParams::ncube2(PortModel::AllPort), 4096);
-    assert!(r.blocks > 0, "Definition-4 violation must surface as blocking");
+    assert!(
+        r.blocks > 0,
+        "Definition-4 violation must surface as blocking"
+    );
 }
 
 #[test]
@@ -103,7 +106,13 @@ fn combine_contention_free_on_randomized_scan() {
             pool.shuffle(&mut rng);
             let dests: Vec<NodeId> = pool[..m].iter().map(|&v| NodeId(v)).collect();
             let t = Algorithm::Combine
-                .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+                .build(
+                    cube,
+                    Resolution::HighToLow,
+                    PortModel::AllPort,
+                    NodeId(0),
+                    &dests,
+                )
                 .unwrap();
             assert!(
                 is_contention_free(&t),
@@ -125,7 +134,13 @@ fn maxport_and_wsort_never_block_in_simulation_scan() {
         let dests: Vec<NodeId> = pool[..m].iter().map(|&v| NodeId(v)).collect();
         for algo in [Algorithm::Maxport, Algorithm::WSort] {
             let t = algo
-                .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+                .build(
+                    cube,
+                    Resolution::HighToLow,
+                    PortModel::AllPort,
+                    NodeId(0),
+                    &dests,
+                )
                 .unwrap();
             let r = simulate_multicast(&t, &params, 1024);
             assert_eq!(r.blocks, 0, "{algo} blocked on {dests:?}");

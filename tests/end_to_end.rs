@@ -19,8 +19,9 @@ fn fig09_pipeline_smoke() {
     // Rendering works.
     assert!(f.to_table().contains("fig09"));
     assert!(f.to_ascii_plot(60, 12).contains("legend"));
-    let json: serde_json::Value = serde_json::from_str(&f.to_json()).unwrap();
+    let json = workloads::json::parse(&f.to_json()).unwrap();
     assert_eq!(json["id"], "fig09");
+    assert_eq!(json["series"].as_array().unwrap().len(), 4);
 }
 
 #[test]
@@ -73,7 +74,13 @@ fn ucube_staircase_vs_wsort_smoothness() {
             let d_before = d_after[..m_before].to_vec();
             for (set, acc) in [(&d_before, &mut total_before), (&d_after, &mut total_after)] {
                 let t = Algorithm::UCube
-                    .build(cube, Resolution::HighToLow, PortModel::OnePort, NodeId(0), set)
+                    .build(
+                        cube,
+                        Resolution::HighToLow,
+                        PortModel::OnePort,
+                        NodeId(0),
+                        set,
+                    )
                     .unwrap();
                 *acc += t.steps;
             }
@@ -97,7 +104,13 @@ fn full_stack_deterministic() {
         let mut rng = trial_rng("e2e-det", 1, 2);
         let dests = random_dests(&mut rng, cube, NodeId(0), 40);
         let t = Algorithm::WSort
-            .build(cube, Resolution::HighToLow, PortModel::AllPort, NodeId(0), &dests)
+            .build(
+                cube,
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &dests,
+            )
             .unwrap();
         simulate_multicast(&t, &SimParams::ncube2(PortModel::AllPort), 4096)
             .max_delay

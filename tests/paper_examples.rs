@@ -16,12 +16,20 @@ fn ids(v: &[u32]) -> Vec<NodeId> {
 
 /// The Figure 2/3 multicast: source 0000, eight destinations in a 4-cube.
 fn figure_3_dests() -> Vec<NodeId> {
-    ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111])
+    ids(&[
+        0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111,
+    ])
 }
 
 fn build(algo: Algorithm, port: PortModel, source: u32, dests: &[NodeId]) -> MulticastTree {
-    algo.build(Cube::of(4), Resolution::HighToLow, port, NodeId(source), dests)
-        .unwrap()
+    algo.build(
+        Cube::of(4),
+        Resolution::HighToLow,
+        port,
+        NodeId(source),
+        dests,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -65,7 +73,9 @@ fn figure_3e_wsort_takes_two_steps_contention_free() {
 #[test]
 fn figure_5_relative_chain_and_steps() {
     // Source 0100; the paper's Φ.
-    let dests = ids(&[0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111]);
+    let dests = ids(&[
+        0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111,
+    ]);
     let chain = relative_chain(Resolution::HighToLow, 4, NodeId(0b0100), &dests).unwrap();
     assert_eq!(
         chain,
@@ -86,9 +96,18 @@ fn figure_5_relative_chain_and_steps() {
 #[test]
 fn figure_6_maxport_pathology_and_combine_fix() {
     let dests = ids(&[0b1001, 0b1010, 0b1011]);
-    assert_eq!(build(Algorithm::Maxport, PortModel::AllPort, 0, &dests).steps, 3);
-    assert_eq!(build(Algorithm::UCube, PortModel::AllPort, 0, &dests).steps, 2);
-    assert_eq!(build(Algorithm::Combine, PortModel::AllPort, 0, &dests).steps, 2);
+    assert_eq!(
+        build(Algorithm::Maxport, PortModel::AllPort, 0, &dests).steps,
+        3
+    );
+    assert_eq!(
+        build(Algorithm::UCube, PortModel::AllPort, 0, &dests).steps,
+        2
+    );
+    assert_eq!(
+        build(Algorithm::Combine, PortModel::AllPort, 0, &dests).steps,
+        2
+    );
 }
 
 #[test]
@@ -109,7 +128,11 @@ fn figure_8_weighted_sort_chain_and_step_counts() {
     // so all its sends are same-step.
     for uc in &m.unicasts {
         let parent_recv = m.recv_step(uc.src).unwrap();
-        assert_eq!(uc.step, parent_recv + 1, "Maxport sends all fire immediately");
+        assert_eq!(
+            uc.step,
+            parent_recv + 1,
+            "Maxport sends all fire immediately"
+        );
     }
     // Figure 8(c) tree shape: node 14 forwards to 15, 12 and 11.
     let from_14: Vec<u32> = w

@@ -1,0 +1,261 @@
+//! Minimal, dependency-free stand-in for the subset of the
+//! [`criterion`] crate API used by this workspace's benches.
+//!
+//! The build environment is offline, so the workspace vendors a small
+//! wall-clock harness with the same surface: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Each
+//! benchmark runs a short calibration pass followed by `sample_size`
+//! timed samples and prints `min / median / mean` per iteration.
+//!
+//! Not statistical rigor — just a usable, dependency-free way to run
+//! `cargo bench` offline and compare orders of magnitude.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Harness entry point handed to every bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // ignore harness flags such as `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` directly under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(&full, n, self.parent.filter.as_deref(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just `<parameter>`.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timing driver passed to the closure under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean per-iteration time of the sample this run recorded.
+    sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate an iteration count targeting ~20 ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.sample = Some(start.elapsed() / iters);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, filter: Option<&str>, mut f: F) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(2) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if let Some(t) = b.sample {
+            times.push(t);
+        }
+    }
+    if times.is_empty() {
+        println!("{id:<48} (no samples: bencher.iter never called)");
+        return;
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{id:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        times.len()
+    );
+}
+
+/// Declares a group of bench functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let input = 21u64;
+        g.bench_with_input(BenchmarkId::new("double", input), &input, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("nomatch".into()),
+        };
+        let mut calls = 0u32;
+        c.bench_function("other", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 0);
+    }
+}
