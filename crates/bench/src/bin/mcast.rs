@@ -11,15 +11,31 @@
 //! With any fault flag, each tree is additionally replayed over the
 //! faulty network (delivery ratio, makespan) and then repaired with
 //! `hypercast::repair` and replayed again.
+//!
+//! `--topology torus --arity K` switches to a k-ary n-cube: the tree
+//! algorithms are hypercube-specific, so the torus path simulates
+//! separate addressing (one dimension-ordered unicast per destination)
+//! on the dateline-VC router and reports the same delay/utilization
+//! summary.
 
-use hcube::{Cube, Dim, NodeId, Resolution};
+use hcube::{Cube, Dim, NodeId, Resolution, Topology, Torus, TorusRouter};
 use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
 use hypercast::{Algorithm, PortModel};
-use wormsim::{simulate, ChannelTrace, DepMessage, FaultPlan, SimParams, SimTime};
+use wormsim::{
+    simulate, simulate_on, ChannelTrace, DepMessage, FaultPlan, NetStats, SimParams, SimTime,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TopologyKind {
+    Cube,
+    Torus,
+}
 
 struct Args {
     n: u8,
+    topology: TopologyKind,
+    arity: u16,
     algo: Option<Algorithm>,
     port: PortModel,
     source: u32,
@@ -37,6 +53,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: 6,
+        topology: TopologyKind::Cube,
+        arity: 4,
         algo: None,
         port: PortModel::AllPort,
         source: 0,
@@ -61,6 +79,14 @@ fn parse_args() -> Result<Args, String> {
         };
         match argv[i].as_str() {
             "--n" => args.n = take(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--topology" => {
+                args.topology = match take(&mut i)? {
+                    "cube" | "hypercube" => TopologyKind::Cube,
+                    "torus" => TopologyKind::Torus,
+                    other => return Err(format!("unknown topology {other}")),
+                }
+            }
+            "--arity" => args.arity = take(&mut i)?.parse().map_err(|e| format!("--arity: {e}"))?,
             "--algo" => {
                 let v = take(&mut i)?.to_lowercase();
                 args.algo = Some(match v.as_str() {
@@ -133,7 +159,8 @@ fn parse_args() -> Result<Args, String> {
             ),
             "--help" | "-h" => {
                 println!(
-                    "usage: mcast --n <dim> [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
+                    "usage: mcast --n <dim> [--topology cube|torus] [--arity K]\n\
+                     \x20             [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
                      \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
                      \x20             [--bytes B] [--trace] [--json]\n\
                      \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
@@ -141,7 +168,11 @@ fn parse_args() -> Result<Args, String> {
                      fault injection: --faults K kills K random directed links (seeded by --seed);\n\
                      --fail-link V:D kills the channel leaving node V in dimension D;\n\
                      --fail-node V kills node V. Each tree is then replayed over the faulty\n\
-                     network, repaired with hypercast::repair, and replayed again."
+                     network, repaired with hypercast::repair, and replayed again.\n\
+                     \n\
+                     --topology torus simulates separate addressing on a K-ary n-cube with\n\
+                     dateline virtual channels (tree algorithms and fault repair are\n\
+                     hypercube-specific)."
                 );
                 std::process::exit(0);
             }
@@ -152,6 +183,129 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// One-line network-statistics summary shared by the cube and torus
+/// paths: per-dimension external-channel utilization plus the deepest
+/// FIFO queue the run ever saw.
+fn stats_line(stats: &NetStats) -> String {
+    let util: Vec<String> = stats
+        .dim_utilization()
+        .iter()
+        .map(|u| format!("{:.1}%", u * 100.0))
+        .collect();
+    format!(
+        "dim util [{}], max queue depth {}",
+        util.join(" "),
+        stats.max_queue_depth
+    )
+}
+
+/// Separate-addressing multicast on the k-ary n-cube torus backend.
+fn run_torus(args: &Args) {
+    if args.faults > 0 || !args.fail_links.is_empty() || !args.fail_nodes.is_empty() {
+        eprintln!("error: fault injection/repair flags are hypercube-only");
+        std::process::exit(2);
+    }
+    let torus = match Torus::new(args.arity, args.n) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let source = NodeId(args.source);
+    if !torus.contains(source) {
+        eprintln!(
+            "error: --source {} outside the {}-ary {}-cube",
+            args.source, args.arity, args.n
+        );
+        std::process::exit(2);
+    }
+    let dests: Vec<NodeId> = if let Some(m) = args.random {
+        let mut rng = workloads::destsets::trial_rng("mcast-cli", 0, args.seed as usize);
+        workloads::destsets::random_dests_on(&mut rng, &torus, source, m)
+    } else if args.dests.is_empty() {
+        eprintln!("error: provide --dests or --random (try --help)");
+        std::process::exit(2);
+    } else {
+        args.dests.iter().copied().map(NodeId).collect()
+    };
+    for &d in &dests {
+        if !torus.contains(d) || d == source {
+            eprintln!("error: destination {} invalid for this torus", d.0);
+            std::process::exit(2);
+        }
+    }
+
+    let params = SimParams::ncube2(args.port);
+    let router = TorusRouter::new(torus);
+    let workload: Vec<DepMessage> = dests
+        .iter()
+        .map(|&dst| DepMessage {
+            src: source,
+            dst,
+            bytes: args.bytes,
+            deps: vec![],
+            min_start: SimTime::ZERO,
+        })
+        .collect();
+    let run = simulate_on(router, &params, &workload);
+    let avg = SimTime(
+        run.messages
+            .iter()
+            .map(|m| m.delivered.as_ns())
+            .sum::<u64>()
+            / run.messages.len() as u64,
+    );
+    println!(
+        "{}-ary {}-cube torus | {} | source {} | {} destinations | {} bytes\n",
+        args.arity,
+        args.n,
+        args.port.label(),
+        torus.node_label(source),
+        dests.len(),
+        args.bytes
+    );
+    println!(
+        " separate: {} messages, sim avg {} max {} (blocks {})",
+        run.messages.len(),
+        avg,
+        run.stats.makespan,
+        run.stats.blocks
+    );
+    println!("           net: {}", stats_line(&run.stats));
+    if args.json {
+        let util: Vec<String> = run
+            .stats
+            .dim_utilization()
+            .iter()
+            .map(|u| format!("{u:.6}"))
+            .collect();
+        println!(
+            "{{\"topology\":\"torus\",\"arity\":{},\"n\":{},\"dests\":{},\"bytes\":{},\
+             \"avg_delay_ns\":{},\"makespan_ns\":{},\"blocks\":{},\
+             \"dim_utilization\":[{}],\"max_queue_depth\":{}}}",
+            args.arity,
+            args.n,
+            dests.len(),
+            args.bytes,
+            avg.as_ns(),
+            run.stats.makespan.as_ns(),
+            run.stats.blocks,
+            util.join(","),
+            run.stats.max_queue_depth
+        );
+    }
+    if args.trace {
+        let trace = ChannelTrace::reconstruct_on(router, &params, &workload, &run);
+        println!("\n{}", trace.render_timeline(64));
+        println!(
+            "external-channel utilization: {:.1}% across {} channels",
+            trace.utilization() * 100.0,
+            trace.channels_used()
+        );
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -160,6 +314,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.topology == TopologyKind::Torus {
+        run_torus(&args);
+        return;
+    }
     let cube = match Cube::new(args.n) {
         Ok(c) => c,
         Err(e) => {
@@ -234,6 +392,7 @@ fn main() {
             report.max_delay,
             report.blocks
         );
+        println!("{:>9}  net: {}", "", stats_line(&report.stats));
         if faulty {
             match wormsim::simulate_multicast_with_faults(&tree, &params, args.bytes, &plan) {
                 Ok(r) => println!(
@@ -266,6 +425,22 @@ fn main() {
         }
         if args.json {
             println!("{}", tree.to_json());
+            let util: Vec<String> = report
+                .stats
+                .dim_utilization()
+                .iter()
+                .map(|u| format!("{u:.6}"))
+                .collect();
+            println!(
+                "{{\"algo\":\"{}\",\"avg_delay_ns\":{},\"max_delay_ns\":{},\"blocks\":{},\
+                 \"dim_utilization\":[{}],\"max_queue_depth\":{}}}",
+                algo.name(),
+                report.avg_delay.as_ns(),
+                report.max_delay.as_ns(),
+                report.blocks,
+                util.join(","),
+                report.stats.max_queue_depth
+            );
         }
         if args.algo.is_some() && !args.json {
             println!("\n{}", tree.render());
@@ -294,7 +469,7 @@ fn main() {
                     &workload,
                     &run,
                 );
-                println!("{}", trace.render_timeline(cube, 64));
+                println!("{}", trace.render_timeline(64));
                 println!(
                     "external-channel utilization: {:.1}% across {} channels",
                     trace.utilization() * 100.0,

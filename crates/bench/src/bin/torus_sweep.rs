@@ -1,0 +1,9 @@
+//! Regenerates the torus-vs-hypercube sweep (topology extension):
+//! separate-addressing average delay and makespan on a 64-node 6-cube
+//! vs a 64-node 4-ary 3-cube torus, as the destination count grows.
+//! Archives `results/torus_sweep.{txt,json}`.
+
+fn main() {
+    let trials = bench::trials_arg(20);
+    bench::emit(&workloads::torussweep::torus_sweep(trials));
+}

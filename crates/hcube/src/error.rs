@@ -33,6 +33,14 @@ pub enum HcubeError {
         /// The repeated address.
         node: NodeId,
     },
+    /// The requested torus parameters are unsupported (`k < 2`, `n = 0`,
+    /// or more than [`crate::torus::MAX_TORUS_NODES`] nodes).
+    BadTorus {
+        /// The rejected arity.
+        k: u16,
+        /// The rejected dimensionality.
+        n: u8,
+    },
 }
 
 impl fmt::Display for HcubeError {
@@ -59,6 +67,12 @@ impl fmt::Display for HcubeError {
             }
             HcubeError::DuplicateAddress { node } => {
                 write!(f, "chain contains duplicate address {node}")
+            }
+            HcubeError::BadTorus { k, n } => {
+                write!(
+                    f,
+                    "unsupported torus parameters: {k}-ary {n}-cube (need k >= 2, n >= 1, at most 2^24 nodes)"
+                )
             }
         }
     }

@@ -51,6 +51,8 @@ pub mod error;
 pub mod path;
 pub mod routing;
 pub mod subcube;
+pub mod topology;
+pub mod torus;
 
 pub use addr::{delta_high, delta_low, Dim, NodeId};
 pub use cube::{Cube, MAX_DIMENSION};
@@ -58,3 +60,5 @@ pub use error::HcubeError;
 pub use path::{Channel, Path};
 pub use routing::Resolution;
 pub use subcube::Subcube;
+pub use topology::{Ecube, Router, Topology};
+pub use torus::{Torus, TorusRouter};

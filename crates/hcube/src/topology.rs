@@ -1,0 +1,302 @@
+//! The topology/router abstraction layer.
+//!
+//! The paper states its contention theory and tree algorithms for
+//! hypercubes, but its framing — deterministic dimension-ordered
+//! wormhole routing on all-port nodes — generalizes directly to other
+//! direct networks. This module pins down the two contracts the
+//! simulation stack builds on, so the discrete-event engine, tracing,
+//! fault injection, and workload sweeps are written once and run on any
+//! backend:
+//!
+//! * [`Topology`] — a static directed-channel graph with **dense channel
+//!   indexing**: every node has a fixed number of outgoing channel slots
+//!   ("ports"), and `channel_index`/`channel_coords` form a bijection
+//!   between `(node, port)` pairs and `0..channel_count()`. Ports are
+//!   grouped into *coordinate dimensions* for per-dimension statistics.
+//! * [`Router`] — a **deterministic route enumerator** on top of a
+//!   topology: for any ordered node pair it produces the exact channel
+//!   sequence a worm's header acquires. Determinism is what makes whole
+//!   simulation runs reproducible byte-for-byte.
+//!
+//! [`Cube`] with E-cube routing ([`Ecube`]) is the first implementation;
+//! [`crate::torus::Torus`] (k-ary n-cube with dateline virtual channels)
+//! is the proof of generality. Channel-indexing invariants are spelled
+//! out in DESIGN.md §9.
+
+use crate::addr::{Dim, NodeId};
+use crate::cube::Cube;
+use crate::path::Path;
+use crate::routing::Resolution;
+
+/// A static direct network: nodes plus densely indexed directed channels.
+///
+/// # Contract
+///
+/// * Node addresses are dense: every `NodeId(v)` with
+///   `v < node_count()` is a valid node, and no other address is.
+/// * Every node has exactly [`ports_per_node`](Topology::ports_per_node)
+///   outgoing channel slots, identified by a *port index* carried in a
+///   [`Dim`] (for the hypercube a port **is** a dimension; richer
+///   topologies encode direction or virtual-channel class into the port
+///   index as well).
+/// * [`channel_index`](Topology::channel_index) and
+///   [`channel_coords`](Topology::channel_coords) are mutually inverse
+///   bijections between `(node, port)` and `0..channel_count()`.
+/// * [`port_dim`](Topology::port_dim) maps each port onto the coordinate
+///   dimension it travels in (`0..dimensions()`), which is what
+///   per-dimension utilization statistics aggregate over.
+///
+/// Implementations are small `Copy` values — they describe the network,
+/// they do not hold per-run state.
+pub trait Topology: Copy + core::fmt::Debug {
+    /// Short backend name (`"cube"`, `"torus"`), used in reports.
+    fn kind(&self) -> &'static str;
+
+    /// Number of nodes; valid addresses are exactly `0..node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// Number of coordinate dimensions (for per-dimension statistics).
+    fn dimensions(&self) -> u8;
+
+    /// Outgoing channel slots per node (uniform across nodes).
+    fn ports_per_node(&self) -> u8;
+
+    /// Total number of directed channel slots,
+    /// `node_count() · ports_per_node()`.
+    fn channel_count(&self) -> usize {
+        self.node_count() * self.ports_per_node() as usize
+    }
+
+    /// Whether `v` is a valid node address.
+    fn contains(&self, v: NodeId) -> bool {
+        (v.0 as usize) < self.node_count()
+    }
+
+    /// Dense index of the channel leaving `from` on `port`.
+    fn channel_index(&self, from: NodeId, port: Dim) -> usize;
+
+    /// Inverse of [`channel_index`](Topology::channel_index): the
+    /// `(node, port)` pair of a dense channel index.
+    fn channel_coords(&self, ch: usize) -> (NodeId, Dim);
+
+    /// The coordinate dimension a port travels in (`< dimensions()`).
+    fn port_dim(&self, port: Dim) -> u8;
+
+    /// The node the channel leaving `from` on `port` arrives at.
+    fn neighbor(&self, from: NodeId, port: Dim) -> NodeId;
+
+    /// Human-readable node label (the hypercube prints binary addresses).
+    fn node_label(&self, v: NodeId) -> String {
+        format!("{}", v.0)
+    }
+
+    /// Human-readable label of a dense channel index, used by trace
+    /// rendering. The default shows `from --port→`.
+    fn channel_label(&self, ch: usize) -> String {
+        let (from, port) = self.channel_coords(ch);
+        format!("{}--{}→", self.node_label(from), port.0)
+    }
+}
+
+/// A deterministic router over a [`Topology`].
+///
+/// # Contract
+///
+/// * Routes are **deterministic**: the same `(src, dst)` pair always
+///   yields the same channel sequence (no adaptivity, no randomness).
+/// * A route's hops are contiguous: hop `i` ends where hop `i + 1`
+///   starts, the first hop leaves `src`, the last arrives at `dst`.
+/// * `route_channels(v, v)` is empty.
+///
+/// Deadlock-freedom is a *router* property, not an engine property: the
+/// engine simulates whatever channel-dependency structure the router
+/// creates and reports wedges through its watchdog. E-cube on the
+/// hypercube and dateline-VC dimension-ordered routing on the torus are
+/// both deadlock-free by the classic channel-ordering arguments.
+pub trait Router {
+    /// The topology this router routes on.
+    type Topo: Topology;
+
+    /// The underlying topology descriptor.
+    fn topology(&self) -> Self::Topo;
+
+    /// Appends the `(node, port)` hops of the route `src → dst`, in
+    /// traversal order.
+    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<(NodeId, Dim)>);
+
+    /// The route as dense channel indices, in traversal order.
+    fn route_channels(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let mut hops = Vec::new();
+        self.route_hops(src, dst, &mut hops);
+        let topo = self.topology();
+        hops.into_iter()
+            .map(|(v, p)| topo.channel_index(v, p))
+            .collect()
+    }
+
+    /// Number of hops of the route `src → dst`.
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        let mut hops = Vec::new();
+        self.route_hops(src, dst, &mut hops);
+        hops.len() as u32
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hypercube: Cube is a Topology, Ecube is its deterministic router.
+// ---------------------------------------------------------------------
+
+impl Topology for Cube {
+    fn kind(&self) -> &'static str {
+        "cube"
+    }
+
+    fn node_count(&self) -> usize {
+        Cube::node_count(*self)
+    }
+
+    fn dimensions(&self) -> u8 {
+        self.dimension()
+    }
+
+    fn ports_per_node(&self) -> u8 {
+        self.dimension()
+    }
+
+    fn channel_count(&self) -> usize {
+        Cube::channel_count(*self)
+    }
+
+    fn contains(&self, v: NodeId) -> bool {
+        Cube::contains(*self, v)
+    }
+
+    fn channel_index(&self, from: NodeId, port: Dim) -> usize {
+        Cube::channel_index(*self, from, port)
+    }
+
+    fn channel_coords(&self, ch: usize) -> (NodeId, Dim) {
+        let n = self.dimension() as usize;
+        (NodeId((ch / n) as u32), Dim((ch % n) as u8))
+    }
+
+    fn port_dim(&self, port: Dim) -> u8 {
+        port.0
+    }
+
+    fn neighbor(&self, from: NodeId, port: Dim) -> NodeId {
+        from.flip(port)
+    }
+
+    fn node_label(&self, v: NodeId) -> String {
+        v.binary(self.dimension())
+    }
+}
+
+/// The deterministic E-cube (dimension-ordered) router of the hypercube,
+/// under a fixed address-resolution order.
+///
+/// This is the `Cube + Resolution` pair the whole legacy API passed
+/// around, packaged as a [`Router`] so generic code can hold one value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Ecube {
+    /// The hypercube routed on.
+    pub cube: Cube,
+    /// The router's address-resolution order.
+    pub resolution: Resolution,
+}
+
+impl Ecube {
+    /// An E-cube router on `cube` resolving addresses in `resolution`
+    /// order.
+    #[must_use]
+    pub fn new(cube: Cube, resolution: Resolution) -> Ecube {
+        Ecube { cube, resolution }
+    }
+}
+
+impl Router for Ecube {
+    type Topo = Cube;
+
+    fn topology(&self) -> Cube {
+        self.cube
+    }
+
+    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<(NodeId, Dim)>) {
+        for arc in Path::new(self.resolution, src, dst).arcs() {
+            out.push((arc.from, arc.dim));
+        }
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        src.distance(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_channel_indexing_is_a_bijection() {
+        let c = Cube::of(4);
+        let mut seen = vec![false; Topology::channel_count(&c)];
+        for v in c.nodes() {
+            for d in c.dims() {
+                let i = Topology::channel_index(&c, v, d);
+                assert!(!seen[i]);
+                seen[i] = true;
+                assert_eq!(Topology::channel_coords(&c, i), (v, d));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cube_ports_are_dimensions() {
+        let c = Cube::of(5);
+        assert_eq!(c.ports_per_node(), 5);
+        assert_eq!(Topology::dimensions(&c), 5);
+        for d in c.dims() {
+            assert_eq!(c.port_dim(d), d.0);
+        }
+        assert_eq!(
+            Topology::neighbor(&c, NodeId(0b00101), Dim(3)),
+            NodeId(0b01101)
+        );
+    }
+
+    #[test]
+    fn ecube_routes_match_paths() {
+        let r = Ecube::new(Cube::of(4), Resolution::HighToLow);
+        let chans = r.route_channels(NodeId(0b0101), NodeId(0b1110));
+        let by_path: Vec<usize> = Path::new(Resolution::HighToLow, NodeId(0b0101), NodeId(0b1110))
+            .arcs()
+            .map(|a| Cube::of(4).channel_index(a.from, a.dim))
+            .collect();
+        assert_eq!(chans, by_path);
+        assert_eq!(r.hops(NodeId(0b0101), NodeId(0b1110)), 3);
+        assert!(r.route_channels(NodeId(7), NodeId(7)).is_empty());
+    }
+
+    #[test]
+    fn ecube_routes_are_contiguous() {
+        let r = Ecube::new(Cube::of(5), Resolution::LowToHigh);
+        let mut hops = Vec::new();
+        r.route_hops(NodeId(3), NodeId(28), &mut hops);
+        let topo = r.topology();
+        for w in hops.windows(2) {
+            assert_eq!(Topology::neighbor(&topo, w[0].0, w[0].1), w[1].0);
+        }
+        assert_eq!(hops.first().unwrap().0, NodeId(3));
+        let (last, lp) = *hops.last().unwrap();
+        assert_eq!(Topology::neighbor(&topo, last, lp), NodeId(28));
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        let c = Cube::of(4);
+        let i = Topology::channel_index(&c, NodeId(0b0101), Dim(3));
+        assert_eq!(Topology::channel_label(&c, i), "0101--3→");
+    }
+}

@@ -1,0 +1,411 @@
+//! The k-ary n-cube (torus) backend: the proof that the simulation
+//! stack is topology-generic.
+//!
+//! A [`Torus`] has `k^n` nodes addressed by `n` base-`k` coordinates
+//! (little-endian mixed radix inside the `u32` of a [`NodeId`]); each
+//! node connects to its `±1 (mod k)` neighbor in every dimension. The
+//! hypercube is the degenerate `k = 2` case, but with wraparound rings
+//! the interesting machinery appears: minimal routes must pick a
+//! direction per dimension, and dimension-ordered wormhole routing alone
+//! is **not** deadlock-free (a ring's wrap channel closes a cyclic
+//! channel dependency).
+//!
+//! [`TorusRouter`] therefore implements the classic *dateline virtual
+//! channel* scheme (Dally & Seitz): every physical channel is split into
+//! two virtual channels, a worm starts each dimension on VC0 and
+//! switches to VC1 after traversing the ring's wrap edge. Ranking
+//! channels by `(dimension, direction, vc, ring position)` is then
+//! strictly increasing along any route, so the channel-dependency graph
+//! is acyclic and the network cannot deadlock — the property the torus
+//! property tests drive the engine's watchdog against.
+//!
+//! In the [`Topology`] port encoding each node has `4n` ports:
+//! `port = 4·dim + 2·direction + vc` with direction `0 = +`, `1 = −`.
+//! Virtual channels are modeled as independent channel resources (each
+//! with full link bandwidth); contention on the shared physical link is
+//! deliberately not modeled — see DESIGN.md §9.
+
+use crate::addr::{Dim, NodeId};
+use crate::error::HcubeError;
+use crate::topology::{Router, Topology};
+
+/// A k-ary n-cube: `n` dimensions of `k`-node rings.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Torus {
+    k: u16,
+    n: u8,
+}
+
+/// Largest supported node count, matching [`crate::MAX_DIMENSION`]'s
+/// `2^24` cap on the hypercube side.
+pub const MAX_TORUS_NODES: usize = 1 << 24;
+
+impl Torus {
+    /// Creates a `k`-ary `n`-cube.
+    ///
+    /// # Errors
+    /// [`HcubeError::BadTorus`] unless `k ≥ 2`, `n ≥ 1`, and
+    /// `k^n ≤ MAX_TORUS_NODES`.
+    pub fn new(k: u16, n: u8) -> Result<Torus, HcubeError> {
+        if k < 2 || n == 0 {
+            return Err(HcubeError::BadTorus { k, n });
+        }
+        let mut count: usize = 1;
+        for _ in 0..n {
+            count = match count.checked_mul(k as usize) {
+                Some(c) if c <= MAX_TORUS_NODES => c,
+                _ => return Err(HcubeError::BadTorus { k, n }),
+            };
+        }
+        Ok(Torus { k, n })
+    }
+
+    /// Creates a `k`-ary `n`-cube, panicking on invalid parameters.
+    ///
+    /// # Panics
+    /// If [`Torus::new`] would error.
+    #[must_use]
+    pub fn of(k: u16, n: u8) -> Torus {
+        Torus::new(k, n).expect("valid torus parameters")
+    }
+
+    /// The arity `k` (nodes per ring).
+    #[inline]
+    #[must_use]
+    pub fn arity(self) -> u16 {
+        self.k
+    }
+
+    /// The number of dimensions `n`.
+    #[inline]
+    #[must_use]
+    pub fn dimension(self) -> u8 {
+        self.n
+    }
+
+    /// Coordinate `d` of node `v` (`0..k`).
+    #[inline]
+    #[must_use]
+    pub fn coord(self, v: NodeId, d: u8) -> u16 {
+        let mut x = v.0;
+        for _ in 0..d {
+            x /= u32::from(self.k);
+        }
+        (x % u32::from(self.k)) as u16
+    }
+
+    /// The node with the given coordinates (little-endian, one per
+    /// dimension; missing trailing coordinates are zero).
+    ///
+    /// # Panics
+    /// If more than `n` coordinates are given or any is `≥ k`.
+    #[must_use]
+    pub fn node_at(self, coords: &[u16]) -> NodeId {
+        assert!(coords.len() <= self.n as usize, "too many coordinates");
+        let mut v: u32 = 0;
+        for &c in coords.iter().rev() {
+            assert!(
+                c < self.k,
+                "coordinate {c} out of range for arity {}",
+                self.k
+            );
+            v = v * u32::from(self.k) + u32::from(c);
+        }
+        NodeId(v)
+    }
+
+    /// The node reached from `v` by stepping `±1 (mod k)` in dimension
+    /// `d` (`plus = true` for `+1`).
+    #[must_use]
+    pub fn step(self, v: NodeId, d: u8, plus: bool) -> NodeId {
+        let k = u32::from(self.k);
+        let mut scale = 1u32;
+        for _ in 0..d {
+            scale *= k;
+        }
+        let c = (v.0 / scale) % k;
+        let nc = if plus { (c + 1) % k } else { (c + k - 1) % k };
+        NodeId(v.0 - c * scale + nc * scale)
+    }
+
+    /// The minimal ring distance between coordinates `a` and `b`
+    /// (`min` of the two ways around).
+    #[inline]
+    #[must_use]
+    pub fn ring_distance(self, a: u16, b: u16) -> u16 {
+        let k = self.k;
+        let fwd = (b + k - a) % k;
+        let bwd = (a + k - b) % k;
+        fwd.min(bwd)
+    }
+
+    /// The minimal (wraparound) distance between two nodes: the sum of
+    /// per-dimension minimal ring distances.
+    #[must_use]
+    pub fn distance(self, u: NodeId, v: NodeId) -> u32 {
+        (0..self.n)
+            .map(|d| u32::from(self.ring_distance(self.coord(u, d), self.coord(v, d))))
+            .sum()
+    }
+
+    /// Iterates over all node addresses.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..Topology::node_count(&self) as u32).map(NodeId)
+    }
+
+    /// Decodes a port index into `(dimension, plus_direction, vc)`.
+    #[inline]
+    #[must_use]
+    pub fn port_parts(self, port: Dim) -> (u8, bool, u8) {
+        (port.0 >> 2, port.0 & 0b10 == 0, port.0 & 1)
+    }
+
+    /// Encodes `(dimension, plus_direction, vc)` as a port index.
+    #[inline]
+    #[must_use]
+    pub fn port_of(self, dim: u8, plus: bool, vc: u8) -> Dim {
+        debug_assert!(dim < self.n && vc < 2);
+        Dim((dim << 2) | (u8::from(!plus) << 1) | vc)
+    }
+}
+
+impl Topology for Torus {
+    fn kind(&self) -> &'static str {
+        "torus"
+    }
+
+    fn node_count(&self) -> usize {
+        let mut count = 1usize;
+        for _ in 0..self.n {
+            count *= self.k as usize;
+        }
+        count
+    }
+
+    fn dimensions(&self) -> u8 {
+        self.n
+    }
+
+    fn ports_per_node(&self) -> u8 {
+        4 * self.n
+    }
+
+    fn channel_index(&self, from: NodeId, port: Dim) -> usize {
+        debug_assert!(Topology::contains(self, from));
+        debug_assert!(port.0 < self.ports_per_node());
+        from.0 as usize * self.ports_per_node() as usize + port.0 as usize
+    }
+
+    fn channel_coords(&self, ch: usize) -> (NodeId, Dim) {
+        let ports = self.ports_per_node() as usize;
+        (NodeId((ch / ports) as u32), Dim((ch % ports) as u8))
+    }
+
+    fn port_dim(&self, port: Dim) -> u8 {
+        port.0 >> 2
+    }
+
+    fn neighbor(&self, from: NodeId, port: Dim) -> NodeId {
+        let (dim, plus, _vc) = self.port_parts(port);
+        self.step(from, dim, plus)
+    }
+
+    fn node_label(&self, v: NodeId) -> String {
+        let coords: Vec<String> = (0..self.n).map(|d| self.coord(v, d).to_string()).collect();
+        coords.join(",")
+    }
+
+    fn channel_label(&self, ch: usize) -> String {
+        let (from, port) = Topology::channel_coords(self, ch);
+        let (dim, plus, vc) = self.port_parts(port);
+        format!(
+            "{}--d{}{}v{}→",
+            self.node_label(from),
+            dim,
+            if plus { '+' } else { '-' },
+            vc
+        )
+    }
+}
+
+/// Minimal dimension-ordered routing on the torus with dateline virtual
+/// channels (see the module docs for the deadlock-freedom argument).
+///
+/// Per dimension the router travels the shorter way around the ring
+/// (ties break toward `+`), correcting dimensions in ascending order.
+/// Routes are fully deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TorusRouter {
+    /// The torus routed on.
+    pub torus: Torus,
+}
+
+impl TorusRouter {
+    /// A dimension-ordered router on `torus`.
+    #[must_use]
+    pub fn new(torus: Torus) -> TorusRouter {
+        TorusRouter { torus }
+    }
+}
+
+impl Router for TorusRouter {
+    type Topo = Torus;
+
+    fn topology(&self) -> Torus {
+        self.torus
+    }
+
+    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<(NodeId, Dim)>) {
+        let t = self.torus;
+        let k = t.arity();
+        let mut cur = src;
+        for d in 0..t.dimension() {
+            let a = t.coord(cur, d);
+            let b = t.coord(dst, d);
+            if a == b {
+                continue;
+            }
+            let fwd = (b + k - a) % k;
+            let bwd = (a + k - b) % k;
+            let plus = fwd <= bwd; // ties break toward +
+            let steps = fwd.min(bwd);
+            let mut crossed = false;
+            for _ in 0..steps {
+                let c = t.coord(cur, d);
+                let vc = u8::from(crossed);
+                out.push((cur, t.port_of(d, plus, vc)));
+                // The wrap edge is k-1 → 0 going +, 0 → k-1 going −;
+                // hops after it ride VC1 (the dateline switch).
+                if (plus && c == k - 1) || (!plus && c == 0) {
+                    crossed = true;
+                }
+                cur = t.step(cur, d, plus);
+            }
+        }
+        debug_assert_eq!(cur, dst, "route must terminate at the destination");
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.torus.distance(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_parameters() {
+        assert!(Torus::new(1, 2).is_err());
+        assert!(Torus::new(2, 0).is_err());
+        assert!(Torus::new(2, 24).is_ok());
+        assert!(Torus::new(2, 25).is_err());
+        assert!(Torus::new(4096, 2).is_ok());
+        assert!(Torus::new(4097, 2).is_err());
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Torus::of(5, 3);
+        assert_eq!(Topology::node_count(&t), 125);
+        for v in t.nodes() {
+            let coords: Vec<u16> = (0..3).map(|d| t.coord(v, d)).collect();
+            assert_eq!(t.node_at(&coords), v);
+            assert!(coords.iter().all(|&c| c < 5));
+        }
+        assert_eq!(t.node_at(&[2, 3, 1]), NodeId(2 + 3 * 5 + 25));
+    }
+
+    #[test]
+    fn step_wraps_both_ways() {
+        let t = Torus::of(4, 2);
+        let v = t.node_at(&[3, 1]);
+        assert_eq!(t.step(v, 0, true), t.node_at(&[0, 1]));
+        assert_eq!(t.step(v, 0, false), t.node_at(&[2, 1]));
+        let w = t.node_at(&[0, 0]);
+        assert_eq!(t.step(w, 1, false), t.node_at(&[0, 3]));
+    }
+
+    #[test]
+    fn channel_indexing_is_a_bijection() {
+        let t = Torus::of(3, 2);
+        let mut seen = vec![false; Topology::channel_count(&t)];
+        for v in t.nodes() {
+            for p in 0..t.ports_per_node() {
+                let i = Topology::channel_index(&t, v, Dim(p));
+                assert!(!seen[i]);
+                seen[i] = true;
+                assert_eq!(Topology::channel_coords(&t, i), (v, Dim(p)));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn routes_are_minimal_and_contiguous() {
+        for (k, n) in [(2u16, 3u8), (3, 2), (4, 2), (5, 2)] {
+            let t = Torus::of(k, n);
+            let r = TorusRouter::new(t);
+            for u in t.nodes() {
+                for v in t.nodes() {
+                    let mut hops = Vec::new();
+                    r.route_hops(u, v, &mut hops);
+                    assert_eq!(hops.len() as u32, t.distance(u, v), "minimal route");
+                    let mut at = u;
+                    for &(from, port) in &hops {
+                        assert_eq!(from, at, "contiguous route");
+                        at = Topology::neighbor(&t, from, port);
+                    }
+                    assert_eq!(at, v, "route ends at destination");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dateline_switches_vc_exactly_after_the_wrap_edge() {
+        let t = Torus::of(4, 1);
+        let r = TorusRouter::new(t);
+        // 3 → 1 the short way is +: 3 →(wrap) 0 → 1. The wrap hop rides
+        // VC0; the hop after it rides VC1.
+        let mut hops = Vec::new();
+        r.route_hops(t.node_at(&[3]), t.node_at(&[1]), &mut hops);
+        let parts: Vec<(u8, bool, u8)> = hops.iter().map(|&(_, p)| t.port_parts(p)).collect();
+        assert_eq!(parts, vec![(0, true, 0), (0, true, 1)]);
+        // A route that never wraps stays on VC0.
+        hops.clear();
+        r.route_hops(t.node_at(&[0]), t.node_at(&[2]), &mut hops);
+        assert!(hops.iter().all(|&(_, p)| t.port_parts(p).2 == 0));
+    }
+
+    #[test]
+    fn ties_break_toward_plus() {
+        let t = Torus::of(4, 1);
+        let r = TorusRouter::new(t);
+        // Distance 2 both ways on a 4-ring: the + way is taken.
+        let mut hops = Vec::new();
+        r.route_hops(t.node_at(&[0]), t.node_at(&[2]), &mut hops);
+        assert!(hops.iter().all(|&(_, p)| t.port_parts(p).1));
+    }
+
+    #[test]
+    fn binary_torus_matches_hypercube_distances() {
+        let t = Torus::of(2, 4);
+        let c = crate::Cube::of(4);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                assert_eq!(t.distance(u, v), u.distance(v));
+                assert!(Topology::contains(&c, u));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_show_coordinates() {
+        let t = Torus::of(4, 2);
+        let v = t.node_at(&[3, 1]);
+        assert_eq!(Topology::node_label(&t, v), "3,1");
+        let ch = Topology::channel_index(&t, v, t.port_of(1, false, 1));
+        assert_eq!(Topology::channel_label(&t, ch), "3,1--d1-v1→");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the k-ary n-cube torus backend: minimal
+//! dimension-ordered routing, dense channel indexing, and the dateline
+//! virtual-channel discipline that makes the router deadlock-free.
+
+use hcube::{NodeId, Router, Topology, Torus, TorusRouter};
+use proptest::prelude::*;
+
+/// A torus shape and two node addresses valid for it.
+fn torus_and_pair() -> impl Strategy<Value = (u16, u8, u32, u32)> {
+    (2u16..=6, 1u8..=3).prop_flat_map(|(k, n)| {
+        let nodes = (k as u32).pow(u32::from(n));
+        (Just(k), Just(n), 0..nodes, 0..nodes)
+    })
+}
+
+proptest! {
+    /// Routes take exactly the minimal number of hops: the sum over
+    /// dimensions of the shorter way around each ring.
+    #[test]
+    fn routes_are_minimal((k, n, u, v) in torus_and_pair()) {
+        let t = Torus::of(k, n);
+        let router = TorusRouter::new(t);
+        let (u, v) = (NodeId(u), NodeId(v));
+        let by_rings: u32 = (0..n)
+            .map(|d| u32::from(t.ring_distance(t.coord(u, d), t.coord(v, d))))
+            .sum();
+        prop_assert_eq!(t.distance(u, v), by_rings);
+        prop_assert_eq!(router.hops(u, v), by_rings);
+        prop_assert!(
+            router.hops(u, v) <= u32::from(n) * u32::from(k / 2),
+            "no route exceeds the diameter"
+        );
+    }
+
+    /// Routes are contiguous chains of in-bounds neighbor steps: hop i
+    /// ends where hop i+1 starts, the first leaves the source, the last
+    /// arrives at the destination.
+    #[test]
+    fn routes_are_contiguous_and_in_bounds((k, n, u, v) in torus_and_pair()) {
+        let t = Torus::of(k, n);
+        let router = TorusRouter::new(t);
+        let (u, v) = (NodeId(u), NodeId(v));
+        prop_assume!(u != v);
+        let mut hops = Vec::new();
+        router.route_hops(u, v, &mut hops);
+        prop_assert_eq!(hops.first().unwrap().0, u);
+        for w in hops.windows(2) {
+            prop_assert_eq!(t.neighbor(w[0].0, w[0].1), w[1].0);
+        }
+        for &(node, port) in &hops {
+            prop_assert!(t.contains(node));
+            prop_assert!(port.0 < t.ports_per_node());
+            prop_assert!(t.contains(t.neighbor(node, port)));
+        }
+        let (last, lp) = *hops.last().unwrap();
+        prop_assert_eq!(t.neighbor(last, lp), v);
+    }
+
+    /// Dimension-ordered with a dateline VC discipline: dimensions are
+    /// visited in ascending order; within a dimension the direction is
+    /// fixed and the VC class climbs from 0 to 1 exactly at the wrap
+    /// edge, never back. Strictly increasing (dim, vc, progress) rank is
+    /// the classic Dally–Seitz acyclicity argument, so this property is
+    /// the routing half of deadlock freedom.
+    #[test]
+    fn dateline_discipline_holds((k, n, u, v) in torus_and_pair()) {
+        let t = Torus::of(k, n);
+        let router = TorusRouter::new(t);
+        let (u, v) = (NodeId(u), NodeId(v));
+        let mut hops = Vec::new();
+        router.route_hops(u, v, &mut hops);
+        let mut last_dim: Option<u8> = None;
+        let mut last_vc = 0u8;
+        for &(node, port) in &hops {
+            let (dim, plus, vc) = t.port_parts(port);
+            if last_dim != Some(dim) {
+                prop_assert!(last_dim.is_none_or(|d| d < dim), "dims must ascend");
+                last_dim = Some(dim);
+                last_vc = 0;
+            }
+            prop_assert!(vc >= last_vc, "VC class never decreases within a dimension");
+            if vc > last_vc {
+                // The VC climbs exactly when the previous hop crossed the
+                // wrap edge; the hop *after* the dateline runs on VC1.
+                let c = t.coord(node, dim);
+                prop_assert!(
+                    (plus && c == 0) || (!plus && c == k - 1),
+                    "VC1 must start right after the dateline (coord {c}, plus {plus})"
+                );
+            }
+            last_vc = vc;
+        }
+    }
+
+    /// `channel_index` and `channel_coords` are mutually inverse over the
+    /// whole dense range, and every port maps into a valid coordinate
+    /// dimension.
+    #[test]
+    fn channel_indexing_is_a_bijection(k in 2u16..=5, n in 1u8..=3) {
+        let t = Torus::of(k, n);
+        let mut seen = vec![false; t.channel_count()];
+        for v in t.nodes() {
+            for p in 0..t.ports_per_node() {
+                let port = hcube::Dim(p);
+                let i = t.channel_index(v, port);
+                prop_assert!(i < t.channel_count());
+                prop_assert!(!seen[i], "channel index collision at {i}");
+                seen[i] = true;
+                prop_assert_eq!(t.channel_coords(i), (v, port));
+                prop_assert!(t.port_dim(port) < Topology::dimensions(&t));
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Ring distance is the true metric on each ring: symmetric, bounded
+    /// by k/2, and achieved by one of the two directions.
+    #[test]
+    fn ring_distance_is_the_ring_metric(k in 2u16..=9, a in 0u16..9, b in 0u16..9) {
+        let t = Torus::of(k, 1);
+        let (a, b) = (a % k, b % k);
+        let d = t.ring_distance(a, b);
+        prop_assert_eq!(d, t.ring_distance(b, a));
+        prop_assert!(d <= k / 2);
+        let fwd = (b + k - a) % k;
+        let bwd = (a + k - b) % k;
+        prop_assert_eq!(d, fwd.min(bwd));
+    }
+}
+
+#[test]
+fn torus_node_iteration_matches_count() {
+    for (k, n) in [(2u16, 1u8), (3, 2), (4, 3), (5, 2)] {
+        let t = Torus::of(k, n);
+        assert_eq!(t.nodes().count(), t.node_count());
+    }
+}

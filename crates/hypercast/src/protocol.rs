@@ -231,8 +231,8 @@ impl RetryPolicy {
 
 /// A channel that drops the first `failures` messages traversing it and
 /// then recovers — the transient counterpart of a dead link in
-/// [`NetworkFaults`], modeling congestion loss or corrupt flits caught
-/// by the ack timeout.
+/// [`NetworkFaults`](crate::repair::NetworkFaults), modeling congestion
+/// loss or corrupt flits caught by the ack timeout.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TransientFault {
     /// Channel tail: the sending endpoint.

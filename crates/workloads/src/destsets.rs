@@ -6,7 +6,7 @@
 //! `N − 1` non-source nodes. Seeding is fully deterministic per
 //! (experiment, point, trial) so every figure regenerates bit-identically.
 
-use hcube::{Cube, NodeId};
+use hcube::{Cube, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -27,13 +27,33 @@ use rand::SeedableRng;
 /// If `m > N − 1` or the source is not in the cube.
 #[must_use]
 pub fn random_dests(rng: &mut StdRng, cube: Cube, source: NodeId, m: usize) -> Vec<NodeId> {
-    assert!(cube.contains(source), "source outside cube");
+    random_dests_on(rng, &cube, source, m)
+}
+
+/// Topology-generic [`random_dests`]: draws `m` distinct destinations
+/// uniformly from the non-source nodes of any [`Topology`] (cube, torus,
+/// …). For a hypercube the draw is identical to `random_dests` given the
+/// same RNG state.
+///
+/// # Panics
+/// If `m > N − 1` or the source is not in the topology.
+#[must_use]
+pub fn random_dests_on<T: Topology>(
+    rng: &mut StdRng,
+    topo: &T,
+    source: NodeId,
+    m: usize,
+) -> Vec<NodeId> {
+    assert!(topo.contains(source), "source outside topology");
     assert!(
-        m < cube.node_count(),
+        m < topo.node_count(),
         "cannot draw {m} destinations from {} candidates",
-        cube.node_count() - 1
+        topo.node_count() - 1
     );
-    let mut pool: Vec<NodeId> = cube.nodes().filter(|&v| v != source).collect();
+    let mut pool: Vec<NodeId> = (0..topo.node_count() as u32)
+        .map(NodeId)
+        .filter(|&v| v != source)
+        .collect();
     // partial_shuffle picks m random elements into the prefix in O(m).
     let (prefix, _) = pool.partial_shuffle(rng, m);
     prefix.to_vec()

@@ -12,6 +12,8 @@
 //!   parameter sensitivity, optimality gaps, contention rates;
 //! * [`faultsweep`] — fault-injection sweep: delivery ratio and makespan
 //!   vs dead links, with and without `hypercast::repair`;
+//! * [`torussweep`] — topology extension: separate-addressing delay on a
+//!   64-node hypercube vs a 64-node k-ary n-cube torus;
 //! * [`figure`] — the data model plus table / ASCII-plot / JSON output;
 //! * [`json`] — a minimal first-party JSON tree, parser, and printer
 //!   (the build environment is offline, so no `serde_json`);
@@ -32,6 +34,7 @@ pub mod figures;
 pub mod json;
 pub mod stats;
 pub mod sweep;
+pub mod torussweep;
 
 pub use figure::{Figure, Series};
 pub use stats::Summary;

@@ -63,18 +63,46 @@ pub fn run_matrix<const K: usize, F>(
 where
     F: Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; K] + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(32);
+    run_matrix_with_workers(experiment, cube, points, trials, algos, workers, metric)
+}
+
+/// [`run_matrix`] with an explicit worker-thread count.
+///
+/// The result is independent of `workers`: every (point, trial) cell is
+/// keyed by its own deterministic RNG and written into a pre-indexed
+/// slot, so scheduling order cannot leak into the aggregates. The
+/// determinism regression suite runs the same sweep at several worker
+/// counts and asserts identical output.
+///
+/// # Panics
+/// If `workers == 0`.
+pub fn run_matrix_with_workers<const K: usize, F>(
+    experiment: &str,
+    cube: Cube,
+    points: &[usize],
+    trials: usize,
+    algos: &[Algorithm],
+    workers: usize,
+    metric: F,
+) -> MatrixResult<K>
+where
+    F: Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; K] + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
     let source = NodeId(0);
-    // samples[point][algo][k][trial]
+    // samples[point][algo][k][trial] — trial-indexed (not push-ordered),
+    // so the floating-point aggregation order is independent of how the
+    // scheduler interleaves workers.
     let results: Vec<Mutex<Vec<Vec<Vec<f64>>>>> = points
         .iter()
-        .map(|_| Mutex::new(vec![vec![Vec::with_capacity(trials); K]; algos.len()]))
+        .map(|_| Mutex::new(vec![vec![vec![0.0; trials]; K]; algos.len()]))
         .collect();
 
     let next = AtomicUsize::new(0);
     let total_tasks = points.len() * trials;
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(32);
     std::thread::scope(|scope| {
         for _ in 0..workers.min(total_tasks.max(1)) {
             scope.spawn(|| loop {
@@ -94,7 +122,7 @@ where
                 let mut cell = results[point].lock().expect("sweep mutex poisoned");
                 for (ai, vals) in row.into_iter().enumerate() {
                     for (k, v) in vals.into_iter().enumerate() {
-                        cell[ai][k].push(v);
+                        cell[ai][k][trial] = v;
                     }
                 }
             });

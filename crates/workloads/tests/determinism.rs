@@ -1,0 +1,127 @@
+//! Determinism regression suite.
+//!
+//! The engine refactor (layered `engine/` submodules, router-generic
+//! core) claims to preserve hypercube behavior *bit for bit*. These
+//! tests pin that claim down three ways:
+//!
+//! 1. a golden-file compare of Figure 11 against JSON captured from the
+//!    pre-refactor engine (same seeds, same trial count);
+//! 2. byte-identical [`RunResult`]s across repeated engine runs, on both
+//!    the hypercube and the torus backend;
+//! 3. worker-count independence of [`run_matrix_with_workers`] — the
+//!    parallel sweep must aggregate identically at 1, 2, and 7 threads.
+
+use hcube::{Cube, NodeId, Resolution, Torus, TorusRouter};
+use hypercast::{Algorithm, PortModel};
+use workloads::sweep::{run_matrix_with_workers, MatrixResult};
+use wormsim::{simulate, simulate_on, DepMessage, RunResult, SimParams, SimTime};
+
+/// Golden output of `fig11 --trials 2`, captured from the pre-refactor
+/// monolithic engine. `fig11_12` must keep regenerating it byte for
+/// byte: the trial RNG keys, the destination draws, and every simulated
+/// delay are all part of the contract.
+const FIG11_GOLDEN: &str = include_str!("golden/fig11_trials2_pre_refactor.json");
+
+#[test]
+fn fig11_matches_pre_refactor_golden() {
+    let (avg, _) = workloads::figures::fig11_12(2);
+    assert_eq!(
+        avg.to_json(),
+        FIG11_GOLDEN,
+        "fig11 (trials=2) diverged from the pre-refactor engine"
+    );
+}
+
+/// A deliberately contentious workload: hot-spot traffic into node 0
+/// plus a dependency chain, exercising blocking, FIFO arbitration, and
+/// the dependency cascade.
+fn contentious_workload(n: u32) -> Vec<DepMessage> {
+    let mut w: Vec<DepMessage> = (1..n)
+        .map(|v| DepMessage {
+            src: NodeId(v),
+            dst: NodeId(0),
+            bytes: 2048,
+            deps: vec![],
+            min_start: SimTime::ZERO,
+        })
+        .collect();
+    w.push(DepMessage {
+        src: NodeId(0),
+        dst: NodeId(n - 1),
+        bytes: 4096,
+        deps: vec![0, 1],
+        min_start: SimTime::ZERO,
+    });
+    w
+}
+
+fn assert_runs_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.messages, b.messages, "per-message results diverged");
+    assert_eq!(a.stats, b.stats, "aggregate statistics diverged");
+}
+
+#[test]
+fn cube_runs_are_byte_identical_across_repeats() {
+    let cube = Cube::of(4);
+    let w = contentious_workload(16);
+    for port in [PortModel::AllPort, PortModel::OnePort] {
+        let params = SimParams::ncube2(port);
+        let first = simulate(cube, Resolution::HighToLow, &params, &w);
+        for _ in 0..3 {
+            let again = simulate(cube, Resolution::HighToLow, &params, &w);
+            assert_runs_identical(&first, &again);
+        }
+    }
+}
+
+#[test]
+fn torus_runs_are_byte_identical_across_repeats() {
+    let torus = Torus::of(4, 2);
+    let router = TorusRouter::new(torus);
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let w = contentious_workload(16);
+    let first = simulate_on(router, &params, &w);
+    for _ in 0..3 {
+        assert_runs_identical(&first, &simulate_on(router, &params, &w));
+    }
+}
+
+fn delay_metric(cube: Cube, src: NodeId, dests: &[NodeId], algo: Algorithm) -> [f64; 2] {
+    let tree = algo
+        .build(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
+        .expect("valid instance");
+    let report = wormsim::simulate_multicast(&tree, &SimParams::ncube2(PortModel::AllPort), 1024);
+    [report.avg_delay.as_ms(), report.max_delay.as_ms()]
+}
+
+#[test]
+fn run_matrix_is_independent_of_worker_count() {
+    let flatten = |r: &MatrixResult<2>| -> Vec<f64> {
+        r.cells
+            .iter()
+            .flat_map(|row| {
+                row.iter()
+                    .flat_map(|cell| cell.iter().flat_map(|s| [s.mean, s.std]))
+            })
+            .collect()
+    };
+    let run = |workers: usize| {
+        run_matrix_with_workers(
+            "det-workers",
+            Cube::of(5),
+            &[2, 7, 19],
+            6,
+            &[Algorithm::WSort, Algorithm::UCube],
+            workers,
+            delay_metric,
+        )
+    };
+    let serial = flatten(&run(1));
+    for workers in [2, 7] {
+        assert_eq!(
+            flatten(&run(workers)),
+            serial,
+            "sweep output changed at {workers} workers"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Channel arbitration state: who holds each channel, who waits, FIFO
+//! grant order, and the phantom holder used for stuck-channel faults.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Phantom holder index marking channels stuck by the fault plan.
+pub(crate) const PHANTOM: usize = usize::MAX;
+
+/// Per-channel arbitration state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ChannelState {
+    /// The message currently holding the channel ([`PHANTOM`] for a
+    /// channel wedged by the fault plan).
+    pub holder: Option<usize>,
+    /// FIFO of `(message, hop)` pairs waiting for this channel.
+    pub queue: VecDeque<(usize, usize)>,
+    /// When the current (real) holder acquired the channel; used for
+    /// per-dimension busy-time accounting.
+    pub acquired_at: SimTime,
+}
+
+/// The arbitration table: one [`ChannelState`] per dense channel index.
+#[derive(Debug)]
+pub(crate) struct Channels {
+    states: Vec<ChannelState>,
+}
+
+impl Channels {
+    /// `len` free channels with empty queues.
+    pub fn new(len: usize) -> Channels {
+        Channels {
+            states: (0..len).map(|_| ChannelState::default()).collect(),
+        }
+    }
+
+    /// Whether `ch` currently has no holder.
+    pub fn is_free(&self, ch: usize) -> bool {
+        self.states[ch].holder.is_none()
+    }
+
+    /// Grants `ch` to message `m` at time `t`.
+    ///
+    /// The caller guarantees the channel is free.
+    pub fn acquire(&mut self, ch: usize, m: usize, t: SimTime) {
+        debug_assert!(self.is_free(ch));
+        self.states[ch].holder = Some(m);
+        self.states[ch].acquired_at = t;
+    }
+
+    /// Releases `ch` (held by `m`) and pops the first waiter, if any.
+    /// Returns `(held_since, first_waiter)`.
+    pub fn release(&mut self, ch: usize, m: usize) -> (SimTime, Option<(usize, usize)>) {
+        debug_assert_eq!(self.states[ch].holder, Some(m));
+        self.states[ch].holder = None;
+        let since = self.states[ch].acquired_at;
+        (since, self.states[ch].queue.pop_front())
+    }
+
+    /// Appends `(m, hop)` to `ch`'s FIFO; returns the queue depth after
+    /// the append (for max-depth statistics).
+    pub fn enqueue(&mut self, ch: usize, m: usize, hop: usize) -> usize {
+        self.states[ch].queue.push_back((m, hop));
+        self.states[ch].queue.len()
+    }
+
+    /// Removes message `m` from `ch`'s wait queue (abort path).
+    pub fn remove_waiter(&mut self, ch: usize, m: usize) {
+        self.states[ch].queue.retain(|&(w, _)| w != m);
+    }
+
+    /// Wedges `ch` under the phantom holder (stuck-channel fault).
+    pub fn stick(&mut self, ch: usize) {
+        self.states[ch].holder = Some(PHANTOM);
+    }
+
+    /// Iterates over all channel states (watchdog inspection).
+    pub fn iter(&self) -> impl Iterator<Item = &ChannelState> {
+        self.states.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_grant_order() {
+        let mut c = Channels::new(2);
+        assert!(c.is_free(0));
+        c.acquire(0, 7, SimTime::from_ns(3));
+        assert!(!c.is_free(0));
+        assert_eq!(c.enqueue(0, 8, 1), 1);
+        assert_eq!(c.enqueue(0, 9, 0), 2);
+        let (since, first) = c.release(0, 7);
+        assert_eq!(since, SimTime::from_ns(3));
+        assert_eq!(first, Some((8, 1)));
+        assert!(c.is_free(0));
+    }
+
+    #[test]
+    fn remove_waiter_preserves_order_of_the_rest() {
+        let mut c = Channels::new(1);
+        c.acquire(0, 1, SimTime::ZERO);
+        c.enqueue(0, 2, 0);
+        c.enqueue(0, 3, 0);
+        c.enqueue(0, 4, 0);
+        c.remove_waiter(0, 3);
+        let (_, first) = c.release(0, 1);
+        assert_eq!(first, Some((2, 0)));
+        c.acquire(0, 2, SimTime::ZERO);
+        let (_, next) = c.release(0, 2);
+        assert_eq!(next, Some((4, 0)));
+    }
+
+    #[test]
+    fn stuck_channels_are_never_free() {
+        let mut c = Channels::new(1);
+        c.stick(0);
+        assert!(!c.is_free(0));
+        assert_eq!(c.iter().next().unwrap().holder, Some(PHANTOM));
+    }
+}

@@ -1,0 +1,363 @@
+//! The event loop: workload validation, fault wiring, channel
+//! acquisition/release, and statistics accounting.
+//!
+//! The engine is generic over the [`Router`]: every channel it touches
+//! is a dense index from the [`ChannelMap`], every coordinate decode
+//! goes through the [`Topology`](hcube::Topology) trait, and nothing in
+//! here assumes hypercube address arithmetic. The hypercube and the
+//! torus run the exact same loop.
+
+use crate::engine::arbitration::Channels;
+use crate::engine::events::{Event, EventQueue};
+use crate::engine::outcomes::{NetStats, RunResult, SimError};
+use crate::engine::watchdog;
+use crate::engine::worm::{DepMessage, FaultCause, MessageResult, MsgState, Outcome};
+use crate::faults::FaultPlan;
+use crate::network::ChannelMap;
+use crate::params::SimParams;
+use crate::time::SimTime;
+use hcube::{NodeId, Router, Topology};
+
+pub(crate) struct Engine<'a, R: Router> {
+    map: ChannelMap<R>,
+    params: &'a SimParams,
+    plan: &'a FaultPlan,
+    workload: &'a [DepMessage],
+    channels: Channels,
+    msgs: Vec<MsgState>,
+    /// Per-channel dead flag, indexed like the channel map.
+    dead: Vec<bool>,
+    queue: EventQueue,
+    cpu_free: Vec<SimTime>,
+    stats: NetStats,
+    finished: usize,
+    last_time: SimTime,
+}
+
+impl<'a, R: Router> Engine<'a, R> {
+    pub fn new(
+        router: R,
+        params: &'a SimParams,
+        workload: &'a [DepMessage],
+        plan: &'a FaultPlan,
+    ) -> Result<Engine<'a, R>, SimError> {
+        let map = ChannelMap::new(router);
+        let mut msgs = Vec::with_capacity(workload.len());
+        for (i, m) in workload.iter().enumerate() {
+            if m.src == m.dst {
+                return Err(SimError::SelfSend { index: i });
+            }
+            let route = map.route(params.port_model, m.src, m.dst);
+            msgs.push(MsgState::new(route, m.deps.len(), m.min_start));
+        }
+        for (i, m) in workload.iter().enumerate() {
+            for &d in &m.deps {
+                if d >= workload.len() {
+                    return Err(SimError::DependencyOutOfRange { index: i, dep: d });
+                }
+                msgs[d].dependents.push(i);
+            }
+        }
+
+        let mut channels = Channels::new(map.len());
+        let mut dead = vec![false; map.len()];
+        let topo = map.topology();
+        if !plan.is_empty() {
+            for (ch, slot) in dead.iter_mut().enumerate().take(map.externals()) {
+                let (v, p) = map.external_coords(ch);
+                // A directed channel is unusable when the link itself is
+                // dead or either endpoint node is down — decided through
+                // the topology's neighbor function, never by address
+                // arithmetic.
+                *slot = plan.link_dead(v, p)
+                    || plan.node_dead(v)
+                    || plan.node_dead(topo.neighbor(v, p));
+                if plan.channel_stuck(v, p) {
+                    channels.stick(ch);
+                }
+            }
+            for i in 0..map.nodes() {
+                let v = NodeId(i as u32);
+                if plan.node_dead(v) {
+                    dead[map.injection(v)] = true;
+                    dead[map.consumption(v)] = true;
+                }
+            }
+        }
+
+        // Per-dimension channel counts for utilization statistics.
+        let mut dim_channels = vec![0u32; topo.dimensions() as usize];
+        for ch in 0..map.externals() {
+            dim_channels[map.dim_of(ch) as usize] += 1;
+        }
+        let stats = NetStats {
+            dim_busy: vec![SimTime::ZERO; topo.dimensions() as usize],
+            dim_channels,
+            ..NetStats::default()
+        };
+
+        let cpu_free = vec![SimTime::ZERO; map.nodes()];
+        Ok(Engine {
+            map,
+            params,
+            plan,
+            workload,
+            channels,
+            msgs,
+            dead,
+            queue: EventQueue::new(),
+            cpu_free,
+            stats,
+            finished: 0,
+            last_time: SimTime::ZERO,
+        })
+    }
+
+    /// If `ch` is inside a stall window at `t`, when it reopens.
+    fn stalled_until(&self, ch: usize, t: SimTime) -> Option<SimTime> {
+        if self.plan.is_empty() || self.map.is_virtual(ch) {
+            return None;
+        }
+        let (v, p) = self.map.external_coords(ch);
+        self.plan.stalled_until(v, p, t)
+    }
+
+    /// Marks `m` finished, records stats, and cascades failure to
+    /// dependents that now can never be sent.
+    fn finish(&mut self, m: usize, t: SimTime, outcome: Outcome) {
+        let mut stack = vec![(m, outcome)];
+        while let Some((i, out)) = stack.pop() {
+            if self.msgs[i].outcome.is_some() {
+                continue;
+            }
+            self.msgs[i].outcome = Some(out);
+            self.msgs[i].finished_at = t;
+            self.finished += 1;
+            match out {
+                Outcome::Delivered => {}
+                Outcome::Failed(_) => self.stats.failed += 1,
+                Outcome::TimedOut => self.stats.timed_out += 1,
+            }
+            if out != Outcome::Delivered {
+                // Dependents of a lost message can never start.
+                for d in 0..self.msgs[i].dependents.len() {
+                    let dep = self.msgs[i].dependents[d];
+                    stack.push((dep, Outcome::Failed(FaultCause::DependencyFailed)));
+                }
+            }
+        }
+    }
+
+    /// Releases `msgs[m].route[..count]`, waking the first waiter of each
+    /// channel and charging per-dimension busy time.
+    fn release_channels(&mut self, m: usize, count: usize, t: SimTime) {
+        let route = std::mem::take(&mut self.msgs[m].route);
+        for &ch in &route[..count] {
+            let (held_since, waiter) = self.channels.release(ch, m);
+            if !self.map.is_virtual(ch) {
+                let d = self.map.dim_of(ch) as usize;
+                self.stats.dim_busy[d] += t.saturating_sub(held_since);
+            }
+            if let Some((w, whop)) = waiter {
+                self.msgs[w].waiting_on = None;
+                let waited = t.saturating_sub(self.msgs[w].wait_since);
+                self.msgs[w].blocked_time += waited;
+                if self.map.is_virtual(ch) || whop == 0 {
+                    self.stats.port_wait_time += waited;
+                } else {
+                    self.stats.blocked_time += waited;
+                }
+                self.queue.push(t, Event::TryAcquire(w, whop));
+            }
+        }
+        self.msgs[m].route = route;
+        self.msgs[m].acquired = 0;
+    }
+
+    /// Aborts an in-flight (or not-yet-started) message: releases held
+    /// channels, leaves any wait queue, finishes with `outcome`.
+    fn abort(&mut self, m: usize, t: SimTime, outcome: Outcome) {
+        let held = self.msgs[m].acquired;
+        if held > 0 {
+            self.release_channels(m, held, t);
+        }
+        if let Some(ch) = self.msgs[m].waiting_on.take() {
+            self.channels.remove_waiter(ch, m);
+        }
+        self.finish(m, t, outcome);
+    }
+
+    pub fn run(&mut self) -> Result<(), SimError> {
+        // Pre-fail messages with dead endpoints (cascades to dependents).
+        if !self.plan.is_empty() {
+            for i in 0..self.workload.len() {
+                let m = &self.workload[i];
+                if self.plan.node_dead(m.src) || self.plan.node_dead(m.dst) {
+                    self.finish(i, m.min_start, Outcome::Failed(FaultCause::DeadEndpoint));
+                }
+            }
+        }
+        for i in 0..self.workload.len() {
+            if self.msgs[i].outcome.is_none() {
+                if self.workload[i].deps.is_empty() {
+                    self.queue
+                        .push(self.workload[i].min_start, Event::Eligible(i));
+                }
+                if let Some(d) = self.plan.deadline(i) {
+                    self.queue.push(d, Event::Deadline(i));
+                }
+            }
+        }
+
+        while let Some((t, event)) = self.queue.pop() {
+            self.last_time = t;
+            let m = match event {
+                Event::Eligible(m)
+                | Event::TryAcquire(m, _)
+                | Event::Complete(m)
+                | Event::Deadline(m) => m,
+            };
+            if self.msgs[m].outcome.is_some() {
+                continue; // stale event for an aborted/failed message
+            }
+            match event {
+                Event::Eligible(m) => self.on_eligible(m, t),
+                Event::TryAcquire(m, hop) => self.on_try_acquire(m, hop, t),
+                Event::Complete(m) => self.on_complete(m, t),
+                Event::Deadline(m) => self.abort(m, t, Outcome::TimedOut),
+            }
+        }
+
+        if self.finished == self.workload.len() {
+            return Ok(());
+        }
+        // Watchdog: the heap drained with unfinished messages.
+        Err(watchdog::verdict(
+            &self.msgs,
+            &self.channels,
+            self.last_time,
+        ))
+    }
+
+    fn on_eligible(&mut self, m: usize, t: SimTime) {
+        let src = self.workload[m].src.0 as usize;
+        let start = if self.params.cpu_serialized_startup {
+            let s = t.max(self.cpu_free[src]);
+            self.cpu_free[src] = s + self.params.t_send_sw;
+            s
+        } else {
+            t
+        };
+        let inject = start + self.params.t_send_sw;
+        self.msgs[m].injected = inject;
+        self.queue.push(inject, Event::TryAcquire(m, 0));
+    }
+
+    fn on_try_acquire(&mut self, m: usize, hop: usize, t: SimTime) {
+        let ch = self.msgs[m].route[hop];
+        if self.dead[ch] {
+            // The header hit a dead channel: abort-and-discard.
+            self.msgs[m].acquired = hop;
+            self.abort(m, t, Outcome::Failed(FaultCause::DeadChannel));
+            return;
+        }
+        if let Some(reopen) = self.stalled_until(ch, t) {
+            // Transient stall: the channel refuses acquisition until the
+            // window closes. Counts as contention blocking.
+            let waited = reopen - t;
+            self.msgs[m].blocked_time += waited;
+            if self.map.is_virtual(ch) || hop == 0 {
+                self.msgs[m].port_waits += 1;
+                self.stats.port_waits += 1;
+                self.stats.port_wait_time += waited;
+            } else {
+                self.msgs[m].blocks += 1;
+                self.stats.blocks += 1;
+                self.stats.blocked_time += waited;
+            }
+            self.queue.push(reopen, Event::TryAcquire(m, hop));
+            return;
+        }
+        if self.channels.is_free(ch) {
+            self.channels.acquire(ch, m, t);
+            self.msgs[m].acquired = hop + 1;
+            let hop_cost = if self.map.is_virtual(ch) {
+                SimTime::ZERO
+            } else {
+                self.params.t_hop
+            };
+            let arrive = t + hop_cost;
+            if hop + 1 < self.msgs[m].route.len() {
+                self.queue.push(arrive, Event::TryAcquire(m, hop + 1));
+            } else {
+                let drain = arrive + self.params.t_byte * u64::from(self.workload[m].bytes);
+                self.queue.push(drain, Event::Complete(m));
+            }
+        } else {
+            // Block in place: keep held channels, queue FIFO.
+            // A block at hop 0 holds nothing upstream — it is
+            // source-side port serialization (Theorem 3's benign
+            // case), not network contention.
+            self.msgs[m].wait_since = t;
+            self.msgs[m].waiting_on = Some(ch);
+            if self.map.is_virtual(ch) || hop == 0 {
+                self.msgs[m].port_waits += 1;
+                self.stats.port_waits += 1;
+            } else {
+                self.msgs[m].blocks += 1;
+                self.stats.blocks += 1;
+            }
+            let depth = self.channels.enqueue(ch, m, hop);
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u32);
+        }
+    }
+
+    fn on_complete(&mut self, m: usize, t: SimTime) {
+        let held = self.msgs[m].acquired;
+        self.release_channels(m, held, t);
+        let delivered = t + self.params.t_recv_sw;
+        self.finish(m, delivered, Outcome::Delivered);
+        self.stats.makespan = self.stats.makespan.max(delivered);
+        let dependents = std::mem::take(&mut self.msgs[m].dependents);
+        for &d in &dependents {
+            if self.msgs[d].outcome.is_some() {
+                continue;
+            }
+            self.msgs[d].pending_deps -= 1;
+            if self.msgs[d].pending_deps == 0 {
+                let at = self.msgs[d].eligible_at.max(delivered);
+                self.queue.push(at, Event::Eligible(d));
+            }
+        }
+        self.msgs[m].dependents = dependents;
+    }
+
+    pub fn into_result(self) -> RunResult {
+        let t_recv = self.params.t_recv_sw;
+        let messages = self
+            .msgs
+            .iter()
+            .map(|s| {
+                let outcome = s.outcome.expect("every message reached a terminal state");
+                let network_done = if outcome.is_delivered() {
+                    s.finished_at - t_recv
+                } else {
+                    s.finished_at
+                };
+                MessageResult {
+                    injected: s.injected,
+                    network_done,
+                    delivered: s.finished_at,
+                    blocked_time: s.blocked_time,
+                    blocks: s.blocks,
+                    port_waits: s.port_waits,
+                    outcome,
+                }
+            })
+            .collect();
+        RunResult {
+            messages,
+            stats: self.stats,
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The discrete-event wormhole simulation engine.
+//!
+//! The engine executes a *dependency workload*: a set of messages, each
+//! of which becomes eligible once a set of earlier messages has been
+//! delivered (multicast trees, reductions, or arbitrary traffic). Each
+//! message is simulated at channel granularity:
+//!
+//! 1. After its dependencies deliver, the sending processor spends
+//!    `t_send_sw` (serialized per node when `cpu_serialized_startup`).
+//! 2. The worm's header then acquires the channels of its route in order,
+//!    paying `t_hop` per external channel; if a channel is busy the worm
+//!    *blocks in place*, holding everything acquired so far — wormhole
+//!    semantics — and queues FIFO on the busy channel.
+//! 3. After the last acquisition the payload drains in `bytes · t_byte`;
+//!    all held channels release at drain completion (tail-pass
+//!    approximation, see DESIGN.md) and delivery completes `t_recv_sw`
+//!    later.
+//!
+//! ## Layering
+//!
+//! The engine is split into focused submodules (DESIGN.md §9):
+//! [`events`](self) — the deterministic event queue; `worm` — message
+//! state machines; `arbitration` — per-channel holder/FIFO state;
+//! `watchdog` — the post-drain deadlock classifier; `outcomes` — the
+//! public result and error types; `core` — the event loop itself. The
+//! loop is **generic over the router**: [`simulate_on`] runs any
+//! [`Router`] backend (hypercube E-cube, torus dimension-ordered with
+//! dateline virtual channels, …), while [`simulate`] keeps the classic
+//! cube-shaped entry point.
+//!
+//! ## Faults and the watchdog
+//!
+//! [`simulate_with_faults`] threads a [`FaultPlan`] through the run:
+//! dead channels abort worms ([`Outcome::Failed`]), stall windows delay
+//! acquisition, deadlines abort undelivered messages
+//! ([`Outcome::TimedOut`]), and stuck channels wedge their waiters
+//! forever. When the event heap drains with unfinished messages the
+//! engine's *watchdog* examines the channel wait-for state and reports
+//! [`SimError::Deadlock`] with the holder and waiter sets — the typed
+//! replacement for silently dropping messages or spinning.
+//!
+//! The engine is fully deterministic: integer time, FIFO queues, and a
+//! sequence-numbered event heap.
+
+mod arbitration;
+mod core;
+mod events;
+mod outcomes;
+mod watchdog;
+mod worm;
+
+#[cfg(test)]
+mod tests;
+
+pub use outcomes::{NetStats, RunResult, SimError};
+pub use worm::{DepMessage, FaultCause, MessageResult, Outcome};
+
+use crate::faults::FaultPlan;
+use crate::params::SimParams;
+use hcube::{Cube, Ecube, Resolution, Router};
+
+/// Runs a dependency workload on any routed topology with a fault plan
+/// injected — the topology-generic core every cube-shaped entry point
+/// delegates to.
+///
+/// # Errors
+/// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
+/// [`SimError::DependencyCycle`] for malformed workloads, and
+/// [`SimError::Deadlock`] when blocked worms can never progress.
+pub fn simulate_with_faults_on<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    plan: &FaultPlan,
+) -> Result<RunResult, SimError> {
+    let mut engine = core::Engine::new(router, params, workload, plan)?;
+    engine.run()?;
+    Ok(engine.into_result())
+}
+
+/// Fault-free [`simulate_with_faults_on`]: same typed errors, no plan.
+///
+/// # Errors
+/// See [`simulate_with_faults_on`]; without faults only the malformed
+/// workload variants can occur.
+pub fn try_simulate_on<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+) -> Result<RunResult, SimError> {
+    simulate_with_faults_on(router, params, workload, &FaultPlan::none())
+}
+
+/// Runs a dependency workload on any routed topology, panicking on
+/// malformed workloads (see [`try_simulate_on`] for the `Result` form).
+///
+/// ```
+/// use hcube::{NodeId, Torus, TorusRouter};
+/// use hypercast::PortModel;
+/// use wormsim::{simulate_on, DepMessage, SimParams, SimTime};
+///
+/// let torus = Torus::of(4, 2);
+/// let run = simulate_on(
+///     TorusRouter::new(torus),
+///     &SimParams::ncube2(PortModel::AllPort),
+///     &[DepMessage { src: torus.node_at(&[0, 0]), dst: torus.node_at(&[2, 3]),
+///                    bytes: 1024, deps: vec![], min_start: SimTime::ZERO }],
+/// );
+/// assert!(run.messages[0].outcome.is_delivered());
+/// ```
+///
+/// # Panics
+/// Panics on malformed workloads: self-sends, out-of-range dependency
+/// indices, or dependency cycles.
+#[must_use]
+pub fn simulate_on<R: Router>(router: R, params: &SimParams, workload: &[DepMessage]) -> RunResult {
+    match try_simulate_on(router, params, workload) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs a dependency workload through the wormhole network model with a
+/// fault plan injected.
+///
+/// Per-message outcomes land in [`MessageResult::outcome`]; lost
+/// messages have [`Outcome::Failed`] or [`Outcome::TimedOut`] and their
+/// `delivered` field records the abort time. A wedged network (stuck
+/// channels with no deadline to rescue the waiters) is a typed
+/// [`SimError::Deadlock`] from the watchdog, not a hang.
+///
+/// # Errors
+/// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
+/// [`SimError::DependencyCycle`] for malformed workloads, and
+/// [`SimError::Deadlock`] when blocked worms can never progress.
+pub fn simulate_with_faults(
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    workload: &[DepMessage],
+    plan: &FaultPlan,
+) -> Result<RunResult, SimError> {
+    simulate_with_faults_on(Ecube::new(cube, resolution), params, workload, plan)
+}
+
+/// Fault-free [`simulate_with_faults`]: same typed errors, no plan.
+///
+/// # Errors
+/// See [`simulate_with_faults`]; without faults only the malformed
+/// workload variants can occur.
+pub fn try_simulate(
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    workload: &[DepMessage],
+) -> Result<RunResult, SimError> {
+    simulate_with_faults(cube, resolution, params, workload, &FaultPlan::none())
+}
+
+/// Runs a dependency workload through the wormhole network model.
+///
+/// ```
+/// use hcube::{Cube, NodeId, Resolution};
+/// use hypercast::PortModel;
+/// use wormsim::{simulate, DepMessage, SimParams, SimTime};
+///
+/// // A two-stage forward: 0 → 4, then 4 → 6 after delivery.
+/// let workload = vec![
+///     DepMessage { src: NodeId(0), dst: NodeId(4), bytes: 1024,
+///                  deps: vec![], min_start: SimTime::ZERO },
+///     DepMessage { src: NodeId(4), dst: NodeId(6), bytes: 1024,
+///                  deps: vec![0], min_start: SimTime::ZERO },
+/// ];
+/// let params = SimParams::ncube2(PortModel::AllPort);
+/// let run = simulate(Cube::of(3), Resolution::HighToLow, &params, &workload);
+/// assert!(run.messages[1].injected >= run.messages[0].delivered);
+/// assert_eq!(run.stats.blocks, 0);
+/// ```
+///
+/// # Panics
+/// Panics on malformed workloads: self-sends, out-of-range dependency
+/// indices, or dependency cycles (messages that never become eligible).
+/// Use [`try_simulate`] for a `Result` instead.
+#[must_use]
+pub fn simulate(
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    workload: &[DepMessage],
+) -> RunResult {
+    match try_simulate(cube, resolution, params, workload) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}

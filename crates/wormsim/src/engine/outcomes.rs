@@ -1,0 +1,187 @@
+//! Run-level outputs: aggregate statistics, per-run results, and the
+//! typed error vocabulary.
+
+use crate::engine::worm::MessageResult;
+use crate::time::SimTime;
+use std::fmt;
+
+/// Aggregate network statistics of a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Time blocked on external channels (contention).
+    pub blocked_time: SimTime,
+    /// External-channel blocking episodes (contention).
+    pub blocks: u64,
+    /// Time blocked on virtual channels (one-port serialization).
+    pub port_wait_time: SimTime,
+    /// Virtual-channel blocking episodes.
+    pub port_waits: u64,
+    /// Completion time of the last delivery.
+    pub makespan: SimTime,
+    /// Messages that ended [`Outcome::Failed`](crate::engine::Outcome).
+    pub failed: u64,
+    /// Messages that ended [`Outcome::TimedOut`](crate::engine::Outcome).
+    pub timed_out: u64,
+    /// Per-coordinate-dimension total busy (held) time of external
+    /// channels, indexed by dimension (`0..topology.dimensions()`).
+    pub dim_busy: Vec<SimTime>,
+    /// Number of external channels per coordinate dimension (the
+    /// denominator of [`dim_utilization`](NetStats::dim_utilization)).
+    pub dim_channels: Vec<u32>,
+    /// Deepest FIFO wait queue ever observed on any channel (external
+    /// or virtual) — an instantaneous congestion measure the aggregate
+    /// blocked-time totals smear out.
+    pub max_queue_depth: u32,
+}
+
+impl NetStats {
+    /// Mean utilization of the external channels of each coordinate
+    /// dimension: held time divided by `makespan · channels`, in
+    /// dimension order. Empty if the run had zero makespan.
+    #[must_use]
+    pub fn dim_utilization(&self) -> Vec<f64> {
+        if self.makespan == SimTime::ZERO {
+            return vec![0.0; self.dim_busy.len()];
+        }
+        self.dim_busy
+            .iter()
+            .zip(&self.dim_channels)
+            .map(|(busy, &chans)| {
+                if chans == 0 {
+                    0.0
+                } else {
+                    busy.as_ns() as f64 / (self.makespan.as_ns() as f64 * f64::from(chans))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Outcome of [`simulate`](crate::engine::simulate).
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-message results, indexed like the input workload.
+    pub messages: Vec<MessageResult>,
+    /// Aggregate statistics.
+    pub stats: NetStats,
+}
+
+impl RunResult {
+    /// Number of messages that were delivered.
+    #[must_use]
+    pub fn delivered_count(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.outcome.is_delivered())
+            .count()
+    }
+
+    /// Delivered fraction of the workload (1.0 for an empty workload).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages.is_empty() {
+            1.0
+        } else {
+            self.delivered_count() as f64 / self.messages.len() as f64
+        }
+    }
+}
+
+/// Typed failure modes of a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A workload message sends to itself.
+    SelfSend {
+        /// Index of the offending message.
+        index: usize,
+    },
+    /// A dependency index points outside the workload.
+    DependencyOutOfRange {
+        /// Index of the offending message.
+        index: usize,
+        /// The out-of-range dependency value.
+        dep: usize,
+    },
+    /// The dependency graph contains a cycle (or depends on something
+    /// unsatisfiable), so some messages can never become eligible.
+    DependencyCycle {
+        /// Messages that never became eligible.
+        stuck: Vec<usize>,
+    },
+    /// The network wedged: the event heap drained while worms were still
+    /// blocked on channels that will never be released.
+    Deadlock {
+        /// Simulated time of the last event before the wedge.
+        at: SimTime,
+        /// Messages holding at least one channel another message waits
+        /// on (a stuck channel's phantom holder is not a message and is
+        /// not listed).
+        holders: Vec<usize>,
+        /// Messages waiting in some channel's queue.
+        waiters: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SelfSend { index } => {
+                write!(f, "self-send in workload (message {index})")
+            }
+            SimError::DependencyOutOfRange { index, dep } => {
+                write!(
+                    f,
+                    "dependency index out of range (message {index} depends on {dep})"
+                )
+            }
+            SimError::DependencyCycle { stuck } => write!(
+                f,
+                "workload contains a dependency cycle or unsatisfiable message ({} stuck)",
+                stuck.len()
+            ),
+            SimError::Deadlock {
+                at,
+                holders,
+                waiters,
+            } => write!(
+                f,
+                "deadlock at {at}: {} waiter(s) {:?} blocked behind holder(s) {:?}",
+                waiters.len(),
+                waiters,
+                holders
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_utilization_divides_by_channels_and_makespan() {
+        let stats = NetStats {
+            makespan: SimTime::from_ns(100),
+            dim_busy: vec![SimTime::from_ns(100), SimTime::from_ns(400), SimTime::ZERO],
+            dim_channels: vec![4, 8, 0],
+            ..NetStats::default()
+        };
+        let u = stats.dim_utilization();
+        assert_eq!(u.len(), 3);
+        assert!((u[0] - 0.25).abs() < 1e-12);
+        assert!((u[1] - 0.5).abs() < 1e-12);
+        assert_eq!(u[2], 0.0);
+    }
+
+    #[test]
+    fn zero_makespan_utilization_is_zero() {
+        let stats = NetStats {
+            dim_busy: vec![SimTime::from_ns(7)],
+            dim_channels: vec![2],
+            ..NetStats::default()
+        };
+        assert_eq!(stats.dim_utilization(), vec![0.0]);
+    }
+}

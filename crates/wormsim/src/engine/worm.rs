@@ -1,0 +1,132 @@
+//! Worm state: workload messages, their terminal outcomes, and the
+//! per-message bookkeeping the event loop updates.
+
+use crate::time::SimTime;
+use hcube::NodeId;
+
+/// One message of a dependency workload.
+#[derive(Clone, Debug)]
+pub struct DepMessage {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload length in bytes.
+    pub bytes: u32,
+    /// Indices (into the workload vector) of messages that must be
+    /// *delivered* before this message's send processing may start.
+    pub deps: Vec<usize>,
+    /// Earliest absolute time the send processing may start.
+    pub min_start: SimTime,
+}
+
+/// Why a message failed under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The source or destination node is dead.
+    DeadEndpoint,
+    /// The worm's header reached a dead channel and aborted.
+    DeadChannel,
+    /// A dependency of this message failed or timed out, so it could
+    /// never be sent.
+    DependencyFailed,
+}
+
+/// Per-message terminal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The payload reached the destination processor.
+    Delivered,
+    /// The message was lost to a fault; see the cause.
+    Failed(FaultCause),
+    /// The message missed its deadline and aborted, releasing every
+    /// channel it held (the recovery path that distinguishes a timeout
+    /// from a deadlock).
+    TimedOut,
+}
+
+impl Outcome {
+    /// Whether the message was delivered.
+    #[must_use]
+    pub fn is_delivered(self) -> bool {
+        self == Outcome::Delivered
+    }
+}
+
+/// Per-message outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageResult {
+    /// Time the worm entered the network (after software startup);
+    /// [`SimTime::ZERO`] if the message failed before injection.
+    pub injected: SimTime,
+    /// Time the tail drained at the destination router. For a message
+    /// that was not delivered, the time it aborted.
+    pub network_done: SimTime,
+    /// Time the destination processor holds the payload
+    /// (`network_done + t_recv_sw`). For a message that was not
+    /// delivered, the time it aborted.
+    pub delivered: SimTime,
+    /// Total time spent blocked waiting for busy channels (external
+    /// contention and one-port serialization combined).
+    pub blocked_time: SimTime,
+    /// Blocking episodes on *external* channels — genuine wormhole
+    /// channel contention (stall-window retries count here too).
+    pub blocks: u32,
+    /// Blocking episodes on virtual injection/consumption channels —
+    /// intended one-port serialization, not contention.
+    pub port_waits: u32,
+    /// How the message ended.
+    pub outcome: Outcome,
+}
+
+/// The worm's in-flight state machine: route progress, dependency
+/// counters, blocking accounting, and the terminal outcome once reached.
+pub(crate) struct MsgState {
+    /// The dense channel indices the worm acquires, in order.
+    pub route: Vec<usize>,
+    /// Dependencies not yet delivered.
+    pub pending_deps: usize,
+    /// Messages waiting on this one's delivery.
+    pub dependents: Vec<usize>,
+    /// Earliest time send processing may start.
+    pub eligible_at: SimTime,
+    /// Injection time, once injected.
+    pub injected: SimTime,
+    /// When the current blocking episode began.
+    pub wait_since: SimTime,
+    /// Accumulated blocked time (external + virtual).
+    pub blocked_time: SimTime,
+    /// External-channel blocking episodes.
+    pub blocks: u32,
+    /// Virtual-channel blocking episodes.
+    pub port_waits: u32,
+    /// Number of route channels currently held.
+    pub acquired: usize,
+    /// Channel whose queue this message currently sits in, if blocked.
+    pub waiting_on: Option<usize>,
+    /// Terminal state, once reached; time in `finished_at`.
+    pub outcome: Option<Outcome>,
+    /// Time the terminal state was reached.
+    pub finished_at: SimTime,
+}
+
+impl MsgState {
+    /// Fresh state for a workload message with the given route.
+    pub fn new(route: Vec<usize>, deps: usize, eligible_at: SimTime) -> MsgState {
+        MsgState {
+            route,
+            pending_deps: deps,
+            dependents: Vec::new(),
+            eligible_at,
+            injected: SimTime::ZERO,
+            wait_since: SimTime::ZERO,
+            blocked_time: SimTime::ZERO,
+            blocks: 0,
+            port_waits: 0,
+            acquired: 0,
+            waiting_on: None,
+            outcome: None,
+            finished_at: SimTime::ZERO,
+        }
+    }
+}

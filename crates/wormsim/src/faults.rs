@@ -27,7 +27,7 @@
 //! seed ([`FaultPlan::random_links`], [`FaultPlan::random_nodes`]).
 
 use crate::time::SimTime;
-use hcube::{Cube, Dim, NodeId};
+use hcube::{Cube, Dim, NodeId, Topology};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -135,10 +135,20 @@ impl FaultPlan {
     /// the channel count.
     #[must_use]
     pub fn random_links(cube: Cube, k: usize, seed: u64) -> FaultPlan {
+        FaultPlan::random_links_on(&cube, k, seed)
+    }
+
+    /// Topology-generic [`random_links`](FaultPlan::random_links): `k`
+    /// distinct directed channels of any [`Topology`], chosen uniformly
+    /// at random from `seed`. Channels are enumerated in `(node, port)`
+    /// index order, so for the hypercube the chosen set is identical to
+    /// `random_links` at the same seed.
+    #[must_use]
+    pub fn random_links_on<T: Topology>(topo: &T, k: usize, seed: u64) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6c69_6e6b); // "link"
-        let mut all: Vec<(u32, u8)> = cube
-            .nodes()
-            .flat_map(|v| cube.dims().map(move |d| (v.0, d.0)))
+        let ports = topo.ports_per_node();
+        let mut all: Vec<(u32, u8)> = (0..topo.node_count() as u32)
+            .flat_map(|v| (0..ports).map(move |p| (v, p)))
             .collect();
         let k = k.min(all.len());
         let (chosen, _) = all.partial_shuffle(&mut rng, k);
@@ -155,10 +165,21 @@ impl FaultPlan {
     /// eligible nodes.
     #[must_use]
     pub fn random_nodes(cube: Cube, k: usize, seed: u64, protected: &[NodeId]) -> FaultPlan {
+        FaultPlan::random_nodes_on(&cube, k, seed, protected)
+    }
+
+    /// Topology-generic [`random_nodes`](FaultPlan::random_nodes); node
+    /// enumeration order matches the cube version, so identical seeds
+    /// give identical hypercube plans.
+    #[must_use]
+    pub fn random_nodes_on<T: Topology>(
+        topo: &T,
+        k: usize,
+        seed: u64,
+        protected: &[NodeId],
+    ) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6e6f_6465); // "node"
-        let mut all: Vec<u32> = cube
-            .nodes()
-            .map(|v| v.0)
+        let mut all: Vec<u32> = (0..topo.node_count() as u32)
             .filter(|v| !protected.iter().any(|p| p.0 == *v))
             .collect();
         let k = k.min(all.len());
@@ -178,11 +199,29 @@ impl FaultPlan {
         self.dead_nodes.contains(&v.0)
     }
 
-    /// Whether the directed channel leaving `from` in `dim` is unusable:
-    /// the link itself is dead, or either endpoint node is down.
+    /// Whether the directed channel leaving `from` on `port` was
+    /// explicitly killed with [`fail_link`](FaultPlan::fail_link).
+    ///
+    /// This is the topology-generic query: it looks only at the link
+    /// set. The engine combines it with [`node_dead`] on both endpoints
+    /// (found through the topology's neighbor function) to decide
+    /// whether a channel is usable.
+    ///
+    /// [`node_dead`]: FaultPlan::node_dead
+    #[must_use]
+    pub fn link_dead(&self, from: NodeId, port: Dim) -> bool {
+        self.dead_links.contains(&(from.0, port.0))
+    }
+
+    /// Whether the directed **hypercube** channel leaving `from` in
+    /// `dim` is unusable: the link itself is dead, or either endpoint
+    /// node is down. The neighbor is computed by the cube's XOR rule;
+    /// for other topologies combine [`link_dead`](FaultPlan::link_dead)
+    /// with [`node_dead`](FaultPlan::node_dead) through the topology's
+    /// own neighbor function.
     #[must_use]
     pub fn channel_dead(&self, from: NodeId, dim: Dim) -> bool {
-        self.dead_links.contains(&(from.0, dim.0))
+        self.link_dead(from, dim)
             || self.node_dead(from)
             || self.node_dead(NodeId(from.0 ^ (1 << dim.0)))
     }
@@ -371,5 +410,38 @@ mod tests {
         let p = FaultPlan::random_nodes(cube, 100, 9, &[NodeId(5)]);
         assert_eq!(p.dead_nodes().count(), 7);
         assert!(!p.node_dead(NodeId(5)));
+    }
+
+    #[test]
+    fn link_dead_sees_only_explicit_links() {
+        let mut p = FaultPlan::none();
+        p.fail_link(NodeId(2), Dim(1));
+        p.fail_node(NodeId(4));
+        assert!(p.link_dead(NodeId(2), Dim(1)));
+        // A dead node does NOT mark its links dead in the link set —
+        // the engine folds node death in via the topology's neighbor.
+        assert!(!p.link_dead(NodeId(4), Dim(0)));
+        assert!(p.channel_dead(NodeId(4), Dim(0)));
+    }
+
+    #[test]
+    fn generic_random_plans_match_cube_versions() {
+        let cube = Cube::of(4);
+        assert_eq!(
+            FaultPlan::random_links(cube, 6, 42),
+            FaultPlan::random_links_on(&cube, 6, 42)
+        );
+        assert_eq!(
+            FaultPlan::random_nodes(cube, 3, 11, &[NodeId(0)]),
+            FaultPlan::random_nodes_on(&cube, 3, 11, &[NodeId(0)])
+        );
+        // And they work on the torus's richer port space.
+        let t = hcube::Torus::of(4, 2);
+        let p = FaultPlan::random_links_on(&t, 10, 7);
+        assert_eq!(p.dead_link_count(), 10);
+        assert_eq!(p, FaultPlan::random_links_on(&t, 10, 7));
+        assert!(p
+            .dead_links()
+            .all(|(v, port)| { (v.0 as usize) < 16 && port.0 < Topology::ports_per_node(&t) }));
     }
 }

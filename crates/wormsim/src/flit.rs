@@ -21,7 +21,7 @@
 //! of the fast model, not to replace it.
 
 use crate::network::ChannelMap;
-use hcube::{Cube, NodeId, Resolution};
+use hcube::{Cube, Ecube, NodeId, Resolution, Router};
 use std::collections::VecDeque;
 
 /// A message of a flit-level workload.
@@ -61,8 +61,9 @@ struct MsgState {
     delivered: Option<u64>,
 }
 
-/// Runs a flit-level simulation. Deterministic: messages are processed in
-/// index order each cycle and channel grants are FIFO.
+/// Runs a flit-level simulation on a hypercube (see [`simulate_flits_on`]
+/// for the topology-generic entry point). Deterministic: messages are
+/// processed in index order each cycle and channel grants are FIFO.
 ///
 /// # Panics
 /// On self-sends, zero-length worms, or workloads that exceed an internal
@@ -74,7 +75,20 @@ pub fn simulate_flits(
     resolution: Resolution,
     workload: &[FlitMessage],
 ) -> Vec<FlitResult> {
-    let map = ChannelMap::new(cube);
+    simulate_flits_on(Ecube::new(cube, resolution), workload)
+}
+
+/// Runs a flit-level simulation on any routed topology. Deterministic:
+/// messages are processed in index order each cycle and channel grants
+/// are FIFO.
+///
+/// # Panics
+/// On self-sends, zero-length worms, or workloads that exceed an internal
+/// 100-million-cycle safety horizon (which would indicate a routing bug,
+/// since the provided routers are deadlock-free).
+#[must_use]
+pub fn simulate_flits_on<R: Router>(router: R, workload: &[FlitMessage]) -> Vec<FlitResult> {
+    let map = ChannelMap::new(router);
     let mut owner: Vec<Option<usize>> = vec![None; map.len()];
     let mut queue: Vec<VecDeque<usize>> = vec![VecDeque::new(); map.len()];
 
@@ -84,7 +98,7 @@ pub fn simulate_flits(
             assert_ne!(m.src, m.dst, "self-send in flit workload");
             assert!(m.flits >= 1, "zero-length worm");
             MsgState {
-                route: map.route(resolution, hypercast::PortModel::AllPort, m.src, m.dst),
+                route: map.route(hypercast::PortModel::AllPort, m.src, m.dst),
                 head: None,
                 tail: 0,
                 at_source: m.flits,

@@ -52,11 +52,11 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{
-    simulate, simulate_with_faults, try_simulate, DepMessage, FaultCause, MessageResult, NetStats,
-    Outcome, RunResult, SimError,
+    simulate, simulate_on, simulate_with_faults, simulate_with_faults_on, try_simulate,
+    try_simulate_on, DepMessage, FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
 };
 pub use faults::FaultPlan;
-pub use flit::{simulate_flits, FlitMessage, FlitResult};
+pub use flit::{simulate_flits, simulate_flits_on, FlitMessage, FlitResult};
 pub use multicast::{
     simulate_chunked_multicast, simulate_concurrent_multicasts, simulate_gather,
     simulate_multicast, simulate_multicast_with_faults, simulate_reduction, simulate_scatter,

@@ -8,7 +8,7 @@
 //! abstraction; contention-freedom (Definition 4) is what guarantees the
 //! self-timed execution never blocks.
 
-use crate::engine::{simulate, simulate_with_faults, DepMessage, RunResult, SimError};
+use crate::engine::{simulate, simulate_with_faults, DepMessage, NetStats, RunResult, SimError};
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
 use crate::time::SimTime;
@@ -32,6 +32,9 @@ pub struct SimReport {
     pub blocks: u64,
     /// Total time spent blocked.
     pub blocked_time: SimTime,
+    /// Full network statistics of the underlying run (per-dimension
+    /// channel utilization, deepest FIFO queue, port waits, …).
+    pub stats: NetStats,
 }
 
 impl SimReport {
@@ -54,6 +57,7 @@ impl SimReport {
             max_delay,
             blocks: run.stats.blocks,
             blocked_time: run.stats.blocked_time,
+            stats: run.stats.clone(),
         }
     }
 }
@@ -283,6 +287,9 @@ pub fn simulate_concurrent_multicasts(
                 max_delay,
                 blocks,
                 blocked_time,
+                // The run (and hence its network statistics) is shared by
+                // all concurrent trees; each per-tree report carries it.
+                stats: run.stats.clone(),
             }
         })
         .collect()

@@ -1,34 +1,59 @@
-//! Channel-level view of the hypercube for the simulator.
+//! Channel-level view of a routed topology for the simulator.
 //!
-//! Every directed external channel gets a dense index; under the one-port
-//! model two *virtual* channels per node are added — an injection channel
-//! (a node transmits at most one message at a time) and a consumption
-//! channel (it receives at most one at a time). A message's path is the
-//! optional injection channel, the E-cube external channels, and the
-//! optional consumption channel; the worm holds all of them from head
-//! acquisition to tail drain, so one-port serialization falls out of the
-//! ordinary channel-contention machinery.
+//! Every directed external channel gets a dense index (the topology's own
+//! `channel_index` bijection); under the one-port model two *virtual*
+//! channels per node are appended — an injection channel (a node
+//! transmits at most one message at a time) and a consumption channel (it
+//! receives at most one at a time). A message's path is the optional
+//! injection channel, the router's external channels, and the optional
+//! consumption channel; the worm holds all of them from head acquisition
+//! to tail drain, so one-port serialization falls out of the ordinary
+//! channel-contention machinery.
+//!
+//! The map is generic over any [`Router`]: the engine, trace
+//! reconstruction, and the flit-level validator all index channels
+//! through it and never assume hypercube address arithmetic.
 
-use hcube::{Cube, Dim, NodeId, Path, Resolution};
+use hcube::{Dim, NodeId, Router, Topology};
 use hypercast::PortModel;
 
-/// Dense indexing for external and virtual channels of a cube.
+/// Dense indexing for the external and virtual channels of a routed
+/// topology.
+///
+/// Layout: externals occupy `0..externals()` exactly as the topology's
+/// `channel_index` defines; consumption channels follow at
+/// `externals() + v`; injection channels at `externals() + nodes + v`.
 #[derive(Clone, Copy, Debug)]
-pub struct ChannelMap {
-    n: u8,
+pub struct ChannelMap<R: Router> {
+    router: R,
+    topo: R::Topo,
     externals: usize,
     nodes: usize,
 }
 
-impl ChannelMap {
-    /// Builds the channel map for `cube`.
+impl<R: Router> ChannelMap<R> {
+    /// Builds the channel map for `router`'s topology.
     #[must_use]
-    pub fn new(cube: Cube) -> ChannelMap {
+    pub fn new(router: R) -> ChannelMap<R> {
+        let topo = router.topology();
         ChannelMap {
-            n: cube.dimension(),
-            externals: cube.channel_count(),
-            nodes: cube.node_count(),
+            router,
+            topo,
+            externals: topo.channel_count(),
+            nodes: topo.node_count(),
         }
+    }
+
+    /// The topology descriptor the map indexes.
+    #[must_use]
+    pub fn topology(&self) -> R::Topo {
+        self.topo
+    }
+
+    /// The router whose routes the map wraps.
+    #[must_use]
+    pub fn router(&self) -> &R {
+        &self.router
     }
 
     /// Total number of channel slots (externals + 2·N virtuals).
@@ -37,17 +62,49 @@ impl ChannelMap {
         self.externals + 2 * self.nodes
     }
 
-    /// Whether the map is empty (never true for a valid cube).
+    /// Whether the map is empty (never true for a valid topology).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Index of the directed external channel leaving `from` in `dim`.
+    /// Number of directed external channels (the topology's own count).
+    #[must_use]
+    pub fn externals(&self) -> usize {
+        self.externals
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Index of the directed external channel leaving `from` on `port`.
     #[inline]
     #[must_use]
-    pub fn external(&self, from: NodeId, dim: Dim) -> usize {
-        from.0 as usize * self.n as usize + dim.0 as usize
+    pub fn external(&self, from: NodeId, port: Dim) -> usize {
+        self.topo.channel_index(from, port)
+    }
+
+    /// Decodes an external channel index back to `(from, port)`.
+    ///
+    /// # Panics
+    /// May panic (or return garbage coordinates) if `ch` is a virtual
+    /// channel index; callers check [`is_virtual`](Self::is_virtual).
+    #[inline]
+    #[must_use]
+    pub fn external_coords(&self, ch: usize) -> (NodeId, Dim) {
+        debug_assert!(ch < self.externals);
+        self.topo.channel_coords(ch)
+    }
+
+    /// The coordinate dimension an external channel travels in.
+    #[inline]
+    #[must_use]
+    pub fn dim_of(&self, ch: usize) -> u8 {
+        let (_, port) = self.topo.channel_coords(ch);
+        self.topo.port_dim(port)
     }
 
     /// Index of node `v`'s virtual consumption channel.
@@ -71,23 +128,35 @@ impl ChannelMap {
         idx >= self.externals
     }
 
-    /// The channel sequence a `src → dst` message occupies under the given
-    /// routing resolution and port model.
+    /// Human-readable label of a channel index: the topology's own label
+    /// for externals, `inj(v)` / `cons(v)` for virtuals.
     #[must_use]
-    pub fn route(
-        &self,
-        resolution: Resolution,
-        port_model: PortModel,
-        src: NodeId,
-        dst: NodeId,
-    ) -> Vec<usize> {
-        let path = Path::new(resolution, src, dst);
-        let mut channels = Vec::with_capacity(path.hops() as usize + 2);
+    pub fn label(&self, ch: usize) -> String {
+        if ch < self.externals {
+            self.topo.channel_label(ch)
+        } else if ch < self.externals + self.nodes {
+            let v = NodeId((ch - self.externals) as u32);
+            format!("cons({})", self.topo.node_label(v))
+        } else {
+            let v = NodeId((ch - self.externals - self.nodes) as u32);
+            format!("inj({})", self.topo.node_label(v))
+        }
+    }
+
+    /// The channel sequence a `src → dst` message occupies under the
+    /// given port model: the router's deterministic external route,
+    /// wrapped in the virtual injection/consumption channels when
+    /// one-port.
+    #[must_use]
+    pub fn route(&self, port_model: PortModel, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let mut hops = Vec::new();
+        self.router.route_hops(src, dst, &mut hops);
+        let mut channels = Vec::with_capacity(hops.len() + 2);
         if port_model == PortModel::OnePort {
             channels.push(self.injection(src));
         }
-        for arc in path.arcs() {
-            channels.push(self.external(arc.from, arc.dim));
+        for (v, p) in hops {
+            channels.push(self.external(v, p));
         }
         if port_model == PortModel::OnePort {
             channels.push(self.consumption(dst));
@@ -99,11 +168,16 @@ impl ChannelMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hcube::{Cube, Ecube, Resolution, Torus, TorusRouter};
+
+    fn cube_map(n: u8) -> ChannelMap<Ecube> {
+        ChannelMap::new(Ecube::new(Cube::of(n), Resolution::HighToLow))
+    }
 
     #[test]
     fn indices_are_dense_and_disjoint() {
         let cube = Cube::of(3);
-        let map = ChannelMap::new(cube);
+        let map = cube_map(3);
         assert_eq!(map.len(), 3 * 8 + 2 * 8);
         let mut seen = vec![false; map.len()];
         for v in cube.nodes() {
@@ -112,6 +186,8 @@ mod tests {
                 assert!(!map.is_virtual(i));
                 assert!(!seen[i]);
                 seen[i] = true;
+                assert_eq!(map.external_coords(i), (v, d));
+                assert_eq!(map.dim_of(i), d.0);
             }
         }
         for v in cube.nodes() {
@@ -126,26 +202,16 @@ mod tests {
 
     #[test]
     fn all_port_route_is_externals_only() {
-        let map = ChannelMap::new(Cube::of(4));
-        let route = map.route(
-            Resolution::HighToLow,
-            PortModel::AllPort,
-            NodeId(0b0101),
-            NodeId(0b1110),
-        );
+        let map = cube_map(4);
+        let route = map.route(PortModel::AllPort, NodeId(0b0101), NodeId(0b1110));
         assert_eq!(route.len(), 3);
         assert!(route.iter().all(|&c| !map.is_virtual(c)));
     }
 
     #[test]
     fn one_port_route_wraps_with_virtuals() {
-        let map = ChannelMap::new(Cube::of(4));
-        let route = map.route(
-            Resolution::HighToLow,
-            PortModel::OnePort,
-            NodeId(0b0101),
-            NodeId(0b1110),
-        );
+        let map = cube_map(4);
+        let route = map.route(PortModel::OnePort, NodeId(0b0101), NodeId(0b1110));
         assert_eq!(route.len(), 5);
         assert_eq!(route[0], map.injection(NodeId(0b0101)));
         assert_eq!(*route.last().unwrap(), map.consumption(NodeId(0b1110)));
@@ -154,13 +220,34 @@ mod tests {
 
     #[test]
     fn single_hop_route() {
-        let map = ChannelMap::new(Cube::of(4));
-        let route = map.route(
-            Resolution::HighToLow,
-            PortModel::AllPort,
-            NodeId(0),
-            NodeId(0b1000),
-        );
+        let map = cube_map(4);
+        let route = map.route(PortModel::AllPort, NodeId(0), NodeId(0b1000));
         assert_eq!(route, vec![map.external(NodeId(0), Dim(3))]);
+    }
+
+    #[test]
+    fn torus_map_routes_through_the_trait() {
+        let t = Torus::of(4, 2);
+        let map = ChannelMap::new(TorusRouter::new(t));
+        assert_eq!(map.externals(), 16 * 8);
+        assert_eq!(map.len(), 16 * 8 + 2 * 16);
+        let route = map.route(PortModel::AllPort, t.node_at(&[0, 0]), t.node_at(&[2, 1]));
+        assert_eq!(
+            route.len() as u32,
+            t.distance(t.node_at(&[0, 0]), t.node_at(&[2, 1]))
+        );
+        assert!(route.iter().all(|&c| !map.is_virtual(c)));
+        // One-port wraps exactly like the cube map does.
+        let route = map.route(PortModel::OnePort, t.node_at(&[0, 0]), t.node_at(&[1, 0]));
+        assert_eq!(route[0], map.injection(t.node_at(&[0, 0])));
+        assert_eq!(*route.last().unwrap(), map.consumption(t.node_at(&[1, 0])));
+    }
+
+    #[test]
+    fn labels_distinguish_virtuals() {
+        let map = cube_map(3);
+        assert_eq!(map.label(map.external(NodeId(0b010), Dim(0))), "010--0→");
+        assert_eq!(map.label(map.consumption(NodeId(3))), "cons(011)");
+        assert_eq!(map.label(map.injection(NodeId(3))), "inj(011)");
     }
 }

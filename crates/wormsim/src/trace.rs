@@ -12,12 +12,16 @@
 //! whole route is `[injected, network_done]`, and blocked intervals are
 //! bounded by the same window, so the reconstruction is exact for
 //! contention-free runs and a tight envelope otherwise.
+//!
+//! Reconstruction is topology-generic: channel indices and labels come
+//! from the [`Router`]'s topology, so the same timeline renderer serves
+//! the hypercube (`0101--3→`) and the torus (`2,1--d0+v1→`).
 
 use crate::engine::{DepMessage, RunResult};
 use crate::network::ChannelMap;
 use crate::params::SimParams;
 use crate::time::SimTime;
-use hcube::{Cube, NodeId, Resolution};
+use hcube::{Cube, Ecube, Resolution, Router};
 use std::fmt::Write as _;
 
 /// One channel-holding interval of one message.
@@ -38,27 +42,30 @@ pub struct Occupancy {
 pub struct ChannelTrace {
     /// All occupancy intervals, ordered by message then hop.
     pub occupancies: Vec<Occupancy>,
-    /// Total number of directed external channels in the cube.
+    /// Total number of directed external channels in the topology.
     pub external_channels: usize,
     /// The run's makespan.
     pub makespan: SimTime,
+    /// Human-readable labels of the channels appearing in
+    /// `occupancies`, sorted by channel index (captured from the
+    /// topology at reconstruction time).
+    pub labels: Vec<(usize, String)>,
 }
 
 impl ChannelTrace {
-    /// Builds the trace for a completed run.
+    /// Builds the trace for a run completed on any routed topology.
     #[must_use]
-    pub fn reconstruct(
-        cube: Cube,
-        resolution: Resolution,
+    pub fn reconstruct_on<R: Router>(
+        router: R,
         params: &SimParams,
         workload: &[DepMessage],
         run: &RunResult,
     ) -> ChannelTrace {
-        let map = ChannelMap::new(cube);
+        let map = ChannelMap::new(router);
         let mut occupancies = Vec::new();
         let mut makespan = SimTime::ZERO;
         for (i, (m, r)) in workload.iter().zip(&run.messages).enumerate() {
-            let route = map.route(resolution, params.port_model, m.src, m.dst);
+            let route = map.route(params.port_model, m.src, m.dst);
             for ch in route {
                 if map.is_virtual(ch) {
                     continue;
@@ -72,11 +79,32 @@ impl ChannelTrace {
             }
             makespan = makespan.max(r.delivered);
         }
+        let mut used: Vec<usize> = occupancies.iter().map(|o| o.channel).collect();
+        used.sort_unstable();
+        used.dedup();
+        let labels = used.into_iter().map(|ch| (ch, map.label(ch))).collect();
         ChannelTrace {
             occupancies,
-            external_channels: cube.channel_count(),
+            external_channels: map.externals(),
             makespan,
+            labels,
         }
+    }
+
+    /// Builds the trace for a completed hypercube run (the classic
+    /// entry point; delegates to [`reconstruct_on`] with an E-cube
+    /// router).
+    ///
+    /// [`reconstruct_on`]: ChannelTrace::reconstruct_on
+    #[must_use]
+    pub fn reconstruct(
+        cube: Cube,
+        resolution: Resolution,
+        params: &SimParams,
+        workload: &[DepMessage],
+        run: &RunResult,
+    ) -> ChannelTrace {
+        ChannelTrace::reconstruct_on(Ecube::new(cube, resolution), params, workload, run)
     }
 
     /// Mean external-channel utilization over the run: the fraction of
@@ -97,25 +125,20 @@ impl ChannelTrace {
     /// The number of distinct external channels ever held.
     #[must_use]
     pub fn channels_used(&self) -> usize {
-        let mut seen: Vec<usize> = self.occupancies.iter().map(|o| o.channel).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
+        self.labels.len()
     }
 
     /// Renders an ASCII occupancy timeline (one row per used channel,
-    /// `width` time buckets; letters identify messages). Intended for
-    /// small illustrative runs.
+    /// `width` time buckets; letters identify messages). Channel labels
+    /// come from the topology the trace was reconstructed on. Intended
+    /// for small illustrative runs.
     #[must_use]
-    pub fn render_timeline(&self, cube: Cube, width: usize) -> String {
-        let n = cube.dimension();
-        let mut rows: Vec<(usize, Vec<char>)> = Vec::new();
-        let mut used: Vec<usize> = self.occupancies.iter().map(|o| o.channel).collect();
-        used.sort_unstable();
-        used.dedup();
-        for ch in used {
-            rows.push((ch, vec!['.'; width]));
-        }
+    pub fn render_timeline(&self, width: usize) -> String {
+        let mut rows: Vec<(usize, Vec<char>)> = self
+            .labels
+            .iter()
+            .map(|&(ch, _)| (ch, vec!['.'; width]))
+            .collect();
         let total = self.makespan.as_ns().max(1);
         for o in &self.occupancies {
             let glyph = char::from(b'A' + (o.message % 26) as u8);
@@ -131,13 +154,18 @@ impl ChannelTrace {
                 }
             }
         }
+        let pad = self
+            .labels
+            .iter()
+            .map(|(_, l)| l.chars().count())
+            .max()
+            .unwrap_or(0);
         let mut out = String::new();
         let _ = writeln!(out, "channel occupancy (0 .. {}):", self.makespan);
-        for (ch, row) in rows {
-            let node = NodeId((ch / n as usize) as u32);
-            let dim = ch % n as usize;
+        for ((_, row), (_, label)) in rows.into_iter().zip(&self.labels) {
             let line: String = row.into_iter().collect();
-            let _ = writeln!(out, "  {}--{}→ |{line}|", node.binary(n), dim);
+            let fill = pad - label.chars().count();
+            let _ = writeln!(out, "  {label}{} |{line}|", " ".repeat(fill));
         }
         out
     }
@@ -146,7 +174,8 @@ impl ChannelTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::simulate;
+    use crate::engine::{simulate, simulate_on};
+    use hcube::{NodeId, Torus, TorusRouter};
     use hypercast::PortModel;
 
     fn msg(src: u32, dst: u32, bytes: u32) -> DepMessage {
@@ -190,12 +219,14 @@ mod tests {
     #[test]
     fn timeline_renders_used_channels_only() {
         let w = vec![msg(0, 0b0011, 2048), msg(0b1000, 0b1100, 2048)];
-        let (cube, _, trace, _) = setup(&w);
-        let s = trace.render_timeline(cube, 40);
+        let (_, _, trace, _) = setup(&w);
+        let s = trace.render_timeline(40);
         // 2 + 1 hops = 3 channel rows.
         assert_eq!(s.lines().count(), 4);
         assert!(s.contains('A'));
         assert!(s.contains('B'));
+        // Labels are the cube's binary-address channel labels.
+        assert!(s.contains("--1→"), "timeline:\n{s}");
     }
 
     #[test]
@@ -217,5 +248,25 @@ mod tests {
             .occupancies
             .iter()
             .all(|o| o.channel < cube.channel_count()));
+    }
+
+    #[test]
+    fn torus_trace_uses_coordinate_labels() {
+        let torus = Torus::of(4, 2);
+        let router = TorusRouter::new(torus);
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let w = vec![DepMessage {
+            src: torus.node_at(&[3, 0]),
+            dst: torus.node_at(&[1, 0]), // wraps: 3 → 0 → 1 in dim 0
+            bytes: 512,
+            deps: Vec::new(),
+            min_start: SimTime::ZERO,
+        }];
+        let run = simulate_on(router, &params, &w);
+        let trace = ChannelTrace::reconstruct_on(router, &params, &w, &run);
+        assert_eq!(trace.occupancies.len(), 2);
+        let s = trace.render_timeline(32);
+        assert!(s.contains("3,0--d0+v0→"), "timeline:\n{s}");
+        assert!(s.contains("0,0--d0+v1→"), "dateline VC visible:\n{s}");
     }
 }

@@ -274,7 +274,7 @@ impl From<usize> for SizeRange {
 pub mod collection {
     use super::{BTreeSet, SizeRange, Strategy, TestRng};
 
-    /// Strategy for `Vec<T>` (see [`vec`]).
+    /// Strategy for `Vec<T>` (see [`vec()`]).
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
