@@ -1,0 +1,68 @@
+//! Probe overhead: cost of the in-loop observability layer on the
+//! fig11-style multicast workload (6-cube, all-port, 32 destinations,
+//! 4 KB), comparing
+//!
+//! - `baseline` — plain `simulate` (no probe parameter at all),
+//! - `noop_probe` — `simulate_observed` with [`wormsim::NoopProbe`]
+//!   (must monomorphize away: within noise of baseline, the tentpole's
+//!   acceptance bar),
+//! - `event_recorder` — full ring-buffer + occupancy accounting,
+//! - `metrics` — counter/histogram registry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::{Algorithm, PortModel};
+use wormsim::{
+    multicast_workload, simulate, simulate_observed, DepMessage, EventRecorder, Metrics, NoopProbe,
+    SimParams,
+};
+
+/// Fig. 11 operating point: 6-cube, 32 random destinations, 4 KB.
+fn fig11_workload() -> (Cube, Resolution, SimParams, Vec<DepMessage>) {
+    let cube = Cube::of(6);
+    let resolution = Resolution::HighToLow;
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let mut rng = workloads::destsets::trial_rng("probe_overhead", 0, 0);
+    let dests = workloads::destsets::random_dests(&mut rng, cube, NodeId(0), 32);
+    let tree = Algorithm::UCube
+        .build(cube, resolution, PortModel::AllPort, NodeId(0), &dests)
+        .unwrap();
+    (cube, resolution, params, multicast_workload(&tree, 4096))
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let (cube, resolution, params, workload) = fig11_workload();
+    let mut g = c.benchmark_group("probe_overhead");
+
+    g.bench_function("baseline", |b| {
+        b.iter(|| std::hint::black_box(simulate(cube, resolution, &params, &workload)))
+    });
+    g.bench_function("noop_probe", |b| {
+        b.iter(|| {
+            let mut probe = NoopProbe;
+            std::hint::black_box(simulate_observed(
+                cube, resolution, &params, &workload, &mut probe,
+            ))
+        })
+    });
+    g.bench_function("event_recorder", |b| {
+        b.iter(|| {
+            let mut probe = EventRecorder::new();
+            std::hint::black_box(simulate_observed(
+                cube, resolution, &params, &workload, &mut probe,
+            ))
+        })
+    });
+    g.bench_function("metrics", |b| {
+        b.iter(|| {
+            let mut probe = Metrics::new();
+            std::hint::black_box(simulate_observed(
+                cube, resolution, &params, &workload, &mut probe,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead);
+criterion_main!(benches);

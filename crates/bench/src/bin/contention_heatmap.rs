@@ -1,0 +1,9 @@
+//! Regenerates `results/contention_heatmap.{txt,json}`: measured
+//! per-dimension blocked time per algorithm, recorded by the engine's
+//! in-loop `EventRecorder` (see `workloads::heatmap`).
+
+fn main() {
+    bench::emit(&workloads::heatmap::contention_heatmap(bench::trials_arg(
+        20,
+    )));
+}

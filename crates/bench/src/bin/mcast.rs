@@ -18,12 +18,14 @@
 //! on the dateline-VC router and reports the same delay/utilization
 //! summary.
 
-use hcube::{Cube, Dim, NodeId, Resolution, Topology, Torus, TorusRouter};
+use hcube::{Cube, Dim, Ecube, NodeId, Resolution, Router, Topology, Torus, TorusRouter};
 use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
 use hypercast::{Algorithm, PortModel};
+use wormsim::network::ChannelMap;
 use wormsim::{
-    simulate, simulate_on, ChannelTrace, DepMessage, FaultPlan, NetStats, SimParams, SimTime,
+    simulate, simulate_observed_on, simulate_on, ChannelTrace, DepMessage, EventRecorder,
+    FaultPlan, Metrics, NetStats, SimParams, SimTime, Tee,
 };
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,8 @@ struct Args {
     bytes: u32,
     trace: bool,
     json: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     faults: usize,
     fail_links: Vec<(u32, u8)>,
     fail_nodes: Vec<u32>,
@@ -64,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         bytes: 4096,
         trace: false,
         json: false,
+        trace_out: None,
+        metrics_out: None,
         faults: 0,
         fail_links: Vec::new(),
         fail_nodes: Vec::new(),
@@ -133,6 +139,8 @@ fn parse_args() -> Result<Args, String> {
             "--bytes" => args.bytes = take(&mut i)?.parse().map_err(|e| format!("--bytes: {e}"))?,
             "--trace" => args.trace = true,
             "--json" => args.json = true,
+            "--trace-out" => args.trace_out = Some(take(&mut i)?.to_string()),
+            "--metrics-out" => args.metrics_out = Some(take(&mut i)?.to_string()),
             "--faults" => {
                 args.faults = take(&mut i)?
                     .parse()
@@ -163,7 +171,14 @@ fn parse_args() -> Result<Args, String> {
                      \x20             [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
                      \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
                      \x20             [--bytes B] [--trace] [--json]\n\
+                     \x20             [--trace-out FILE.json] [--metrics-out FILE.prom|FILE.json]\n\
                      \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
+                     \n\
+                     observability: --trace-out writes a Chrome/Perfetto trace of the run's\n\
+                     exact channel holds and blocking episodes (open in ui.perfetto.dev);\n\
+                     --metrics-out writes the in-loop metrics registry, Prometheus text\n\
+                     exposition if the file ends in .prom, JSON otherwise. On the cube both\n\
+                     require a single --algo.\n\
                      \n\
                      fault injection: --faults K kills K random directed links (seeded by --seed);\n\
                      --fail-link V:D kills the channel leaving node V in dimension D;\n\
@@ -197,6 +212,61 @@ fn stats_line(stats: &NetStats) -> String {
         util.join(" "),
         stats.max_queue_depth
     )
+}
+
+/// Re-runs the workload with an in-loop `Tee(EventRecorder, Metrics)`
+/// probe and writes the requested observability artifacts: a
+/// Chrome/Perfetto trace (`--trace-out`) and/or a metrics export
+/// (`--metrics-out`; Prometheus text for `.prom`, JSON otherwise).
+///
+/// The observed replay is byte-deterministic, so its schedule is
+/// identical to the reporting run that preceded it.
+fn write_observability<R: Router + Copy>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
+    let mut probe = Tee(EventRecorder::new(), Metrics::new());
+    let _run = simulate_observed_on(router, params, workload, &mut probe);
+    let Tee(recorder, metrics) = probe;
+    if let Some(path) = trace_out {
+        let map = ChannelMap::new(router);
+        write_artifact(path, &recorder.to_chrome_trace(&map), "--trace-out");
+        eprintln!(
+            "[saved {path}: {} events ({} dropped from the ring), open in ui.perfetto.dev]",
+            recorder.total_events(),
+            recorder.dropped()
+        );
+    }
+    if let Some(path) = metrics_out {
+        let registry = metrics.snapshot();
+        let text = if path.ends_with(".prom") {
+            registry.to_prometheus_text()
+        } else {
+            registry.to_json()
+        };
+        write_artifact(path, &text, "--metrics-out");
+        eprintln!("[saved {path}]");
+    }
+}
+
+/// Writes an observability artifact, creating parent directories as
+/// needed; exits with status 2 on I/O failure.
+fn write_artifact(path: &str, contents: &str, flag: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: {flag} {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: {flag} {path}: {e}");
+        std::process::exit(2);
+    }
 }
 
 /// Separate-addressing multicast on the k-ary n-cube torus backend.
@@ -304,6 +374,15 @@ fn run_torus(args: &Args) {
             trace.channels_used()
         );
     }
+    if args.trace_out.is_some() || args.metrics_out.is_some() {
+        write_observability(
+            router,
+            &params,
+            &workload,
+            args.trace_out.as_deref(),
+            args.metrics_out.as_deref(),
+        );
+    }
 }
 
 fn main() {
@@ -354,6 +433,10 @@ fn main() {
     let faulty = !plan.is_empty();
 
     let params = SimParams::ncube2(args.port);
+    if (args.trace_out.is_some() || args.metrics_out.is_some()) && args.algo.is_none() {
+        eprintln!("error: --trace-out/--metrics-out need a single --algo (not `all`)");
+        std::process::exit(2);
+    }
     let algos: Vec<Algorithm> = match args.algo {
         Some(a) => vec![a],
         None => Algorithm::ALL.to_vec(),
@@ -476,6 +559,16 @@ fn main() {
                     trace.channels_used()
                 );
             }
+        }
+        if args.trace_out.is_some() || args.metrics_out.is_some() {
+            let workload = wormsim::multicast_workload(&tree, args.bytes);
+            write_observability(
+                Ecube::new(cube, Resolution::HighToLow),
+                &params,
+                &workload,
+                args.trace_out.as_deref(),
+                args.metrics_out.as_deref(),
+            );
         }
     }
 }

@@ -96,6 +96,13 @@ pub trait Topology: Copy + core::fmt::Debug {
         let (from, port) = self.channel_coords(ch);
         format!("{}--{}→", self.node_label(from), port.0)
     }
+
+    /// Human-readable label of a coordinate dimension
+    /// (`0..dimensions()`), used by per-dimension reports — contention
+    /// heatmaps, metrics exports, Perfetto track names.
+    fn dim_label(&self, d: u8) -> String {
+        format!("dim{d}")
+    }
 }
 
 /// A deterministic router over a [`Topology`].

@@ -226,6 +226,11 @@ impl Topology for Torus {
             vc
         )
     }
+
+    fn dim_label(&self, d: u8) -> String {
+        // Matches the `d{n}±v{vc}` notation of `channel_label`.
+        format!("d{d}")
+    }
 }
 
 /// Minimal dimension-ordered routing on the torus with dateline virtual

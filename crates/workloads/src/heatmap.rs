@@ -1,0 +1,144 @@
+//! Contention heatmap: *measured* per-dimension blocked time per
+//! algorithm, the in-loop counterpart of the paper's step-count
+//! comparison.
+//!
+//! The paper's contention theory (Definitions 3–4, Theorem 3) predicts
+//! *where* worms block: U-cube on an all-port cube funnels its subtree
+//! forwards through the same dimension-ordered channels, while W-sort is
+//! contention-free by construction (Theorem 6). The step-count figures
+//! only show the consequence (delay); this table shows the cause — the
+//! exact time worms spent blocked on each dimension's channels, recorded
+//! by the engine's in-loop [`wormsim::EventRecorder`] rather than
+//! reconstructed after the fact.
+//!
+//! The heatmap charges **all** blocked time to the dimension of the
+//! channel being waited for, including hop-0 episodes (a worm waiting
+//! at its own source for an outgoing channel a sibling send still
+//! holds). For a single multicast at nCUBE-2 parameters that hop-0
+//! component *is* the measurable contention: startup serialization
+//! spaces worms out enough that deeper blocking only appears under
+//! concurrent operations, while U-cube's dimension-ordered funneling
+//! piles same-dimension sends onto one source channel — the exact
+//! effect Theorem 3 prices and W-sort's weighted ordering removes.
+
+use crate::figure::{Figure, Series};
+use hcube::{Cube, Ecube, NodeId, Resolution};
+use hypercast::{Algorithm, PortModel};
+use wormsim::network::ChannelMap;
+use wormsim::{multicast_workload, simulate_observed_on, EventRecorder, SimParams};
+
+/// Cube dimension of the heatmap experiment (64 nodes, as Figure 11).
+const N: u8 = 6;
+/// Destinations per trial (half the cube, randomly placed).
+const DESTS: usize = 32;
+/// Payload bytes per multicast.
+const BYTES: u32 = 4096;
+
+/// Runs the contention heatmap: for each of the paper's four algorithms
+/// (U-cube, Maxport, Combine, W-sort), multicast a 4 KB payload from
+/// node 0 to 32 random destinations of a 6-cube (all-port nCUBE-2
+/// parameters) and record the **exact** blocked time on each
+/// dimension's external channels with an in-loop [`EventRecorder`].
+///
+/// Returns a figure with one series per algorithm: `xs` are dimension
+/// indices `0..6`, `ys` the mean blocked time (ms) charged to that
+/// dimension across `trials` seeded destination draws (the same draws
+/// for every algorithm — a paired comparison). Hop-0 blocking is
+/// included (see the module docs). W-sort's row is all zeros:
+/// Theorem 6's contention-freedom, measured rather than assumed.
+#[must_use]
+pub fn contention_heatmap(trials: usize) -> Figure {
+    let cube = Cube::of(N);
+    let resolution = Resolution::HighToLow;
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let map = ChannelMap::new(Ecube::new(cube, resolution));
+
+    let mut series = Vec::with_capacity(Algorithm::PAPER.len());
+    for &algo in &Algorithm::PAPER {
+        // blocked_ms[d][trial]: contention blocked time on dimension d.
+        let mut blocked_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(trials); N as usize];
+        for trial in 0..trials {
+            // Point index 0: one experimental point per algorithm; the
+            // destination draw depends only on the trial, so every
+            // algorithm sees the same destination sets.
+            let mut rng = crate::destsets::trial_rng("contention_heatmap", 0, trial);
+            let dests = crate::destsets::random_dests(&mut rng, cube, NodeId(0), DESTS);
+            let tree = algo
+                .build(cube, resolution, PortModel::AllPort, NodeId(0), &dests)
+                .expect("valid multicast input");
+            let workload = multicast_workload(&tree, BYTES);
+            let mut rec = EventRecorder::new();
+            let _run =
+                simulate_observed_on(Ecube::new(cube, resolution), &params, &workload, &mut rec);
+            let mut per_dim = vec![0u64; N as usize];
+            for ch in 0..map.externals() {
+                per_dim[map.dim_of(ch) as usize] += rec.blocked_ns(ch);
+            }
+            for (d, &ns) in per_dim.iter().enumerate() {
+                blocked_ms[d].push(ns as f64 / 1_000_000.0);
+            }
+        }
+        let mut ys = Vec::with_capacity(N as usize);
+        let mut std = Vec::with_capacity(N as usize);
+        for samples in &blocked_ms {
+            let s = crate::stats::Summary::of(samples);
+            ys.push(s.mean);
+            std.push(s.std);
+        }
+        series.push(Series {
+            name: algo.name().to_string(),
+            xs: (0..N).map(f64::from).collect(),
+            ys,
+            std,
+        });
+    }
+    Figure {
+        id: "contention_heatmap".into(),
+        title: format!(
+            "Measured channel contention per dimension ({N}-cube, all-port, {DESTS} dests, 4 KB)"
+        ),
+        x_label: "dimension".into(),
+        y_label: "blocked time (ms)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_is_deterministic() {
+        let a = contention_heatmap(2).to_json();
+        let b = contention_heatmap(2).to_json();
+        assert_eq!(a, b, "same trials must regenerate bit-identically");
+    }
+
+    #[test]
+    fn wsort_row_is_zero_and_ucube_contends() {
+        let f = contention_heatmap(3);
+        let row = |name: &str| {
+            f.series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        let wsort_total: f64 = row("W-sort").ys.iter().sum();
+        assert_eq!(wsort_total, 0.0, "Theorem 6: W-sort is contention-free");
+        let ucube_total: f64 = row("U-cube").ys.iter().sum();
+        assert!(
+            ucube_total > 0.0,
+            "all-port U-cube should show measured contention"
+        );
+    }
+
+    #[test]
+    fn every_series_covers_all_dimensions() {
+        let f = contention_heatmap(1);
+        assert_eq!(f.series.len(), 4);
+        for s in &f.series {
+            assert_eq!(s.xs.len(), N as usize);
+            assert_eq!(s.ys.len(), N as usize);
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   vs dead links, with and without `hypercast::repair`;
 //! * [`torussweep`] — topology extension: separate-addressing delay on a
 //!   64-node hypercube vs a 64-node k-ary n-cube torus;
+//! * [`heatmap`] — measured per-dimension channel contention per
+//!   algorithm, recorded in-loop by `wormsim::EventRecorder`;
 //! * [`figure`] — the data model plus table / ASCII-plot / JSON output;
 //! * [`json`] — a minimal first-party JSON tree, parser, and printer
 //!   (the build environment is offline, so no `serde_json`);
@@ -31,6 +33,7 @@ pub mod destsets;
 pub mod faultsweep;
 pub mod figure;
 pub mod figures;
+pub mod heatmap;
 pub mod json;
 pub mod stats;
 pub mod sweep;

@@ -86,6 +86,32 @@ fn torus_runs_are_byte_identical_across_repeats() {
     }
 }
 
+/// The observability layer is part of the determinism contract too: the
+/// contention heatmap (seeded destination draws + in-loop EventRecorder
+/// blocked-time accounting) must regenerate byte-identically, and
+/// attaching the recorder must not perturb the simulated schedule.
+#[test]
+fn contention_heatmap_regenerates_byte_identically() {
+    let a = workloads::heatmap::contention_heatmap(2);
+    let b = workloads::heatmap::contention_heatmap(2);
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "contention_heatmap (trials=2) is not deterministic"
+    );
+}
+
+#[test]
+fn observed_runs_match_unobserved_runs_bit_for_bit() {
+    let cube = Cube::of(4);
+    let w = contentious_workload(16);
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let plain = simulate(cube, Resolution::HighToLow, &params, &w);
+    let mut rec = wormsim::EventRecorder::new();
+    let observed = wormsim::simulate_observed(cube, Resolution::HighToLow, &params, &w, &mut rec);
+    assert_runs_identical(&plain, &observed);
+}
+
 fn delay_metric(cube: Cube, src: NodeId, dests: &[NodeId], algo: Algorithm) -> [f64; 2] {
     let tree = algo
         .build(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)

@@ -15,10 +15,11 @@ use crate::engine::worm::{DepMessage, FaultCause, MessageResult, MsgState, Outco
 use crate::faults::FaultPlan;
 use crate::network::ChannelMap;
 use crate::params::SimParams;
+use crate::probe::Probe;
 use crate::time::SimTime;
 use hcube::{NodeId, Router, Topology};
 
-pub(crate) struct Engine<'a, R: Router> {
+pub(crate) struct Engine<'a, R: Router, P: Probe> {
     map: ChannelMap<R>,
     params: &'a SimParams,
     plan: &'a FaultPlan,
@@ -32,15 +33,20 @@ pub(crate) struct Engine<'a, R: Router> {
     stats: NetStats,
     finished: usize,
     last_time: SimTime,
+    /// The in-loop observer. With `NoopProbe` every call site
+    /// monomorphizes away (static dispatch — see the `probe_overhead`
+    /// bench).
+    probe: &'a mut P,
 }
 
-impl<'a, R: Router> Engine<'a, R> {
+impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
     pub fn new(
         router: R,
         params: &'a SimParams,
         workload: &'a [DepMessage],
         plan: &'a FaultPlan,
-    ) -> Result<Engine<'a, R>, SimError> {
+        probe: &'a mut P,
+    ) -> Result<Engine<'a, R, P>, SimError> {
         let map = ChannelMap::new(router);
         let mut msgs = Vec::with_capacity(workload.len());
         for (i, m) in workload.iter().enumerate() {
@@ -110,6 +116,7 @@ impl<'a, R: Router> Engine<'a, R> {
             stats,
             finished: 0,
             last_time: SimTime::ZERO,
+            probe,
         })
     }
 
@@ -134,9 +141,15 @@ impl<'a, R: Router> Engine<'a, R> {
             self.msgs[i].finished_at = t;
             self.finished += 1;
             match out {
-                Outcome::Delivered => {}
-                Outcome::Failed(_) => self.stats.failed += 1,
-                Outcome::TimedOut => self.stats.timed_out += 1,
+                Outcome::Delivered => self.probe.on_delivered(t, i, self.msgs[i].injected),
+                Outcome::Failed(cause) => {
+                    self.stats.failed += 1;
+                    self.probe.on_fault(t, i, cause);
+                }
+                Outcome::TimedOut => {
+                    self.stats.timed_out += 1;
+                    self.probe.on_timeout(t, i);
+                }
             }
             if out != Outcome::Delivered {
                 // Dependents of a lost message can never start.
@@ -154,6 +167,7 @@ impl<'a, R: Router> Engine<'a, R> {
         let route = std::mem::take(&mut self.msgs[m].route);
         for &ch in &route[..count] {
             let (held_since, waiter) = self.channels.release(ch, m);
+            self.probe.on_channel_released(t, m, ch, held_since);
             if !self.map.is_virtual(ch) {
                 let d = self.map.dim_of(ch) as usize;
                 self.stats.dim_busy[d] += t.saturating_sub(held_since);
@@ -232,14 +246,20 @@ impl<'a, R: Router> Engine<'a, R> {
             return Ok(());
         }
         // Watchdog: the heap drained with unfinished messages.
-        Err(watchdog::verdict(
-            &self.msgs,
-            &self.channels,
-            self.last_time,
-        ))
+        let verdict = watchdog::verdict(&self.msgs, &self.channels, self.last_time);
+        if let SimError::Deadlock {
+            at,
+            ref holders,
+            ref waiters,
+        } = verdict
+        {
+            self.probe.on_watchdog_alarm(at, holders, waiters);
+        }
+        Err(verdict)
     }
 
     fn on_eligible(&mut self, m: usize, t: SimTime) {
+        self.probe.on_eligible(t, m);
         let src = self.workload[m].src.0 as usize;
         let start = if self.params.cpu_serialized_startup {
             let s = t.max(self.cpu_free[src]);
@@ -250,11 +270,13 @@ impl<'a, R: Router> Engine<'a, R> {
         };
         let inject = start + self.params.t_send_sw;
         self.msgs[m].injected = inject;
+        self.probe.on_injected(inject, m, self.msgs[m].route.len());
         self.queue.push(inject, Event::TryAcquire(m, 0));
     }
 
     fn on_try_acquire(&mut self, m: usize, hop: usize, t: SimTime) {
         let ch = self.msgs[m].route[hop];
+        self.probe.on_channel_requested(t, m, ch, hop);
         if self.dead[ch] {
             // The header hit a dead channel: abort-and-discard.
             self.msgs[m].acquired = hop;
@@ -275,11 +297,13 @@ impl<'a, R: Router> Engine<'a, R> {
                 self.stats.blocks += 1;
                 self.stats.blocked_time += waited;
             }
+            self.probe.on_channel_blocked(t, m, ch, hop, 0);
             self.queue.push(reopen, Event::TryAcquire(m, hop));
             return;
         }
         if self.channels.is_free(ch) {
             self.channels.acquire(ch, m, t);
+            self.probe.on_channel_granted(t, m, ch, hop);
             self.msgs[m].acquired = hop + 1;
             let hop_cost = if self.map.is_virtual(ch) {
                 SimTime::ZERO
@@ -288,6 +312,7 @@ impl<'a, R: Router> Engine<'a, R> {
             };
             let arrive = t + hop_cost;
             if hop + 1 < self.msgs[m].route.len() {
+                self.probe.on_header_advanced(arrive, m, hop + 1);
                 self.queue.push(arrive, Event::TryAcquire(m, hop + 1));
             } else {
                 let drain = arrive + self.params.t_byte * u64::from(self.workload[m].bytes);
@@ -309,10 +334,12 @@ impl<'a, R: Router> Engine<'a, R> {
             }
             let depth = self.channels.enqueue(ch, m, hop);
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u32);
+            self.probe.on_channel_blocked(t, m, ch, hop, depth);
         }
     }
 
     fn on_complete(&mut self, m: usize, t: SimTime) {
+        self.probe.on_tail_drained(t, m);
         let held = self.msgs[m].acquired;
         self.release_channels(m, held, t);
         let delivered = t + self.params.t_recv_sw;

@@ -57,11 +57,112 @@ pub use worm::{DepMessage, FaultCause, MessageResult, Outcome};
 
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
+use crate::probe::{NoopProbe, Probe};
 use hcube::{Cube, Ecube, Resolution, Router};
 
 /// Runs a dependency workload on any routed topology with a fault plan
+/// and an in-loop [`Probe`] observer — the fully general core every
+/// other entry point delegates to.
+///
+/// The probe is statically dispatched: passing [`NoopProbe`]
+/// monomorphizes every observation point away, so the uninstrumented
+/// entry points cost nothing for the instrumentation they don't use.
+/// The probe is borrowed (not consumed) so its recording survives even
+/// an `Err` return — a deadlocked run still leaves its
+/// [`EventRecorder`](crate::probe::EventRecorder) full of blocked
+/// events and the watchdog alarm.
+///
+/// # Errors
+/// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
+/// [`SimError::DependencyCycle`] for malformed workloads, and
+/// [`SimError::Deadlock`] when blocked worms can never progress.
+pub fn simulate_observed_with_faults_on<R: Router, P: Probe>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    plan: &FaultPlan,
+    probe: &mut P,
+) -> Result<RunResult, SimError> {
+    let mut engine = core::Engine::new(router, params, workload, plan, probe)?;
+    engine.run()?;
+    Ok(engine.into_result())
+}
+
+/// Fault-free [`simulate_observed_with_faults_on`]: any router, any
+/// probe, typed errors.
+///
+/// # Errors
+/// See [`simulate_observed_with_faults_on`]; without faults only the
+/// malformed workload variants can occur.
+pub fn try_simulate_observed_on<R: Router, P: Probe>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    probe: &mut P,
+) -> Result<RunResult, SimError> {
+    simulate_observed_with_faults_on(router, params, workload, &FaultPlan::none(), probe)
+}
+
+/// Runs a fault-free dependency workload on any routed topology with an
+/// in-loop [`Probe`] observer, panicking on malformed workloads.
+///
+/// ```
+/// use hcube::{Cube, Ecube, NodeId, Resolution};
+/// use hypercast::PortModel;
+/// use wormsim::{simulate_observed_on, DepMessage, EventRecorder, SimParams, SimTime};
+///
+/// let router = Ecube::new(Cube::of(4), Resolution::HighToLow);
+/// let mut rec = EventRecorder::new();
+/// let run = simulate_observed_on(
+///     router,
+///     &SimParams::ncube2(PortModel::AllPort),
+///     &[DepMessage { src: NodeId(0), dst: NodeId(0b0111), bytes: 1024,
+///                    deps: vec![], min_start: SimTime::ZERO }],
+///     &mut rec,
+/// );
+/// // Exact per-channel holds: one occupancy interval per hop.
+/// assert_eq!(rec.occupancies().len(), 3);
+/// assert_eq!(rec.latencies().len(), run.delivered_count());
+/// ```
+///
+/// # Panics
+/// Panics on malformed workloads: self-sends, out-of-range dependency
+/// indices, or dependency cycles.
+#[must_use]
+pub fn simulate_observed_on<R: Router, P: Probe>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    probe: &mut P,
+) -> RunResult {
+    match try_simulate_observed_on(router, params, workload, probe) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Observed hypercube run (the classic cube-shaped entry point with a
+/// probe attached; delegates to [`simulate_observed_on`] with an E-cube
+/// router).
+///
+/// # Panics
+/// Panics on malformed workloads: self-sends, out-of-range dependency
+/// indices, or dependency cycles.
+#[must_use]
+pub fn simulate_observed<P: Probe>(
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    workload: &[DepMessage],
+    probe: &mut P,
+) -> RunResult {
+    simulate_observed_on(Ecube::new(cube, resolution), params, workload, probe)
+}
+
+/// Runs a dependency workload on any routed topology with a fault plan
 /// injected — the topology-generic core every cube-shaped entry point
-/// delegates to.
+/// delegates to (unobserved: a [`NoopProbe`] monomorphizes the
+/// instrumentation away).
 ///
 /// # Errors
 /// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
@@ -73,9 +174,7 @@ pub fn simulate_with_faults_on<R: Router>(
     workload: &[DepMessage],
     plan: &FaultPlan,
 ) -> Result<RunResult, SimError> {
-    let mut engine = core::Engine::new(router, params, workload, plan)?;
-    engine.run()?;
-    Ok(engine.into_result())
+    simulate_observed_with_faults_on(router, params, workload, plan, &mut NoopProbe)
 }
 
 /// Fault-free [`simulate_with_faults_on`]: same typed errors, no plan.

@@ -45,23 +45,30 @@
 pub mod engine;
 pub mod faults;
 pub mod flit;
+pub mod metrics;
 pub mod multicast;
 pub mod network;
 pub mod params;
+pub mod probe;
 pub mod time;
 pub mod trace;
 
 pub use engine::{
-    simulate, simulate_on, simulate_with_faults, simulate_with_faults_on, try_simulate,
-    try_simulate_on, DepMessage, FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
+    simulate, simulate_observed, simulate_observed_on, simulate_observed_with_faults_on,
+    simulate_on, simulate_with_faults, simulate_with_faults_on, try_simulate,
+    try_simulate_observed_on, try_simulate_on, DepMessage, FaultCause, MessageResult, NetStats,
+    Outcome, RunResult, SimError,
 };
 pub use faults::FaultPlan;
 pub use flit::{simulate_flits, simulate_flits_on, FlitMessage, FlitResult};
+pub use metrics::{Histogram, Metrics, MetricsRegistry};
 pub use multicast::{
-    simulate_chunked_multicast, simulate_concurrent_multicasts, simulate_gather,
-    simulate_multicast, simulate_multicast_with_faults, simulate_reduction, simulate_scatter,
-    simulate_unicast, FaultSimReport, SimReport,
+    multicast_workload, simulate_chunked_multicast, simulate_concurrent_multicasts,
+    simulate_gather, simulate_multicast, simulate_multicast_observed,
+    simulate_multicast_with_faults, simulate_reduction, simulate_scatter, simulate_unicast,
+    FaultSimReport, SimReport,
 };
 pub use params::SimParams;
+pub use probe::{BlockedInterval, EventRecorder, NoopProbe, Probe, ProbeEvent, Tee, WatchdogAlarm};
 pub use time::SimTime;
 pub use trace::ChannelTrace;

@@ -8,9 +8,12 @@
 //! abstraction; contention-freedom (Definition 4) is what guarantees the
 //! self-timed execution never blocks.
 
-use crate::engine::{simulate, simulate_with_faults, DepMessage, NetStats, RunResult, SimError};
+use crate::engine::{
+    simulate, simulate_observed, simulate_with_faults, DepMessage, NetStats, RunResult, SimError,
+};
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
+use crate::probe::Probe;
 use crate::time::SimTime;
 use hcube::NodeId;
 use hypercast::collectives::ReductionSchedule;
@@ -62,6 +65,32 @@ impl SimReport {
     }
 }
 
+/// Converts a multicast tree into the engine's dependency workload: one
+/// [`DepMessage`] per tree unicast, where each forward depends on the
+/// node's inbound unicast (self-timed execution).
+///
+/// Every multicast entry point builds its workload through this helper,
+/// so observed and unobserved runs simulate byte-identical inputs.
+#[must_use]
+pub fn multicast_workload(tree: &MulticastTree, bytes: u32) -> Vec<DepMessage> {
+    // Tree unicasts are sorted by (step, src, order); map each node's
+    // inbound unicast index so forwards can depend on it.
+    let mut inbound: HashMap<NodeId, usize> = HashMap::new();
+    for (i, u) in tree.unicasts.iter().enumerate() {
+        inbound.insert(u.dst, i);
+    }
+    tree.unicasts
+        .iter()
+        .map(|u| DepMessage {
+            src: u.src,
+            dst: u.dst,
+            bytes,
+            deps: inbound.get(&u.src).map(|&i| vec![i]).unwrap_or_default(),
+            min_start: SimTime::ZERO,
+        })
+        .collect()
+}
+
 /// Outcome of a multicast replayed over a faulty network.
 #[derive(Clone, Debug)]
 pub struct FaultSimReport {
@@ -92,21 +121,7 @@ pub fn simulate_multicast_with_faults(
     bytes: u32,
     plan: &FaultPlan,
 ) -> Result<FaultSimReport, SimError> {
-    let mut inbound: HashMap<NodeId, usize> = HashMap::new();
-    for (i, u) in tree.unicasts.iter().enumerate() {
-        inbound.insert(u.dst, i);
-    }
-    let workload: Vec<DepMessage> = tree
-        .unicasts
-        .iter()
-        .map(|u| DepMessage {
-            src: u.src,
-            dst: u.dst,
-            bytes,
-            deps: inbound.get(&u.src).map(|&i| vec![i]).unwrap_or_default(),
-            min_start: SimTime::ZERO,
-        })
-        .collect();
+    let workload = multicast_workload(tree, bytes);
     let run = simulate_with_faults(tree.cube, tree.resolution, params, &workload, plan)?;
     let mut deliveries = Vec::new();
     let mut lost = Vec::new();
@@ -144,24 +159,35 @@ pub fn simulate_multicast_with_faults(
 /// destination").
 #[must_use]
 pub fn simulate_multicast(tree: &MulticastTree, params: &SimParams, bytes: u32) -> SimReport {
-    // Tree unicasts are sorted by (step, src, order); map each node's
-    // inbound unicast index so forwards can depend on it.
-    let mut inbound: HashMap<NodeId, usize> = HashMap::new();
-    for (i, u) in tree.unicasts.iter().enumerate() {
-        inbound.insert(u.dst, i);
-    }
-    let workload: Vec<DepMessage> = tree
+    let workload = multicast_workload(tree, bytes);
+    let run = simulate(tree.cube, tree.resolution, params, &workload);
+    let deliveries = tree
         .unicasts
         .iter()
-        .map(|u| DepMessage {
-            src: u.src,
-            dst: u.dst,
-            bytes,
-            deps: inbound.get(&u.src).map(|&i| vec![i]).unwrap_or_default(),
-            min_start: SimTime::ZERO,
-        })
+        .zip(&run.messages)
+        .map(|(u, r)| (u.dst, r.delivered))
         .collect();
-    let run = simulate(tree.cube, tree.resolution, params, &workload);
+    SimReport::from_run(deliveries, &run)
+}
+
+/// [`simulate_multicast`] with an in-loop [`Probe`] observer attached:
+/// same workload, same deterministic schedule, but every semantic event
+/// (injection, channel grant/block/release, tail drain, delivery) is
+/// reported to `probe` as it happens.
+///
+/// Pair with [`EventRecorder`](crate::probe::EventRecorder) for exact
+/// per-channel contention accounting or
+/// [`Metrics`](crate::metrics::Metrics) for aggregate counters; combine
+/// both with [`Tee`](crate::probe::Tee).
+#[must_use]
+pub fn simulate_multicast_observed<P: Probe>(
+    tree: &MulticastTree,
+    params: &SimParams,
+    bytes: u32,
+    probe: &mut P,
+) -> SimReport {
+    let workload = multicast_workload(tree, bytes);
+    let run = simulate_observed(tree.cube, tree.resolution, params, &workload, probe);
     let deliveries = tree
         .unicasts
         .iter()

@@ -107,6 +107,20 @@ impl<R: Router> ChannelMap<R> {
         self.topo.port_dim(port)
     }
 
+    /// Number of coordinate dimensions of the underlying topology.
+    #[inline]
+    #[must_use]
+    pub fn dimensions(&self) -> u8 {
+        self.topo.dimensions()
+    }
+
+    /// Human-readable label of a coordinate dimension (delegates to
+    /// [`Topology::dim_label`]).
+    #[must_use]
+    pub fn dim_label(&self, d: u8) -> String {
+        self.topo.dim_label(d)
+    }
+
     /// Index of node `v`'s virtual consumption channel.
     #[inline]
     #[must_use]
