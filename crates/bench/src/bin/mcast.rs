@@ -22,6 +22,7 @@ use hcube::{Cube, Dim, Ecube, NodeId, Resolution, Router, Topology, Torus, Torus
 use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
 use hypercast::{Algorithm, PortModel};
+use traffic::{ArrivalProcess, Arrivals, DestPattern, TrafficReport, TrafficSpec};
 use wormsim::network::ChannelMap;
 use wormsim::{
     simulate, simulate_observed_on, simulate_on, ChannelTrace, DepMessage, EventRecorder,
@@ -52,6 +53,9 @@ struct Args {
     faults: usize,
     fail_links: Vec<(u32, u8)>,
     fail_nodes: Vec<u32>,
+    load: Option<f64>,
+    arrivals: ArrivalProcess,
+    sessions: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +77,9 @@ fn parse_args() -> Result<Args, String> {
         faults: 0,
         fail_links: Vec::new(),
         fail_nodes: Vec::new(),
+        load: None,
+        arrivals: ArrivalProcess::Poisson,
+        sessions: 100,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -165,6 +172,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--fail-node: {e}"))?,
             ),
+            "--load" => {
+                let rate: f64 = take(&mut i)?.parse().map_err(|e| format!("--load: {e}"))?;
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(format!("--load must be a positive rate, got {rate}"));
+                }
+                args.load = Some(rate);
+            }
+            "--arrivals" => args.arrivals = ArrivalProcess::parse(take(&mut i)?)?,
+            "--sessions" => {
+                args.sessions = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?;
+                if args.sessions == 0 {
+                    return Err("--sessions must be >= 1".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mcast --n <dim> [--topology cube|torus] [--arity K]\n\
@@ -173,6 +196,16 @@ fn parse_args() -> Result<Args, String> {
                      \x20             [--bytes B] [--trace] [--json]\n\
                      \x20             [--trace-out FILE.json] [--metrics-out FILE.prom|FILE.json]\n\
                      \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
+                     \x20             [--load R [--arrivals det|poisson|bursty[:B]] [--sessions N]]\n\
+                     \n\
+                     flag summary:\n\
+                     \x20 topology    --n DIM, --topology cube|torus, --arity K (torus radix)\n\
+                     \x20 multicast   --algo ..., --port one|all, --source A,\n\
+                     \x20             --dests a,b,c | --random M, --seed S, --bytes B\n\
+                     \x20 output      --json, --trace, --trace-out FILE, --metrics-out FILE\n\
+                     \x20 faults      --faults K, --fail-link V:D, --fail-node V\n\
+                     \x20 open loop   --load R (sessions/ms), --arrivals det|poisson|bursty[:B],\n\
+                     \x20             --sessions N\n\
                      \n\
                      observability: --trace-out writes a Chrome/Perfetto trace of the run's\n\
                      exact channel holds and blocking episodes (open in ui.perfetto.dev);\n\
@@ -184,6 +217,16 @@ fn parse_args() -> Result<Args, String> {
                      --fail-link V:D kills the channel leaving node V in dimension D;\n\
                      --fail-node V kills node V. Each tree is then replayed over the faulty\n\
                      network, repaired with hypercast::repair, and replayed again.\n\
+                     \n\
+                     open-loop traffic: --load R switches from a single multicast to a\n\
+                     sustained open-loop run at R sessions/ms (--arrivals picks the point\n\
+                     process, default poisson; --sessions the session count, default 100;\n\
+                     --seed the schedule seed). Each session replays the configured\n\
+                     multicast (--dests => a fixed group, --random M => a fresh uniform\n\
+                     draw per session); trees are built through the LRU tree cache and the\n\
+                     report includes steady-state latency (batch-means 95% CI),\n\
+                     completion ratio, throughput, and cache hit rate. Incompatible with\n\
+                     fault and trace flags.\n\
                      \n\
                      --topology torus simulates separate addressing on a K-ary n-cube with\n\
                      dateline virtual channels (tree algorithms and fault repair are\n\
@@ -385,6 +428,146 @@ fn run_torus(args: &Args) {
     }
 }
 
+/// Builds the per-session destination pattern of an open-loop run:
+/// explicit `--dests` fixes the group (every session replays it; the
+/// tree cache turns repeats into pointer hits), `--random M` draws a
+/// fresh uniform group per session.
+fn traffic_pattern(args: &Args, source: NodeId) -> DestPattern {
+    if let Some(m) = args.random {
+        DestPattern::UniformRandom { m }
+    } else {
+        DestPattern::Fixed {
+            source,
+            dests: args.dests.iter().copied().map(NodeId).collect(),
+        }
+    }
+}
+
+fn traffic_spec(args: &Args, rate: f64, pattern: DestPattern) -> TrafficSpec {
+    let mut spec = TrafficSpec::new(
+        Arrivals::new(args.arrivals, rate),
+        pattern,
+        args.sessions,
+        args.seed,
+    );
+    spec.bytes = args.bytes;
+    spec.horizon = SimTime::from_ms((args.sessions as f64 / rate * 1.25 + 30.0) as u64);
+    spec
+}
+
+fn print_traffic_report(label: &str, r: &TrafficReport, json: bool) {
+    println!(
+        "{label:>9}: {} sessions ({} measured), completed {:.3}, \
+         latency {:.4} ms ±{:.4} (95% CI), thru {:.3}/ms, cache hit {:.3}",
+        r.sessions.len(),
+        r.measured_sessions,
+        r.completion_ratio,
+        r.latency.mean,
+        r.latency.ci_half_width,
+        r.throughput_per_ms,
+        r.cache.hit_rate(),
+    );
+    println!(
+        "{:>9}  net: {} (timed out {})",
+        "",
+        stats_line(&r.net),
+        r.net.timed_out
+    );
+    if json {
+        let fin = |x: f64| {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".into()
+            }
+        };
+        println!(
+            "{{\"mode\":\"traffic\",\"algo\":\"{label}\",\"offered_per_ms\":{},\
+             \"sessions\":{},\"measured\":{},\"completion_ratio\":{},\
+             \"mean_latency_ms\":{},\"ci_half_width_ms\":{},\"throughput_per_ms\":{},\
+             \"cache_hit_rate\":{},\"timed_out\":{}}}",
+            r.offered_rate_per_ms,
+            r.sessions.len(),
+            r.measured_sessions,
+            r.completion_ratio,
+            fin(r.latency.mean),
+            fin(r.latency.ci_half_width),
+            r.throughput_per_ms,
+            r.cache.hit_rate(),
+            r.net.timed_out,
+        );
+    }
+}
+
+/// `--load R`: open-loop steady-state traffic instead of a single shot.
+fn run_traffic(args: &Args, rate: f64) {
+    if args.faults > 0
+        || !args.fail_links.is_empty()
+        || !args.fail_nodes.is_empty()
+        || args.trace
+        || args.trace_out.is_some()
+        || args.metrics_out.is_some()
+    {
+        eprintln!("error: --load is incompatible with fault and trace flags");
+        std::process::exit(2);
+    }
+    if args.random.is_none() && args.dests.is_empty() {
+        eprintln!("error: provide --dests or --random (try --help)");
+        std::process::exit(2);
+    }
+    let params = SimParams::ncube2(args.port);
+    match args.topology {
+        TopologyKind::Torus => {
+            let torus = match Torus::new(args.arity, args.n) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let spec = traffic_spec(args, rate, traffic_pattern(args, NodeId(args.source)));
+            println!(
+                "{}-ary {}-cube torus | {} | open loop: {} arrivals at {} sessions/ms | {} bytes\n",
+                args.arity,
+                args.n,
+                args.port.label(),
+                args.arrivals,
+                rate,
+                args.bytes
+            );
+            let r = traffic::run_separate_on(&spec, TorusRouter::new(torus), &params);
+            print_traffic_report("Separate", &r, args.json);
+        }
+        TopologyKind::Cube => {
+            let cube = match Cube::new(args.n) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let algos: Vec<Algorithm> = match args.algo {
+                Some(a) => vec![a],
+                None => Algorithm::PAPER.to_vec(),
+            };
+            println!(
+                "{}-cube | {} | open loop: {} arrivals at {} sessions/ms | {} bytes\n",
+                args.n,
+                args.port.label(),
+                args.arrivals,
+                rate,
+                args.bytes
+            );
+            let pattern = traffic_pattern(args, NodeId(args.source));
+            for algo in algos {
+                let spec = traffic_spec(args, rate, pattern.clone());
+                let r = traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params);
+                print_traffic_report(algo.name(), &r, args.json);
+            }
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -393,6 +576,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(rate) = args.load {
+        run_traffic(&args, rate);
+        return;
+    }
     if args.topology == TopologyKind::Torus {
         run_torus(&args);
         return;

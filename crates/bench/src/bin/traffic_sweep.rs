@@ -1,0 +1,62 @@
+//! Regenerates the open-loop traffic sweep: steady-state multicast
+//! session latency vs offered load for all four tree algorithms on a
+//! 64-node 6-cube and a 256-node 8-cube, plus separate addressing on a
+//! 64-node 4-ary 3-cube torus, with per-algorithm saturation detection
+//! and tree-cache hit rates. Archives `results/traffic_sweep.{txt,json}`.
+//!
+//! Flags:
+//! * `--smoke` — the short CI configuration (same schema, less work);
+//! * `--sessions N` — override sessions per load point;
+//! * `--seed S` — override the master seed;
+//! * `--check FILE` — no simulation: parse and schema-validate an
+//!   existing artifact with the first-party parser, exit non-zero on
+//!   violation.
+
+use workloads::trafficsweep::{traffic_sweep, SweepConfig, TrafficSweep};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match TrafficSweep::from_json(&text) {
+            Ok(sweep) => {
+                println!(
+                    "{path}: valid traffic sweep ({} series, {} load points)",
+                    sweep.series.len(),
+                    sweep.series.iter().map(|s| s.points.len()).sum::<usize>()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::full()
+    };
+    if let Some(n) = arg_value(&args, "--sessions").and_then(|v| v.parse().ok()) {
+        cfg.sessions = n;
+    }
+    if let Some(s) = arg_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+
+    let sweep = traffic_sweep(&cfg);
+    let table = sweep.to_table();
+    println!("{table}");
+    let dir = bench::results_dir();
+    std::fs::write(dir.join("traffic_sweep.txt"), &table).expect("write txt");
+    std::fs::write(dir.join("traffic_sweep.json"), sweep.to_json()).expect("write json");
+    eprintln!("[saved results/traffic_sweep.txt results/traffic_sweep.json]");
+}

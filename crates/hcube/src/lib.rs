@@ -50,6 +50,7 @@ pub mod disjoint;
 pub mod error;
 pub mod path;
 pub mod routing;
+pub mod sampling;
 pub mod subcube;
 pub mod topology;
 pub mod torus;

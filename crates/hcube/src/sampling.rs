@@ -1,0 +1,304 @@
+//! Destination-set sampling: seeded random draws over any [`Topology`].
+//!
+//! The paper's evaluation draws "destination sets in which the nodes are
+//! randomly distributed throughout the hypercube"; the open-loop traffic
+//! subsystem (the `traffic` crate) additionally needs *structured*
+//! destination populations — subcube-biased locality and hot-spot
+//! concentration — to probe how the multicast algorithms behave under
+//! sustained, spatially skewed load. This module owns the draw
+//! primitives so every consumer (`workloads::destsets`, the traffic
+//! generators, the CLI) samples identically.
+//!
+//! All draws are pure functions of the RNG state: identical seeds give
+//! identical sets, on every platform (the vendored `hc-rand` stream is
+//! integer-only and fully deterministic).
+
+use crate::addr::NodeId;
+use crate::cube::Cube;
+use crate::topology::Topology;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// Draws `m` distinct destinations uniformly (without replacement) from
+/// the non-source nodes of `topo`.
+///
+/// ```
+/// use hcube::{Cube, NodeId, sampling};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let dests = sampling::sample_distinct(&mut rng, &Cube::of(6), NodeId(0), 10);
+/// assert_eq!(dests.len(), 10);
+/// assert!(!dests.contains(&NodeId(0)));
+/// ```
+///
+/// # Panics
+/// If `m > N − 1` or the source is not in the topology.
+#[must_use]
+pub fn sample_distinct<T: Topology, R: RngCore>(
+    rng: &mut R,
+    topo: &T,
+    source: NodeId,
+    m: usize,
+) -> Vec<NodeId> {
+    assert!(topo.contains(source), "source outside topology");
+    assert!(
+        m < topo.node_count(),
+        "cannot draw {m} destinations from {} candidates",
+        topo.node_count() - 1
+    );
+    let mut pool: Vec<NodeId> = (0..topo.node_count() as u32)
+        .map(NodeId)
+        .filter(|&v| v != source)
+        .collect();
+    // partial_shuffle picks m random elements into the prefix in O(m).
+    let (prefix, _) = pool.partial_shuffle(rng, m);
+    prefix.to_vec()
+}
+
+/// Completes a partially drawn destination set: after `chosen` has been
+/// filled by rejection sampling, any shortfall is topped up from the
+/// unused nodes in ascending address order (deterministic, and only
+/// reached when the biased population is too small to supply `m`
+/// distinct nodes on its own).
+fn fill_remaining<T: Topology>(
+    topo: &T,
+    source: NodeId,
+    m: usize,
+    mut chosen: Vec<NodeId>,
+) -> Vec<NodeId> {
+    if chosen.len() < m {
+        let mut used = vec![false; topo.node_count()];
+        used[source.0 as usize] = true;
+        for &d in &chosen {
+            used[d.0 as usize] = true;
+        }
+        for v in 0..topo.node_count() as u32 {
+            if chosen.len() == m {
+                break;
+            }
+            if !used[v as usize] {
+                chosen.push(NodeId(v));
+            }
+        }
+    }
+    chosen
+}
+
+/// Draws `m` distinct destinations with **subcube locality bias**: each
+/// draw lands, with probability `bias`, inside the subcube spanned by
+/// the `low_dims` lowest dimensions around `source` (Definition 2's
+/// `Q(source; low_dims)`), and uniformly anywhere otherwise.
+///
+/// `bias = 0.0` degenerates to a uniform draw over the whole cube;
+/// `bias = 1.0` confines the set to the subcube (topping up
+/// deterministically if the subcube has fewer than `m` free nodes).
+/// Models data-parallel applications whose communication is dominated by
+/// nearest-neighbor partitions.
+///
+/// # Panics
+/// If `m > N − 1`, the source is outside the cube, `low_dims` exceeds
+/// the cube dimension, or `bias` is outside `[0, 1]`.
+#[must_use]
+pub fn sample_subcube_biased<R: RngCore>(
+    rng: &mut R,
+    cube: Cube,
+    source: NodeId,
+    m: usize,
+    low_dims: u8,
+    bias: f64,
+) -> Vec<NodeId> {
+    assert!(cube.contains(source), "source outside cube");
+    assert!(
+        m < Topology::node_count(&cube),
+        "cannot draw {m} destinations from {} candidates",
+        Topology::node_count(&cube) - 1
+    );
+    assert!(low_dims <= cube.dimension(), "subcube wider than the cube");
+    assert!((0.0..=1.0).contains(&bias), "bias must be a probability");
+    let sub_mask: u32 = if low_dims == 32 {
+        u32::MAX
+    } else {
+        (1u32 << low_dims) - 1
+    };
+    let sub_base = source.0 & !sub_mask;
+    let n_nodes = Topology::node_count(&cube) as u32;
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    // Rejection sampling with a deterministic attempt budget; the
+    // ascending fill below guarantees termination and exact cardinality.
+    let budget = 16 * m + 64;
+    for _ in 0..budget {
+        if chosen.len() == m {
+            break;
+        }
+        let v = if rng.gen_bool(bias) {
+            NodeId(sub_base | (rng.gen_range(0..=sub_mask) & sub_mask))
+        } else {
+            NodeId(rng.gen_range(0..n_nodes))
+        };
+        if v != source && !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    fill_remaining(&cube, source, m, chosen)
+}
+
+/// Draws `m` distinct destinations with **hot-spot concentration**: each
+/// draw picks, with probability `p`, one of the `hotspots` (uniformly
+/// among them), and a uniform node otherwise. Models sustained traffic
+/// skew toward a few popular endpoints (parameter servers, I/O nodes).
+///
+/// Distinctness is enforced across the whole set, so at most
+/// `hotspots.len()` of the results can be hot spots; the remainder is
+/// uniform background. Hot spots equal to the source are skipped.
+///
+/// # Panics
+/// If `m > N − 1`, the source or a hot spot is outside the topology, or
+/// `p` is outside `[0, 1]`.
+#[must_use]
+pub fn sample_hotspot<T: Topology, R: RngCore>(
+    rng: &mut R,
+    topo: &T,
+    source: NodeId,
+    m: usize,
+    hotspots: &[NodeId],
+    p: f64,
+) -> Vec<NodeId> {
+    assert!(topo.contains(source), "source outside topology");
+    assert!(
+        m < topo.node_count(),
+        "cannot draw {m} destinations from {} candidates",
+        topo.node_count() - 1
+    );
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    for &h in hotspots {
+        assert!(topo.contains(h), "hot spot outside topology");
+    }
+    let n_nodes = topo.node_count() as u32;
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    let budget = 16 * m + 64;
+    for _ in 0..budget {
+        if chosen.len() == m {
+            break;
+        }
+        let v = if !hotspots.is_empty() && rng.gen_bool(p) {
+            *hotspots.choose(rng).expect("non-empty hotspot list")
+        } else {
+            NodeId(rng.gen_range(0..n_nodes))
+        };
+        if v != source && !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    fill_remaining(topo, source, m, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::torus::Torus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_valid<T: Topology>(topo: &T, source: NodeId, m: usize, dests: &[NodeId]) {
+        assert_eq!(dests.len(), m);
+        assert!(!dests.contains(&source));
+        let mut s: Vec<u32> = dests.iter().map(|d| d.0).collect();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), m, "duplicates drawn");
+        assert!(dests.iter().all(|&d| topo.contains(d)));
+    }
+
+    #[test]
+    fn distinct_draws_are_valid_and_deterministic() {
+        let cube = Cube::of(6);
+        for m in [1, 7, 32, 63] {
+            let a = sample_distinct(&mut StdRng::seed_from_u64(9), &cube, NodeId(5), m);
+            let b = sample_distinct(&mut StdRng::seed_from_u64(9), &cube, NodeId(5), m);
+            assert_valid(&cube, NodeId(5), m, &a);
+            assert_eq!(a, b, "same seed must reproduce the draw");
+        }
+    }
+
+    #[test]
+    fn distinct_draws_work_on_the_torus() {
+        let torus = Torus::of(4, 3);
+        let d = sample_distinct(&mut StdRng::seed_from_u64(3), &torus, NodeId(12), 20);
+        assert_valid(&torus, NodeId(12), 20, &d);
+    }
+
+    #[test]
+    fn subcube_bias_one_confines_to_the_subcube() {
+        let cube = Cube::of(6);
+        let source = NodeId(0b101_010);
+        let d = sample_subcube_biased(&mut StdRng::seed_from_u64(1), cube, source, 7, 3, 1.0);
+        assert_valid(&cube, source, 7, &d);
+        // 3 low dimensions around 0b101_010: all results share the high bits.
+        assert!(d.iter().all(|v| v.0 & !0b111 == 0b101_000));
+    }
+
+    #[test]
+    fn subcube_bias_zero_is_unconfined_statistically() {
+        let cube = Cube::of(6);
+        let mut outside = 0;
+        for seed in 0..40 {
+            let d =
+                sample_subcube_biased(&mut StdRng::seed_from_u64(seed), cube, NodeId(0), 8, 2, 0.0);
+            assert_valid(&cube, NodeId(0), 8, &d);
+            outside += d.iter().filter(|v| v.0 > 3).count();
+        }
+        assert!(outside > 200, "uniform draws must escape the subcube");
+    }
+
+    #[test]
+    fn oversized_subcube_request_fills_deterministically() {
+        // 2-dim subcube has 4 nodes (3 excluding the source) but we ask
+        // for 10: the remainder tops up in ascending order.
+        let cube = Cube::of(5);
+        let d = sample_subcube_biased(&mut StdRng::seed_from_u64(2), cube, NodeId(0), 10, 2, 1.0);
+        assert_valid(&cube, NodeId(0), 10, &d);
+    }
+
+    #[test]
+    fn hotspots_dominate_at_high_p() {
+        let cube = Cube::of(6);
+        let spots = [NodeId(9), NodeId(33), NodeId(60)];
+        let mut hot = 0;
+        for seed in 0..40 {
+            let d = sample_hotspot(
+                &mut StdRng::seed_from_u64(seed),
+                &cube,
+                NodeId(0),
+                3,
+                &spots,
+                1.0,
+            );
+            assert_valid(&cube, NodeId(0), 3, &d);
+            hot += d.iter().filter(|v| spots.contains(v)).count();
+        }
+        // p = 1 and m = |spots|: essentially every draw is a hot spot.
+        assert!(hot >= 100, "only {hot}/120 hot draws");
+    }
+
+    #[test]
+    fn hotspot_empty_list_degenerates_to_uniform() {
+        let torus = Torus::of(4, 2);
+        let d = sample_hotspot(
+            &mut StdRng::seed_from_u64(4),
+            &torus,
+            NodeId(3),
+            6,
+            &[],
+            0.9,
+        );
+        assert_valid(&torus, NodeId(3), 6, &d);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn rejects_oversized_request() {
+        let cube = Cube::of(3);
+        let _ = sample_distinct(&mut StdRng::seed_from_u64(0), &cube, NodeId(0), 8);
+    }
+}

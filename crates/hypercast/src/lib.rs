@@ -48,6 +48,7 @@
 
 pub mod algorithms;
 pub mod bounds;
+pub mod cache;
 pub mod collectives;
 pub mod contention;
 pub mod protocol;
@@ -57,6 +58,7 @@ pub mod tree;
 pub mod verify;
 
 pub use algorithms::Algorithm;
+pub use cache::{CacheStats, TreeCache, TreeKey};
 pub use repair::{NetworkFaults, RepairOutcome};
 pub use schedule::PortModel;
 pub use tree::{MulticastTree, Unicast};

@@ -1,0 +1,464 @@
+//! The session scheduler: converts an arrival schedule plus a
+//! destination pattern into one windowed dependency workload and
+//! attributes the results back to sessions.
+//!
+//! Each arriving multicast session becomes a batch of [`DepMessage`]s —
+//! one per tree unicast (hypercube backends) or one per destination
+//! (separate addressing, any topology) — whose `min_start` is the
+//! session's arrival time. Forwarding dependencies stay *within* a
+//! session; across sessions the only coupling is physical channel
+//! contention, exactly as in the network. The whole run executes under
+//! [`wormsim::simulate_window_on`], so a saturated backlog is cut off at
+//! the horizon instead of extending the run without bound.
+//!
+//! Hypercube sessions build their trees through a [`TreeCache`]: under
+//! recurring destination patterns (the [`DestPattern::Pool`] population)
+//! most arrivals are pointer-clone cache hits rather than full `W-sort`
+//! constructions; the report carries the cache counters.
+
+use crate::arrivals::Arrivals;
+use crate::patterns::DestPattern;
+use crate::stats::{BatchMeans, LoadPoint};
+use hcube::{Cube, Ecube, NodeId, Resolution, Router, Topology};
+use hypercast::{Algorithm, CacheStats, TreeCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wormsim::{simulate_window_on, DepMessage, NetStats, RunResult, SimParams, SimTime};
+
+/// Configuration of one open-loop traffic run.
+#[derive(Clone, Debug)]
+pub struct TrafficSpec {
+    /// Arrival process and offered load.
+    pub arrivals: Arrivals,
+    /// Destination population.
+    pub pattern: DestPattern,
+    /// Number of sessions to inject.
+    pub sessions: usize,
+    /// Sessions discarded from the front before measuring (warmup
+    /// truncation; must be `< sessions` for any statistics to exist).
+    pub warmup: usize,
+    /// Payload bytes per multicast.
+    pub bytes: u32,
+    /// Observation window: sessions unfinished at the horizon time out.
+    pub horizon: SimTime,
+    /// RNG seed; identical specs with identical seeds reproduce the
+    /// report byte-for-byte.
+    pub seed: u64,
+    /// Tree-cache capacity (hypercube backends; 0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum batch count for the batch-means interval.
+    pub max_batches: usize,
+}
+
+impl TrafficSpec {
+    /// A spec with the common defaults: 4 KB payloads, 200 ms horizon,
+    /// 64-tree cache, 10 batches, 10% warmup.
+    #[must_use]
+    pub fn new(
+        arrivals: Arrivals,
+        pattern: DestPattern,
+        sessions: usize,
+        seed: u64,
+    ) -> TrafficSpec {
+        TrafficSpec {
+            arrivals,
+            pattern,
+            sessions,
+            warmup: sessions / 10,
+            bytes: 4096,
+            horizon: SimTime::from_ms(200),
+            seed,
+            cache_capacity: 64,
+            max_batches: 10,
+        }
+    }
+}
+
+/// One session's outcome inside a traffic run.
+#[derive(Clone, Debug)]
+pub struct SessionRecord {
+    /// When the session entered the network.
+    pub arrival: SimTime,
+    /// When its last constituent message delivered (the horizon if the
+    /// session was cut off).
+    pub completion: SimTime,
+    /// `completion − arrival`; only a latency in the usual sense when
+    /// `delivered`.
+    pub latency: SimTime,
+    /// Whether every constituent message delivered inside the window.
+    pub delivered: bool,
+    /// Delivery time per destination, in tree order (empty entries are
+    /// impossible; timed-out messages record their abort time).
+    pub deliveries: Vec<(NodeId, SimTime)>,
+}
+
+/// Outcome of one open-loop traffic run: per-session records, the
+/// steady-state measurement, cache counters, and run-wide network
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct TrafficReport {
+    /// Offered load, sessions per millisecond.
+    pub offered_rate_per_ms: f64,
+    /// One record per injected session, in arrival order.
+    pub sessions: Vec<SessionRecord>,
+    /// Sessions discarded before measurement.
+    pub warmup: usize,
+    /// Sessions included in the measurement (post-warmup).
+    pub measured_sessions: usize,
+    /// Measured sessions that completed inside the window.
+    pub completed_measured: usize,
+    /// `completed_measured / measured_sessions` (1.0 when nothing was
+    /// measured).
+    pub completion_ratio: f64,
+    /// Batch-means statistics over measured completed-session latencies
+    /// in milliseconds.
+    pub latency: BatchMeans,
+    /// Completed measured sessions per millisecond of measurement span.
+    pub throughput_per_ms: f64,
+    /// Tree-cache counters (all-zero for separate-addressing backends,
+    /// which build no trees).
+    pub cache: CacheStats,
+    /// Network statistics of the single shared run.
+    pub net: NetStats,
+    /// The observation window the run executed under.
+    pub horizon: SimTime,
+}
+
+impl TrafficReport {
+    /// This run as a point of a latency-vs-offered-load sweep.
+    #[must_use]
+    pub fn load_point(&self) -> LoadPoint {
+        LoadPoint {
+            offered: self.offered_rate_per_ms,
+            mean_latency_ms: self.latency.mean,
+            completion_ratio: self.completion_ratio,
+        }
+    }
+}
+
+/// A session's messages laid out in the shared workload.
+struct SessionSpan {
+    arrival: SimTime,
+    range: std::ops::Range<usize>,
+    dests: Vec<NodeId>,
+}
+
+/// Appends one session's tree unicasts to `workload` (deps offset to
+/// the session's base, `min_start` = arrival).
+fn push_tree_session(
+    workload: &mut Vec<DepMessage>,
+    tree: &hypercast::MulticastTree,
+    bytes: u32,
+    arrival: SimTime,
+) -> std::ops::Range<usize> {
+    let base = workload.len();
+    let mut inbound: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    for (i, u) in tree.unicasts.iter().enumerate() {
+        inbound.insert(u.dst, base + i);
+    }
+    for u in &tree.unicasts {
+        workload.push(DepMessage {
+            src: u.src,
+            dst: u.dst,
+            bytes,
+            deps: inbound.get(&u.src).map(|&i| vec![i]).unwrap_or_default(),
+            min_start: arrival,
+        });
+    }
+    base..workload.len()
+}
+
+/// Attributes a finished run back to its sessions and assembles the
+/// report.
+fn assemble(
+    spec: &TrafficSpec,
+    run: &RunResult,
+    spans: Vec<SessionSpan>,
+    cache: CacheStats,
+) -> TrafficReport {
+    let sessions: Vec<SessionRecord> = spans
+        .into_iter()
+        .map(|span| {
+            let msgs = &run.messages[span.range.clone()];
+            let delivered = msgs.iter().all(|m| m.outcome.is_delivered());
+            let completion = msgs
+                .iter()
+                .map(|m| m.delivered)
+                .max()
+                .unwrap_or(span.arrival);
+            let deliveries = span
+                .dests
+                .iter()
+                .zip(msgs)
+                .map(|(&d, m)| (d, m.delivered))
+                .collect();
+            SessionRecord {
+                arrival: span.arrival,
+                completion,
+                latency: completion.saturating_sub(span.arrival),
+                delivered,
+                deliveries,
+            }
+        })
+        .collect();
+
+    let measured = &sessions[spec.warmup.min(sessions.len())..];
+    let completed: Vec<&SessionRecord> = measured.iter().filter(|s| s.delivered).collect();
+    let latencies_ms: Vec<f64> = completed.iter().map(|s| s.latency.as_ms()).collect();
+    let latency = BatchMeans::of(&latencies_ms, spec.max_batches);
+    let completion_ratio = if measured.is_empty() {
+        1.0
+    } else {
+        completed.len() as f64 / measured.len() as f64
+    };
+    let throughput_per_ms = match (
+        measured.first(),
+        completed.iter().map(|s| s.completion).max(),
+    ) {
+        (Some(first), Some(last)) => {
+            let span_ms = last.saturating_sub(first.arrival).as_ms();
+            if span_ms > 0.0 {
+                completed.len() as f64 / span_ms
+            } else {
+                0.0
+            }
+        }
+        _ => 0.0,
+    };
+
+    TrafficReport {
+        offered_rate_per_ms: spec.arrivals.rate_per_ms,
+        warmup: spec.warmup.min(sessions.len()),
+        measured_sessions: measured.len(),
+        completed_measured: completed.len(),
+        completion_ratio,
+        latency,
+        throughput_per_ms,
+        cache,
+        net: run.stats.clone(),
+        horizon: spec.horizon,
+        sessions,
+    }
+}
+
+/// Runs open-loop multicast traffic on a hypercube: every session
+/// builds (or cache-hits) an `algo` tree and replays it with the
+/// session's arrival as `min_start`.
+///
+/// Fully deterministic: identical `(spec, cube, resolution, algo,
+/// params)` give byte-identical reports.
+///
+/// # Panics
+/// On invalid pattern draws (the [`DestPattern`] contracts) or a
+/// malformed [`DestPattern::Fixed`] set (duplicate or out-of-range
+/// destinations — the same panics as [`Algorithm::build`] would
+/// surface through the cache).
+#[must_use]
+pub fn run_cube(
+    spec: &TrafficSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &SimParams,
+) -> TrafficReport {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let schedule = spec.arrivals.schedule(&mut rng, spec.sessions);
+    let mut cache = TreeCache::new(spec.cache_capacity);
+    let mut workload: Vec<DepMessage> = Vec::new();
+    let mut spans = Vec::with_capacity(schedule.len());
+    for &arrival in &schedule {
+        let (source, dests) = spec.pattern.draw_cube(&mut rng, cube);
+        let tree = cache
+            .get_or_build(algo, cube, resolution, params.port_model, source, &dests)
+            .expect("traffic destination draw produced an invalid multicast");
+        let range = push_tree_session(&mut workload, &tree, spec.bytes, arrival);
+        // Deliveries are attributed in tree (unicast) order.
+        let dests_in_tree_order: Vec<NodeId> = tree.unicasts.iter().map(|u| u.dst).collect();
+        spans.push(SessionSpan {
+            arrival,
+            range,
+            dests: dests_in_tree_order,
+        });
+    }
+    let run = simulate_window_on(
+        Ecube::new(cube, resolution),
+        params,
+        &workload,
+        spec.horizon,
+    )
+    .expect("windowed traffic runs cannot deadlock");
+    assemble(spec, &run, spans, cache.stats())
+}
+
+/// Runs open-loop **separate-addressing** traffic on any routed
+/// topology: each session sends one independent unicast per destination
+/// (no tree, no cache). This is the backend the torus uses — the
+/// paper's tree algorithms are hypercube-specific.
+///
+/// # Panics
+/// On invalid pattern draws, including [`DestPattern::SubcubeBiased`]
+/// (hypercube-only; see [`DestPattern::is_topology_generic`]).
+#[must_use]
+pub fn run_separate_on<R: Router>(
+    spec: &TrafficSpec,
+    router: R,
+    params: &SimParams,
+) -> TrafficReport
+where
+    R::Topo: Topology,
+{
+    let topo = router.topology();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let schedule = spec.arrivals.schedule(&mut rng, spec.sessions);
+    let mut workload: Vec<DepMessage> = Vec::new();
+    let mut spans = Vec::with_capacity(schedule.len());
+    for &arrival in &schedule {
+        let (source, dests) = spec.pattern.draw_on(&mut rng, &topo);
+        let base = workload.len();
+        for &dst in &dests {
+            workload.push(DepMessage {
+                src: source,
+                dst,
+                bytes: spec.bytes,
+                deps: vec![],
+                min_start: arrival,
+            });
+        }
+        spans.push(SessionSpan {
+            arrival,
+            range: base..workload.len(),
+            dests,
+        });
+    }
+    let run = simulate_window_on(router, params, &workload, spec.horizon)
+        .expect("windowed traffic runs cannot deadlock");
+    assemble(spec, &run, spans, CacheStats::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+    use hcube::{Torus, TorusRouter};
+    use hypercast::PortModel;
+
+    fn spec(rate: f64, sessions: usize, seed: u64) -> TrafficSpec {
+        TrafficSpec::new(
+            Arrivals::new(ArrivalProcess::Poisson, rate),
+            DestPattern::UniformRandom { m: 6 },
+            sessions,
+            seed,
+        )
+    }
+
+    #[test]
+    fn cube_run_is_byte_deterministic() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let s = spec(2.0, 40, 11);
+        let a = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        let b = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.sessions.len(), 40);
+        assert_eq!(a.measured_sessions, 36);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let a = run_cube(
+            &spec(2.0, 30, 1),
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        let b = run_cube(
+            &spec(2.0, 30, 2),
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        assert_ne!(format!("{:?}", a.sessions), format!("{:?}", b.sessions));
+    }
+
+    #[test]
+    fn pool_pattern_produces_cache_hits() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = DestPattern::uniform_pool(&mut rng, &Cube::of(5), 4, 6);
+        let mut s = TrafficSpec::new(Arrivals::new(ArrivalProcess::Poisson, 1.0), pool, 50, 7);
+        s.cache_capacity = 16;
+        let r = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        assert!(r.cache.hits > 0, "pool workload must hit the cache");
+        assert!(r.cache.misses <= 4, "at most one miss per distinct group");
+        assert!(r.cache.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn light_load_completes_everything() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let r = run_cube(
+            &spec(0.5, 30, 5),
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        assert_eq!(r.completed_measured, r.measured_sessions);
+        assert!((r.completion_ratio - 1.0).abs() < 1e-12);
+        assert!(r.latency.mean > 0.0);
+        assert!(r.throughput_per_ms > 0.0);
+        assert_eq!(r.net.timed_out, 0);
+    }
+
+    #[test]
+    fn crushing_load_saturates_the_window() {
+        let params = SimParams::ncube2(PortModel::OnePort);
+        let mut s = spec(2000.0, 200, 5);
+        s.horizon = SimTime::from_ms(2);
+        let r = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::Separate,
+            &params,
+        );
+        assert!(
+            r.completion_ratio < 1.0,
+            "an impossible load must overflow the window (ratio {})",
+            r.completion_ratio
+        );
+        assert!(r.net.timed_out > 0);
+    }
+
+    #[test]
+    fn torus_backend_runs_separate_addressing() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let torus = Torus::of(4, 2);
+        let s = spec(1.0, 25, 9);
+        let a = run_separate_on(&s, TorusRouter::new(torus), &params);
+        let b = run_separate_on(&s, TorusRouter::new(torus), &params);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.cache, CacheStats::default(), "no trees, no cache traffic");
+        assert!(a.completed_measured > 0);
+    }
+}

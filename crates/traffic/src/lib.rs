@@ -1,0 +1,72 @@
+//! # traffic — open-loop steady-state multicast load generation
+//!
+//! The paper's evaluation (and the rest of this workspace's figure
+//! machinery) measures *one multicast at a time* on an idle network.
+//! This crate asks the complementary question the paper's Section 6
+//! leaves open: **how do the tree algorithms behave under sustained
+//! load** — sessions arriving continuously, contending for channels,
+//! all the way up to saturation?
+//!
+//! The subsystem is layered on the existing engine rather than beside
+//! it:
+//!
+//! * [`arrivals`] — *when* sessions arrive: deterministic, Poisson, or
+//!   bursty on-off point processes at a configured offered load, with a
+//!   [deterministic natural log](arrivals::det_ln) so exponential gaps
+//!   are byte-identical across platforms;
+//! * [`patterns`] — *what* each session multicasts: fixed, uniform,
+//!   subcube-biased, hot-spot, or a finite [`DestPattern::Pool`] of
+//!   recurring groups (drawing through [`hcube::sampling`], the same
+//!   primitives the figure workloads use);
+//! * [`engine`] — the session scheduler: each arrival becomes a batch of
+//!   [`wormsim::DepMessage`]s whose `min_start` is the arrival time,
+//!   trees come from a [`hypercast::TreeCache`] (recurring groups are
+//!   pointer-clone hits), and the whole run executes under
+//!   [`wormsim::simulate_window_on`] so saturation cannot run away;
+//! * [`stats`] — steady-state output analysis: warmup truncation,
+//!   batch-means confidence intervals, throughput, and the
+//!   [`stats::saturation_point`] detector for latency-vs-load sweeps.
+//!
+//! **Zero-load anchoring.** A one-session run of a
+//! [`DestPattern::Fixed`] pattern is byte-identical to the single-shot
+//! [`wormsim::multicast::simulate_multicast`] replay — the first
+//! arrival of every schedule is at `t = 0` and `min_start` staggering
+//! degenerates to the plain workload. The integration tests pin this,
+//! which anchors every loaded measurement to the validated single-shot
+//! model.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hcube::{Cube, Resolution};
+//! use hypercast::{Algorithm, PortModel};
+//! use traffic::{ArrivalProcess, Arrivals, DestPattern, TrafficSpec};
+//! use wormsim::SimParams;
+//!
+//! let spec = TrafficSpec::new(
+//!     Arrivals::new(ArrivalProcess::Poisson, 2.0), // 2 sessions/ms
+//!     DestPattern::UniformRandom { m: 8 },
+//!     50,
+//!     42,
+//! );
+//! let report = traffic::run_cube(
+//!     &spec, Cube::of(6), Resolution::HighToLow, Algorithm::WSort,
+//!     &SimParams::ncube2(PortModel::AllPort),
+//! );
+//! assert_eq!(report.sessions.len(), 50);
+//! assert!(report.completion_ratio > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrivals;
+pub mod engine;
+pub mod patterns;
+pub mod stats;
+
+pub use arrivals::{ArrivalProcess, Arrivals};
+pub use engine::{run_cube, run_separate_on, SessionRecord, TrafficReport, TrafficSpec};
+pub use patterns::DestPattern;
+pub use stats::{saturation_point, BatchMeans, LoadPoint};

@@ -1,0 +1,214 @@
+//! Destination populations: *which* multicast does each session run?
+//!
+//! A traffic source pairs an arrival process (when) with a destination
+//! pattern (what). The random patterns delegate every draw to
+//! [`hcube::sampling`], so the traffic engine's populations are
+//! bit-identical to the figure workloads given the same RNG state.
+//!
+//! The [`DestPattern::Pool`] variant models the empirically dominant
+//! case of *recurring* communication groups (many arrivals, few distinct
+//! multicast patterns); it is what gives the tree cache its hit rate
+//! under sustained load.
+
+use hcube::{sampling, Cube, NodeId, Topology};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// How each arriving session picks its multicast source and destination
+/// set.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DestPattern {
+    /// Every session runs exactly this multicast (the zero-load
+    /// equivalence tests use a one-session run of this pattern).
+    Fixed {
+        /// Multicast source.
+        source: NodeId,
+        /// Destination set.
+        dests: Vec<NodeId>,
+    },
+    /// Uniform source, `m` distinct uniform destinations.
+    UniformRandom {
+        /// Destination count.
+        m: usize,
+    },
+    /// Uniform source, destinations biased into the source's low-order
+    /// subcube (see [`sampling::sample_subcube_biased`]). Hypercube
+    /// backends only.
+    SubcubeBiased {
+        /// Destination count.
+        m: usize,
+        /// Width of the subcube in low dimensions.
+        low_dims: u8,
+        /// Probability each draw lands in the subcube.
+        bias: f64,
+    },
+    /// Uniform source, destinations concentrated on a few hot nodes
+    /// (see [`sampling::sample_hotspot`]).
+    Hotspot {
+        /// Destination count.
+        m: usize,
+        /// The hot nodes.
+        hotspots: Vec<NodeId>,
+        /// Probability each draw picks a hot node.
+        p: f64,
+    },
+    /// Each session picks uniformly from a finite pool of pre-drawn
+    /// `(source, destinations)` groups — recurring communication
+    /// patterns, the workload the tree cache exists for.
+    Pool {
+        /// The recurring groups.
+        groups: Vec<(NodeId, Vec<NodeId>)>,
+    },
+}
+
+impl DestPattern {
+    /// Builds a [`DestPattern::Pool`] of `groups` uniform-random groups
+    /// of `m` destinations each, drawn once up front from `rng`.
+    ///
+    /// # Panics
+    /// If `groups == 0` or the draws themselves panic (oversized `m`).
+    #[must_use]
+    pub fn uniform_pool<T: Topology, R: RngCore>(
+        rng: &mut R,
+        topo: &T,
+        groups: usize,
+        m: usize,
+    ) -> DestPattern {
+        assert!(groups > 0, "a pool needs at least one group");
+        let n = topo.node_count() as u32;
+        let pool = (0..groups)
+            .map(|_| {
+                let source = NodeId(rng.gen_range(0..n));
+                let dests = sampling::sample_distinct(rng, topo, source, m);
+                (source, dests)
+            })
+            .collect();
+        DestPattern::Pool { groups: pool }
+    }
+
+    /// Whether this pattern can run on an arbitrary [`Topology`]
+    /// (subcube bias is meaningful only on a hypercube).
+    #[must_use]
+    pub fn is_topology_generic(&self) -> bool {
+        !matches!(self, DestPattern::SubcubeBiased { .. })
+    }
+
+    /// Draws one session's `(source, destinations)` on a hypercube.
+    ///
+    /// # Panics
+    /// On invalid parameters (oversized `m`, out-of-range nodes) — the
+    /// same contracts as the underlying [`sampling`] draws.
+    #[must_use]
+    pub fn draw_cube<R: RngCore>(&self, rng: &mut R, cube: Cube) -> (NodeId, Vec<NodeId>) {
+        match self {
+            DestPattern::SubcubeBiased { m, low_dims, bias } => {
+                let n = Topology::node_count(&cube) as u32;
+                let source = NodeId(rng.gen_range(0..n));
+                let dests =
+                    sampling::sample_subcube_biased(rng, cube, source, *m, *low_dims, *bias);
+                (source, dests)
+            }
+            generic => generic.draw_on(rng, &cube),
+        }
+    }
+
+    /// Draws one session's `(source, destinations)` on any topology.
+    ///
+    /// # Panics
+    /// If the pattern is [`DestPattern::SubcubeBiased`] (use
+    /// [`DestPattern::draw_cube`]) or on invalid draw parameters.
+    #[must_use]
+    pub fn draw_on<T: Topology, R: RngCore>(&self, rng: &mut R, topo: &T) -> (NodeId, Vec<NodeId>) {
+        let n = topo.node_count() as u32;
+        match self {
+            DestPattern::Fixed { source, dests } => (*source, dests.clone()),
+            DestPattern::UniformRandom { m } => {
+                let source = NodeId(rng.gen_range(0..n));
+                let dests = sampling::sample_distinct(rng, topo, source, *m);
+                (source, dests)
+            }
+            DestPattern::SubcubeBiased { .. } => {
+                panic!("subcube-biased pattern requires a hypercube backend")
+            }
+            DestPattern::Hotspot { m, hotspots, p } => {
+                let source = NodeId(rng.gen_range(0..n));
+                let dests = sampling::sample_hotspot(rng, topo, source, *m, hotspots, *p);
+                (source, dests)
+            }
+            DestPattern::Pool { groups } => {
+                let (source, dests) = groups.choose(rng).expect("non-empty pool");
+                (*source, dests.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcube::Torus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_ignores_the_rng() {
+        let p = DestPattern::Fixed {
+            source: NodeId(3),
+            dests: vec![NodeId(1), NodeId(7)],
+        };
+        let a = p.draw_cube(&mut StdRng::seed_from_u64(0), Cube::of(3));
+        let b = p.draw_cube(&mut StdRng::seed_from_u64(99), Cube::of(3));
+        assert_eq!(a, b);
+        assert_eq!(a.0, NodeId(3));
+    }
+
+    #[test]
+    fn uniform_draws_are_valid_on_cube_and_torus() {
+        let cube = Cube::of(5);
+        let torus = Torus::of(4, 2);
+        let p = DestPattern::UniformRandom { m: 6 };
+        let (s, d) = p.draw_cube(&mut StdRng::seed_from_u64(1), cube);
+        assert_eq!(d.len(), 6);
+        assert!(!d.contains(&s));
+        let (s2, d2) = p.draw_on(&mut StdRng::seed_from_u64(1), &torus);
+        assert_eq!(d2.len(), 6);
+        assert!(!d2.contains(&s2));
+    }
+
+    #[test]
+    fn pool_draws_only_pool_members() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = DestPattern::uniform_pool(&mut rng, &Cube::of(4), 3, 4);
+        let DestPattern::Pool { ref groups } = pool else {
+            panic!("not a pool")
+        };
+        for seed in 0..20 {
+            let drawn = pool.draw_cube(&mut StdRng::seed_from_u64(seed), Cube::of(4));
+            assert!(groups.contains(&drawn), "{drawn:?} not in pool");
+        }
+    }
+
+    #[test]
+    fn subcube_bias_requires_a_cube() {
+        let p = DestPattern::SubcubeBiased {
+            m: 3,
+            low_dims: 2,
+            bias: 0.9,
+        };
+        assert!(!p.is_topology_generic());
+        let (s, d) = p.draw_cube(&mut StdRng::seed_from_u64(2), Cube::of(5));
+        assert_eq!(d.len(), 3);
+        assert!(!d.contains(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "hypercube backend")]
+    fn subcube_bias_panics_on_generic_draw() {
+        let p = DestPattern::SubcubeBiased {
+            m: 3,
+            low_dims: 2,
+            bias: 0.9,
+        };
+        let _ = p.draw_on(&mut StdRng::seed_from_u64(2), &Torus::of(4, 2));
+    }
+}

@@ -1,0 +1,265 @@
+//! Steady-state output analysis: warmup truncation, batch-means
+//! confidence intervals, throughput, and the saturation detector.
+//!
+//! Open-loop simulations start empty, so early sessions see an
+//! unrepresentatively idle network; the engine discards a configured
+//! *warmup* prefix before measuring. Because successive session
+//! latencies are autocorrelated (they share channels), the classic
+//! i.i.d. confidence interval is invalid — the module uses the
+//! **batch-means** method instead: partition the measured sequence into
+//! `k` contiguous batches, treat the batch means as (approximately)
+//! independent, and build a Student-t interval over them.
+//!
+//! Everything here is pure f64 arithmetic over already-deterministic
+//! inputs (`sqrt` is correctly rounded per IEEE-754), so reports are
+//! byte-stable across platforms.
+
+/// Two-sided 95% Student-t critical values, indexed by degrees of
+/// freedom (1-based; index 0 unused). Beyond the table the normal
+/// quantile 1.96 is used.
+const T_95: [f64; 31] = [
+    f64::NAN,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
+];
+
+fn t_crit(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df < T_95.len() {
+        T_95[df]
+    } else {
+        1.96
+    }
+}
+
+/// A batch-means summary of one measured latency sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchMeans {
+    /// Observations measured (post-warmup, completed sessions).
+    pub n: usize,
+    /// Number of batches actually formed.
+    pub batches: usize,
+    /// Grand mean over all measured observations.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval on the mean (batch
+    /// means, Student-t). `NaN` with fewer than 2 batches.
+    pub ci_half_width: f64,
+}
+
+impl BatchMeans {
+    /// Computes batch-means statistics over `xs` using up to
+    /// `max_batches` contiguous equal-size batches (a trailing
+    /// remainder shorter than a full batch is folded into the last
+    /// batch).
+    ///
+    /// With fewer observations than batches, each observation is its
+    /// own batch. Empty input gives `n = 0` and `NaN` statistics.
+    #[must_use]
+    pub fn of(xs: &[f64], max_batches: usize) -> BatchMeans {
+        let n = xs.len();
+        if n == 0 {
+            return BatchMeans {
+                n: 0,
+                batches: 0,
+                mean: f64::NAN,
+                ci_half_width: f64::NAN,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let k = max_batches.max(1).min(n);
+        let base = n / k;
+        let mut batch_means = Vec::with_capacity(k);
+        for b in 0..k {
+            let start = b * base;
+            let end = if b == k - 1 { n } else { start + base };
+            let len = end - start;
+            batch_means.push(xs[start..end].iter().sum::<f64>() / len as f64);
+        }
+        let ci_half_width = if k < 2 {
+            f64::NAN
+        } else {
+            let bm_mean = batch_means.iter().sum::<f64>() / k as f64;
+            let var = batch_means
+                .iter()
+                .map(|&m| (m - bm_mean) * (m - bm_mean))
+                .sum::<f64>()
+                / (k as f64 - 1.0);
+            t_crit(k - 1) * (var / k as f64).sqrt()
+        };
+        BatchMeans {
+            n,
+            batches: k,
+            mean,
+            ci_half_width,
+        }
+    }
+}
+
+/// One measured load point of a latency-vs-offered-load sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load, sessions per millisecond.
+    pub offered: f64,
+    /// Mean session latency (ms) among completed measured sessions.
+    pub mean_latency_ms: f64,
+    /// Fraction of measured sessions that completed inside the window.
+    pub completion_ratio: f64,
+}
+
+/// Detects the saturation load of a sweep: the smallest offered load at
+/// which the network stops keeping up, defined as **either**
+///
+/// * mean latency exceeding `latency_factor` × the base (lowest-load)
+///   latency — the latency knee, **or**
+/// * the completion ratio dropping below `min_completion` — sessions
+///   overflowing the observation window outright.
+///
+/// Points must be sorted by ascending offered load. Returns `None` when
+/// every point is below both thresholds (the sweep never saturated).
+///
+/// ```
+/// use traffic::stats::{saturation_point, LoadPoint};
+/// let pts = [
+///     LoadPoint { offered: 1.0, mean_latency_ms: 0.4, completion_ratio: 1.0 },
+///     LoadPoint { offered: 2.0, mean_latency_ms: 0.5, completion_ratio: 1.0 },
+///     LoadPoint { offered: 4.0, mean_latency_ms: 2.9, completion_ratio: 0.98 },
+/// ];
+/// assert_eq!(saturation_point(&pts, 4.0, 0.9), Some(4.0));
+/// ```
+#[must_use]
+pub fn saturation_point(
+    points: &[LoadPoint],
+    latency_factor: f64,
+    min_completion: f64,
+) -> Option<f64> {
+    let base = points.first()?.mean_latency_ms;
+    points
+        .iter()
+        .find(|p| {
+            (base > 0.0 && p.mean_latency_ms > latency_factor * base)
+                || p.completion_ratio < min_completion
+        })
+        .map(|p| p.offered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_means_of_a_constant_sequence() {
+        let xs = vec![2.5; 40];
+        let bm = BatchMeans::of(&xs, 10);
+        assert_eq!(bm.n, 40);
+        assert_eq!(bm.batches, 10);
+        assert!((bm.mean - 2.5).abs() < 1e-12);
+        assert!(bm.ci_half_width.abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_interval_covers_a_linear_ramp_mean() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let bm = BatchMeans::of(&xs, 10);
+        assert!((bm.mean - 49.5).abs() < 1e-9);
+        assert!(bm.ci_half_width > 0.0);
+    }
+
+    #[test]
+    fn batch_means_degenerates_gracefully() {
+        assert_eq!(BatchMeans::of(&[], 10).n, 0);
+        let one = BatchMeans::of(&[7.0], 10);
+        assert_eq!(one.batches, 1);
+        assert!((one.mean - 7.0).abs() < 1e-12);
+        assert!(one.ci_half_width.is_nan());
+        // Fewer observations than batches: one batch per observation.
+        let three = BatchMeans::of(&[1.0, 2.0, 3.0], 10);
+        assert_eq!(three.batches, 3);
+        assert!(three.ci_half_width > 0.0);
+    }
+
+    #[test]
+    fn saturation_by_latency_knee() {
+        let pts = [
+            LoadPoint {
+                offered: 0.5,
+                mean_latency_ms: 1.0,
+                completion_ratio: 1.0,
+            },
+            LoadPoint {
+                offered: 1.0,
+                mean_latency_ms: 1.5,
+                completion_ratio: 1.0,
+            },
+            LoadPoint {
+                offered: 2.0,
+                mean_latency_ms: 9.0,
+                completion_ratio: 1.0,
+            },
+        ];
+        assert_eq!(saturation_point(&pts, 4.0, 0.9), Some(2.0));
+    }
+
+    #[test]
+    fn saturation_by_window_overflow() {
+        let pts = [
+            LoadPoint {
+                offered: 0.5,
+                mean_latency_ms: 1.0,
+                completion_ratio: 1.0,
+            },
+            LoadPoint {
+                offered: 1.0,
+                mean_latency_ms: 1.2,
+                completion_ratio: 0.5,
+            },
+        ];
+        assert_eq!(saturation_point(&pts, 10.0, 0.9), Some(1.0));
+    }
+
+    #[test]
+    fn unsaturated_sweep_returns_none() {
+        let pts = [
+            LoadPoint {
+                offered: 0.5,
+                mean_latency_ms: 1.0,
+                completion_ratio: 1.0,
+            },
+            LoadPoint {
+                offered: 1.0,
+                mean_latency_ms: 1.1,
+                completion_ratio: 1.0,
+            },
+        ];
+        assert_eq!(saturation_point(&pts, 4.0, 0.9), None);
+        assert_eq!(saturation_point(&[], 4.0, 0.9), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests of the traffic subsystem's two key invariants:
+//! cache transparency (a cached tree is indistinguishable from a
+//! cold-built one) and schedule monotonicity/determinism.
+
+use hcube::{Cube, NodeId, Resolution};
+use hypercast::{Algorithm, PortModel, TreeCache};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traffic::{ArrivalProcess, Arrivals};
+
+fn instance() -> impl Strategy<Value = (u8, u32, Vec<u32>)> {
+    (3u8..=6).prop_flat_map(|n| {
+        let m = 1u32 << n;
+        (
+            Just(n),
+            0..m,
+            prop::collection::btree_set(0..m, 1..=(m as usize - 1).min(20)),
+        )
+            .prop_map(|(n, src, set)| {
+                let dests: Vec<u32> = set.into_iter().filter(|&d| d != src).collect();
+                (n, src, dests)
+            })
+    })
+}
+
+proptest! {
+    /// Cache transparency: for any instance and any listing order, the
+    /// cached tree's unicast list is identical to a cold build's —
+    /// unicast for unicast, steps included.
+    #[test]
+    fn cached_and_cold_trees_are_identical((n, src, mut dests) in instance(),
+                                           allport in any::<bool>(),
+                                           shuffle_seed in any::<u64>()) {
+        prop_assume!(!dests.is_empty());
+        let port = if allport { PortModel::AllPort } else { PortModel::OnePort };
+        let cube = Cube::of(n);
+        for algo in Algorithm::ALL {
+            let as_nodes: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+            let cold = algo
+                .build(cube, Resolution::HighToLow, port, NodeId(src), &as_nodes)
+                .unwrap();
+
+            // Warm the cache with the sorted order, then look up a
+            // shuffled listing of the same set: must be a hit AND equal
+            // to the cold build.
+            let mut cache = TreeCache::new(8);
+            let warm = cache
+                .get_or_build(algo, cube, Resolution::HighToLow, port, NodeId(src), &as_nodes)
+                .unwrap();
+            prop_assert_eq!(&warm.unicasts, &cold.unicasts);
+            prop_assert_eq!(warm.steps, cold.steps);
+
+            // Deterministic shuffle of the listing order.
+            use rand::seq::SliceRandom;
+            let mut rng = StdRng::seed_from_u64(shuffle_seed);
+            dests.shuffle(&mut rng);
+            let shuffled: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+            let hit = cache
+                .get_or_build(algo, cube, Resolution::HighToLow, port, NodeId(src), &shuffled)
+                .unwrap();
+            prop_assert!(std::sync::Arc::ptr_eq(&warm, &hit),
+                         "reordered listing must be a cache hit");
+            prop_assert_eq!(&hit.unicasts, &cold.unicasts);
+        }
+    }
+
+    /// Arrival schedules are nondecreasing, start at zero, and are a
+    /// pure function of (process, rate, seed).
+    #[test]
+    fn schedules_are_monotone_and_deterministic(seed in any::<u64>(),
+                                                sessions in 1usize..200,
+                                                rate_tenths in 1u32..100,
+                                                which in 0u8..3) {
+        let process = match which {
+            0 => ArrivalProcess::Deterministic,
+            1 => ArrivalProcess::Poisson,
+            _ => ArrivalProcess::Bursty { mean_burst: 4 },
+        };
+        let arrivals = Arrivals::new(process, f64::from(rate_tenths) / 10.0);
+        let a = arrivals.schedule(&mut StdRng::seed_from_u64(seed), sessions);
+        let b = arrivals.schedule(&mut StdRng::seed_from_u64(seed), sessions);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), sessions);
+        prop_assert_eq!(a[0], wormsim::SimTime::ZERO);
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

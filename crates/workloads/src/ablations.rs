@@ -519,10 +519,14 @@ pub fn ablation_concurrency(trials: usize) -> Figure {
                 .collect();
             let refs: Vec<&hypercast::MulticastTree> = trees.iter().collect();
             let reports = simulate_concurrent_multicasts(&refs, &params, 4096);
-            let mean_delay =
-                reports.iter().map(|r| r.max_delay.as_ms()).sum::<f64>() / reports.len() as f64;
-            let mean_blocks =
-                reports.iter().map(|r| r.blocks as f64).sum::<f64>() / reports.len() as f64;
+            let ops = reports.trees.len() as f64;
+            let mean_delay = reports
+                .trees
+                .iter()
+                .map(|r| r.max_delay.as_ms())
+                .sum::<f64>()
+                / ops;
+            let mean_blocks = reports.trees.iter().map(|r| r.blocks as f64).sum::<f64>() / ops;
             d_samples.push(mean_delay);
             b_samples.push(mean_blocks);
         }

@@ -8,7 +8,6 @@
 
 use hcube::{Cube, NodeId, Topology};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Draws `m` distinct destinations uniformly from the non-source nodes.
@@ -35,6 +34,11 @@ pub fn random_dests(rng: &mut StdRng, cube: Cube, source: NodeId, m: usize) -> V
 /// …). For a hypercube the draw is identical to `random_dests` given the
 /// same RNG state.
 ///
+/// Delegates to [`hcube::sampling::sample_distinct`], which owns the
+/// draw primitive (the traffic generators sample through the same code,
+/// so workload populations match across subsystems); the RNG consumption
+/// is unchanged, keeping every golden figure byte-stable.
+///
 /// # Panics
 /// If `m > N − 1` or the source is not in the topology.
 #[must_use]
@@ -44,19 +48,7 @@ pub fn random_dests_on<T: Topology>(
     source: NodeId,
     m: usize,
 ) -> Vec<NodeId> {
-    assert!(topo.contains(source), "source outside topology");
-    assert!(
-        m < topo.node_count(),
-        "cannot draw {m} destinations from {} candidates",
-        topo.node_count() - 1
-    );
-    let mut pool: Vec<NodeId> = (0..topo.node_count() as u32)
-        .map(NodeId)
-        .filter(|&v| v != source)
-        .collect();
-    // partial_shuffle picks m random elements into the prefix in O(m).
-    let (prefix, _) = pool.partial_shuffle(rng, m);
-    prefix.to_vec()
+    hcube::sampling::sample_distinct(rng, topo, source, m)
 }
 
 /// Deterministic RNG for one trial of one experiment point.

@@ -38,6 +38,7 @@ pub mod json;
 pub mod stats;
 pub mod sweep;
 pub mod torussweep;
+pub mod trafficsweep;
 
 pub use figure::{Figure, Series};
 pub use stats::Summary;

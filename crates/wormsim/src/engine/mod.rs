@@ -58,6 +58,7 @@ pub use worm::{DepMessage, FaultCause, MessageResult, Outcome};
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
 use crate::probe::{NoopProbe, Probe};
+use crate::time::SimTime;
 use hcube::{Cube, Ecube, Resolution, Router};
 
 /// Runs a dependency workload on any routed topology with a fault plan
@@ -217,6 +218,73 @@ pub fn simulate_on<R: Router>(router: R, params: &SimParams, workload: &[DepMess
         Ok(run) => run,
         Err(e) => panic!("{e}"),
     }
+}
+
+/// Runs a dependency workload inside a **bounded observation window**:
+/// messages still undelivered when `horizon` expires are aborted with
+/// [`Outcome::TimedOut`] instead of extending the run.
+///
+/// This is the entry point of the open-loop `traffic` engine: a
+/// saturated network (arrival rate above the service rate) would
+/// otherwise let the backlog — and the simulated run — grow without
+/// bound. The window is implemented as a [`FaultPlan`] whose only fault
+/// is a global deadline, so windowed runs share every code path with
+/// the unbounded ones; below saturation, a window larger than the
+/// natural makespan changes nothing (the run is bit-identical to
+/// [`simulate_on`]).
+///
+/// `min_start` staggering is fully respected: a message whose
+/// `min_start` lies beyond the horizon simply times out at the horizon.
+///
+/// ```
+/// use hcube::{Cube, Ecube, NodeId, Resolution};
+/// use hypercast::PortModel;
+/// use wormsim::{simulate_window_on, DepMessage, Outcome, SimParams, SimTime};
+///
+/// let router = Ecube::new(Cube::of(3), Resolution::HighToLow);
+/// let params = SimParams::ncube2(PortModel::AllPort);
+/// let workload = [
+///     DepMessage { src: NodeId(0), dst: NodeId(1), bytes: 64,
+///                  deps: vec![], min_start: SimTime::ZERO },
+///     // Arrives after the window closes: times out, never runs.
+///     DepMessage { src: NodeId(0), dst: NodeId(2), bytes: 64,
+///                  deps: vec![], min_start: SimTime::from_us(900) },
+/// ];
+/// let run = simulate_window_on(router, &params, &workload,
+///                              SimTime::from_us(800)).unwrap();
+/// assert!(run.messages[0].outcome.is_delivered());
+/// assert_eq!(run.messages[1].outcome, Outcome::TimedOut);
+/// ```
+///
+/// # Errors
+/// The malformed-workload errors of [`try_simulate_on`]. Deadlocks
+/// cannot wedge the run — the horizon deadline rescues every waiter —
+/// but a malformed dependency graph is still rejected up front.
+pub fn simulate_window_on<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    horizon: SimTime,
+) -> Result<RunResult, SimError> {
+    simulate_window_observed_on(router, params, workload, horizon, &mut NoopProbe)
+}
+
+/// [`simulate_window_on`] with an in-loop [`Probe`] observer attached:
+/// the open-loop traffic engine uses this to feed the Metrics/Perfetto
+/// layer during sustained-load runs.
+///
+/// # Errors
+/// See [`simulate_window_on`].
+pub fn simulate_window_observed_on<R: Router, P: Probe>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    horizon: SimTime,
+    probe: &mut P,
+) -> Result<RunResult, SimError> {
+    let mut plan = FaultPlan::none();
+    plan.deadline_all(horizon);
+    simulate_observed_with_faults_on(router, params, workload, &plan, probe)
 }
 
 /// Runs a dependency workload through the wormhole network model with a

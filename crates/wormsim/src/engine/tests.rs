@@ -564,3 +564,62 @@ fn per_message_deadline_overrides_global() {
     assert_eq!(r.messages[0].outcome, Outcome::Delivered);
     assert_eq!(r.messages[1].outcome, Outcome::TimedOut);
 }
+
+#[test]
+fn window_below_saturation_is_bit_identical_to_unbounded() {
+    let p = SimParams::ncube2(PortModel::AllPort);
+    let workload = [
+        msg(0, 0b011, 4096, vec![]),
+        msg(0b100, 0b110, 4096, vec![0]),
+    ];
+    let unbounded = run(3, &p, &workload);
+    let windowed = simulate_window_on(
+        Ecube::new(Cube::of(3), Resolution::HighToLow),
+        &p,
+        &workload,
+        SimTime::from_ms(1_000),
+    )
+    .unwrap();
+    assert_eq!(
+        format!("{:?}", windowed.messages),
+        format!("{:?}", unbounded.messages)
+    );
+    assert_eq!(
+        format!("{:?}", windowed.stats),
+        format!("{:?}", unbounded.stats)
+    );
+}
+
+#[test]
+fn window_times_out_arrivals_beyond_the_horizon() {
+    let p = SimParams::ncube2(PortModel::AllPort);
+    let mut late = msg(0, 0b001, 64, vec![]);
+    late.min_start = SimTime::from_ms(2);
+    let r = simulate_window_on(
+        Ecube::new(Cube::of(3), Resolution::HighToLow),
+        &p,
+        &[msg(0, 0b010, 64, vec![]), late],
+        SimTime::from_ms(1),
+    )
+    .unwrap();
+    assert_eq!(r.messages[0].outcome, Outcome::Delivered);
+    assert_eq!(r.messages[1].outcome, Outcome::TimedOut);
+    assert_eq!(r.messages[1].delivered, SimTime::from_ms(1));
+    assert_eq!(r.stats.timed_out, 1);
+}
+
+#[test]
+fn window_works_on_the_torus() {
+    let p = SimParams::ncube2(PortModel::AllPort);
+    let torus = Torus::of(4, 2);
+    let workload = [DepMessage {
+        src: torus.node_at(&[0, 0]),
+        dst: torus.node_at(&[2, 3]),
+        bytes: 1024,
+        deps: vec![],
+        min_start: SimTime::ZERO,
+    }];
+    let r =
+        simulate_window_on(TorusRouter::new(torus), &p, &workload, SimTime::from_ms(50)).unwrap();
+    assert!(r.messages[0].outcome.is_delivered());
+}

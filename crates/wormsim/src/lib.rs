@@ -55,9 +55,9 @@ pub mod trace;
 
 pub use engine::{
     simulate, simulate_observed, simulate_observed_on, simulate_observed_with_faults_on,
-    simulate_on, simulate_with_faults, simulate_with_faults_on, try_simulate,
-    try_simulate_observed_on, try_simulate_on, DepMessage, FaultCause, MessageResult, NetStats,
-    Outcome, RunResult, SimError,
+    simulate_on, simulate_window_observed_on, simulate_window_on, simulate_with_faults,
+    simulate_with_faults_on, try_simulate, try_simulate_observed_on, try_simulate_on, DepMessage,
+    FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
 };
 pub use faults::FaultPlan;
 pub use flit::{simulate_flits, simulate_flits_on, FlitMessage, FlitResult};
@@ -66,7 +66,7 @@ pub use multicast::{
     multicast_workload, simulate_chunked_multicast, simulate_concurrent_multicasts,
     simulate_gather, simulate_multicast, simulate_multicast_observed,
     simulate_multicast_with_faults, simulate_reduction, simulate_scatter, simulate_unicast,
-    FaultSimReport, SimReport,
+    ConcurrentReport, FaultSimReport, SimReport, TreeReport,
 };
 pub use params::SimParams;
 pub use probe::{BlockedInterval, EventRecorder, NoopProbe, Probe, ProbeEvent, Tee, WatchdogAlarm};

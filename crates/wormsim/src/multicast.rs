@@ -235,13 +235,52 @@ pub fn simulate_reduction(
     SimReport::from_run(deliveries, &run)
 }
 
+/// Per-tree slice of a concurrent run: delivery times and blocking
+/// *attributable to this tree's own messages*. Unlike [`SimReport`] it
+/// carries no [`NetStats`] — channel-level statistics of a shared run
+/// belong to the run, not to any one tree (see [`ConcurrentReport`]).
+#[derive(Clone, Debug)]
+pub struct TreeReport {
+    /// Delivery time per destination, in tree order.
+    pub deliveries: Vec<(NodeId, SimTime)>,
+    /// Mean delivery delay among this tree's destinations.
+    pub avg_delay: SimTime,
+    /// Maximum delivery delay among this tree's destinations.
+    pub max_delay: SimTime,
+    /// Blocking episodes of this tree's messages only.
+    pub blocks: u64,
+    /// Time this tree's messages spent blocked.
+    pub blocked_time: SimTime,
+}
+
+/// Outcome of [`simulate_concurrent_multicasts`]: per-tree attribution
+/// plus the run-wide network statistics **once**. Earlier revisions
+/// cloned the full shared [`NetStats`] into every per-tree report, which
+/// both misattributed run-wide channel statistics to individual trees
+/// and cost `O(trees · channels)` copies.
+#[derive(Clone, Debug)]
+pub struct ConcurrentReport {
+    /// One report per input tree, in input order.
+    pub trees: Vec<TreeReport>,
+    /// Network statistics of the single shared run (all trees combined).
+    pub stats: NetStats,
+}
+
+impl ConcurrentReport {
+    /// Whether the run simulated no trees at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
 /// Simulates several multicasts running **concurrently** on one network
 /// (e.g. different data-parallel operations in flight at once). Each
 /// tree's internal forwarding dependencies are preserved; across trees
 /// the only coupling is physical channel contention.
 ///
-/// Returns one report per input tree. All trees must share the same cube
-/// and resolution.
+/// Returns one [`TreeReport`] per input tree plus the shared run-wide
+/// [`NetStats`]. All trees must share the same cube and resolution.
 ///
 /// # Panics
 /// If the trees disagree on cube or resolution.
@@ -250,9 +289,12 @@ pub fn simulate_concurrent_multicasts(
     trees: &[&MulticastTree],
     params: &SimParams,
     bytes: u32,
-) -> Vec<SimReport> {
+) -> ConcurrentReport {
     let Some(first) = trees.first() else {
-        return Vec::new();
+        return ConcurrentReport {
+            trees: Vec::new(),
+            stats: NetStats::default(),
+        };
     };
     let cube = first.cube;
     let resolution = first.resolution;
@@ -278,7 +320,7 @@ pub fn simulate_concurrent_multicasts(
         ranges.push(base..workload.len());
     }
     let run = simulate(cube, resolution, params, &workload);
-    trees
+    let per_tree = trees
         .iter()
         .zip(ranges)
         .map(|(tree, range)| {
@@ -307,18 +349,19 @@ pub fn simulate_concurrent_multicasts(
                         / deliveries.len() as u64,
                 )
             };
-            SimReport {
+            TreeReport {
                 deliveries,
                 avg_delay,
                 max_delay,
                 blocks,
                 blocked_time,
-                // The run (and hence its network statistics) is shared by
-                // all concurrent trees; each per-tree report carries it.
-                stats: run.stats.clone(),
             }
         })
-        .collect()
+        .collect();
+    ConcurrentReport {
+        trees: per_tree,
+        stats: run.stats,
+    }
 }
 
 /// Simulates a personalized-communication (scatter) schedule: each edge
@@ -620,9 +663,11 @@ mod tests {
         let solo_lo = simulate_multicast(&lo, &p, 4096);
         let solo_hi = simulate_multicast(&hi, &p, 4096);
         let both = simulate_concurrent_multicasts(&[&lo, &hi], &p, 4096);
-        assert_eq!(both[0].deliveries, solo_lo.deliveries);
-        assert_eq!(both[1].deliveries, solo_hi.deliveries);
-        assert_eq!(both[0].blocks + both[1].blocks, 0);
+        assert_eq!(both.trees[0].deliveries, solo_lo.deliveries);
+        assert_eq!(both.trees[1].deliveries, solo_hi.deliveries);
+        assert_eq!(both.trees[0].blocks + both.trees[1].blocks, 0);
+        // Disjoint halves: per-tree attribution sums to the run total.
+        assert_eq!(both.stats.blocks, 0);
     }
 
     #[test]
@@ -651,11 +696,13 @@ mod tests {
             )
             .unwrap();
         let reports = simulate_concurrent_multicasts(&[&a, &c], &p, 4096);
-        let total_blocks: u64 = reports.iter().map(|r| r.blocks).sum();
+        let total_blocks: u64 = reports.trees.iter().map(|r| r.blocks).sum();
         assert!(total_blocks > 0, "expected cross-operation contention");
+        // Per-message attribution reconciles with the shared run total.
+        assert_eq!(total_blocks, reports.stats.blocks);
         // The loser is delayed beyond its solo time.
         let solo_c = simulate_multicast(&c, &p, 4096);
-        assert!(reports[1].max_delay >= solo_c.max_delay);
+        assert!(reports.trees[1].max_delay >= solo_c.max_delay);
     }
 
     #[test]
@@ -757,15 +804,17 @@ mod tests {
         .unwrap();
         let refs: Vec<&hypercast::MulticastTree> = trees.iter().collect();
         let reports = simulate_concurrent_multicasts(&refs, &p, 512);
-        assert_eq!(reports.len(), 8);
+        assert_eq!(reports.trees.len(), 8);
         // Every operation completes; the composite is slower than a solo
         // broadcast because the 8 operations share channels.
         let solo = simulate_multicast(&trees[0], &p, 512);
-        let slowest = reports.iter().map(|r| r.max_delay).max().unwrap();
+        let slowest = reports.trees.iter().map(|r| r.max_delay).max().unwrap();
         assert!(slowest >= solo.max_delay);
-        for r in &reports {
+        for r in &reports.trees {
             assert_eq!(r.deliveries.len(), 7);
         }
+        // The run-wide makespan is exactly the slowest delivery.
+        assert_eq!(reports.stats.makespan, slowest);
     }
 
     #[test]

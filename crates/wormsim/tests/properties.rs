@@ -282,9 +282,10 @@ proptest! {
         let reports = wormsim::simulate_concurrent_multicasts(&[&t_lo, &t_hi], &params, 2048);
         // Theorem 2 (inside/outside subcube separation) made physical:
         // paths within each half never meet.
-        prop_assert_eq!(reports[0].blocks + reports[1].blocks, 0);
+        prop_assert_eq!(reports.trees[0].blocks + reports.trees[1].blocks, 0);
+        prop_assert_eq!(reports.stats.blocks, 0);
         let solo_lo = simulate_multicast(&t_lo, &params, 2048);
-        prop_assert_eq!(&reports[0].deliveries, &solo_lo.deliveries);
+        prop_assert_eq!(&reports.trees[0].deliveries, &solo_lo.deliveries);
     }
 }
 

@@ -87,12 +87,12 @@ fn main() {
     let trees = all_to_all_broadcast(algo, cube, res, port).unwrap();
     let refs: Vec<&MulticastTree> = trees.iter().collect();
     let reports = simulate_concurrent_multicasts(&refs, &params, 512);
-    let slowest = reports.iter().map(|r| r.max_delay).max().unwrap();
-    let blocks: u64 = reports.iter().map(|r| r.blocks).sum();
+    let slowest = reports.trees.iter().map(|r| r.max_delay).max().unwrap();
+    let blocks: u64 = reports.trees.iter().map(|r| r.blocks).sum();
     println!(
         "all-to-all bcast 512 B each        : {:>10}   ({} ops, {} cross-op blocking events)",
         format!("{slowest}"),
-        reports.len(),
+        reports.trees.len(),
         blocks
     );
 }
