@@ -120,7 +120,13 @@ pub trait Topology: Copy + core::fmt::Debug {
 /// creates and reports wedges through its watchdog. E-cube on the
 /// hypercube and dateline-VC dimension-ordered routing on the torus are
 /// both deadlock-free by the classic channel-ordering arguments.
-pub trait Router {
+///
+/// Routers are [`Hash`](std::hash::Hash) so callers can fingerprint a
+/// router value (e.g. the simulator's route memo invalidates itself
+/// when the router it cached routes for changes). Because routes are
+/// deterministic, equal-hashing router values of the same type produce
+/// identical routes for every `(src, dst)` pair.
+pub trait Router: std::hash::Hash {
     /// The topology this router routes on.
     type Topo: Topology;
 

@@ -23,7 +23,10 @@ use hcube::{Cube, Ecube, NodeId, Resolution, Router, Topology};
 use hypercast::{Algorithm, CacheStats, TreeCache};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wormsim::{simulate_window_on, DepMessage, NetStats, RunResult, SimParams, SimTime};
+use wormsim::{
+    simulate_window_on_with_scratch, DepMessage, EngineScratch, NetStats, RunResult, SimParams,
+    SimTime,
+};
 
 /// Configuration of one open-loop traffic run.
 #[derive(Clone, Debug)]
@@ -137,10 +140,76 @@ impl TrafficReport {
 }
 
 /// A session's messages laid out in the shared workload.
+#[derive(Clone, Debug)]
 struct SessionSpan {
     arrival: SimTime,
     range: std::ops::Range<usize>,
     dests: Vec<NodeId>,
+}
+
+/// A fully assembled traffic run, ready to simulate: the windowed
+/// dependency workload plus the bookkeeping needed to attribute the
+/// results back to sessions.
+///
+/// Produced by [`assemble_cube_sessions`] / [`assemble_separate_sessions_on`]
+/// and consumed (by reference — the same assembly can be replayed any
+/// number of times) by [`run_sessions_on_with_scratch`]. Splitting
+/// assembly from simulation is what lets the `engine_bench` harness
+/// time the engine hot path alone, without tree construction or report
+/// assembly diluting the measurement.
+#[derive(Clone, Debug)]
+pub struct SessionWorkload {
+    workload: Vec<DepMessage>,
+    spans: Vec<SessionSpan>,
+    cache: CacheStats,
+}
+
+impl SessionWorkload {
+    /// The flattened dependency workload (all sessions, arrival-ordered).
+    #[must_use]
+    pub fn messages(&self) -> &[DepMessage] {
+        &self.workload
+    }
+
+    /// Number of sessions in the assembly.
+    #[must_use]
+    pub fn sessions(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Tree-cache counters accumulated during assembly (all zero for
+    /// separate addressing).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+    }
+
+    /// The `i`-th session extracted as a standalone workload: its slice
+    /// of the flattened assembly with dependency indices rebased to the
+    /// session (dependencies never cross sessions, so the rebase is
+    /// exact) and `min_start` rebased to time zero. This is the
+    /// "sessions replayed into one scratch" unit the `engine_bench`
+    /// harness times: each session is a complete dependency workload of
+    /// its own, so a worker can drive one engine run per session
+    /// through a persistent [`EngineScratch`].
+    ///
+    /// # Panics
+    /// If `i >= self.sessions()`.
+    #[must_use]
+    pub fn session_workload(&self, i: usize) -> Vec<DepMessage> {
+        let span = &self.spans[i];
+        self.workload[span.range.clone()]
+            .iter()
+            .map(|m| {
+                let mut m = m.clone();
+                for d in &mut m.deps {
+                    *d -= span.range.start;
+                }
+                m.min_start = m.min_start.saturating_sub(span.arrival);
+                m
+            })
+            .collect()
+    }
 }
 
 /// Appends one session's tree unicasts to `workload` (deps offset to
@@ -173,11 +242,11 @@ fn push_tree_session(
 fn assemble(
     spec: &TrafficSpec,
     run: &RunResult,
-    spans: Vec<SessionSpan>,
+    spans: &[SessionSpan],
     cache: CacheStats,
 ) -> TrafficReport {
     let sessions: Vec<SessionRecord> = spans
-        .into_iter()
+        .iter()
         .map(|span| {
             let msgs = &run.messages[span.range.clone()];
             let delivered = msgs.iter().all(|m| m.outcome.is_delivered());
@@ -261,6 +330,55 @@ pub fn run_cube(
     algo: Algorithm,
     params: &SimParams,
 ) -> TrafficReport {
+    let mut scratch = EngineScratch::new();
+    run_cube_with_scratch(spec, cube, resolution, algo, params, &mut scratch)
+}
+
+/// Scratch-reusing [`run_cube`]: the sweep hot path. One
+/// [`EngineScratch`] per worker lets every session of every load point
+/// replay into the same arenas — and, through the scratch's route
+/// memo, recurring sessions (the [`TreeCache`] hit path) never
+/// recompute an E-cube route. Reports are byte-identical to
+/// [`run_cube`].
+///
+/// # Panics
+/// See [`run_cube`].
+#[must_use]
+pub fn run_cube_with_scratch(
+    spec: &TrafficSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &SimParams,
+    scratch: &mut EngineScratch,
+) -> TrafficReport {
+    let sessions = assemble_cube_sessions(spec, cube, resolution, algo, params);
+    run_sessions_on_with_scratch(
+        spec,
+        Ecube::new(cube, resolution),
+        &sessions,
+        params,
+        scratch,
+    )
+}
+
+/// Assembles the windowed workload of a hypercube traffic run without
+/// simulating it: arrival schedule, per-session tree builds (through
+/// the [`TreeCache`]), and dependency wiring.
+///
+/// Deterministic for identical inputs; [`run_cube`] is exactly this
+/// followed by [`run_sessions_on_with_scratch`].
+///
+/// # Panics
+/// See [`run_cube`].
+#[must_use]
+pub fn assemble_cube_sessions(
+    spec: &TrafficSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &SimParams,
+) -> SessionWorkload {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let schedule = spec.arrivals.schedule(&mut rng, spec.sessions);
     let mut cache = TreeCache::new(spec.cache_capacity);
@@ -280,14 +398,35 @@ pub fn run_cube(
             dests: dests_in_tree_order,
         });
     }
-    let run = simulate_window_on(
-        Ecube::new(cube, resolution),
-        params,
-        &workload,
-        spec.horizon,
-    )
-    .expect("windowed traffic runs cannot deadlock");
-    assemble(spec, &run, spans, cache.stats())
+    SessionWorkload {
+        workload,
+        spans,
+        cache: cache.stats(),
+    }
+}
+
+/// Simulates a pre-assembled [`SessionWorkload`] under the spec's
+/// observation window and attributes the results back to sessions.
+///
+/// This is the engine hot path in isolation: the same assembly can be
+/// replayed any number of times (the `engine_bench` harness does
+/// exactly that, cold vs warm), and replaying through one scratch is
+/// byte-identical to a fresh run.
+///
+/// # Panics
+/// If `sessions` references nodes outside `router`'s topology.
+#[must_use]
+pub fn run_sessions_on_with_scratch<R: Router>(
+    spec: &TrafficSpec,
+    router: R,
+    sessions: &SessionWorkload,
+    params: &SimParams,
+    scratch: &mut EngineScratch,
+) -> TrafficReport {
+    let run =
+        simulate_window_on_with_scratch(router, params, &sessions.workload, spec.horizon, scratch)
+            .expect("windowed traffic runs cannot deadlock");
+    assemble(spec, &run, &sessions.spans, sessions.cache)
 }
 
 /// Runs open-loop **separate-addressing** traffic on any routed
@@ -304,6 +443,41 @@ pub fn run_separate_on<R: Router>(
     router: R,
     params: &SimParams,
 ) -> TrafficReport
+where
+    R::Topo: Topology,
+{
+    let mut scratch = EngineScratch::new();
+    run_separate_on_with_scratch(spec, router, params, &mut scratch)
+}
+
+/// Scratch-reusing [`run_separate_on`]: same semantics, reused engine
+/// arenas and memoized routes. Reports are byte-identical to
+/// [`run_separate_on`].
+///
+/// # Panics
+/// See [`run_separate_on`].
+#[must_use]
+pub fn run_separate_on_with_scratch<R: Router>(
+    spec: &TrafficSpec,
+    router: R,
+    params: &SimParams,
+    scratch: &mut EngineScratch,
+) -> TrafficReport
+where
+    R::Topo: Topology,
+{
+    let sessions = assemble_separate_sessions_on(spec, &router);
+    run_sessions_on_with_scratch(spec, router, &sessions, params, scratch)
+}
+
+/// Assembles the windowed workload of a separate-addressing traffic run
+/// on any routed topology (one independent unicast per destination, no
+/// trees) without simulating it.
+///
+/// # Panics
+/// See [`run_separate_on`].
+#[must_use]
+pub fn assemble_separate_sessions_on<R: Router>(spec: &TrafficSpec, router: &R) -> SessionWorkload
 where
     R::Topo: Topology,
 {
@@ -330,9 +504,11 @@ where
             dests,
         });
     }
-    let run = simulate_window_on(router, params, &workload, spec.horizon)
-        .expect("windowed traffic runs cannot deadlock");
-    assemble(spec, &run, spans, CacheStats::default())
+    SessionWorkload {
+        workload,
+        spans,
+        cache: CacheStats::default(),
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +624,84 @@ mod tests {
             r.completion_ratio
         );
         assert!(r.net.timed_out > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_reports_are_byte_identical() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let s = spec(2.0, 40, 11);
+        let fresh = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        let mut scratch = EngineScratch::new();
+        for _ in 0..2 {
+            let again = run_cube_with_scratch(
+                &s,
+                Cube::of(5),
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+                &mut scratch,
+            );
+            assert_eq!(
+                format!("{fresh:?}"),
+                format!("{again:?}"),
+                "scratch-reuse run diverged from the fresh-allocation run"
+            );
+        }
+        assert!(
+            scratch.route_memo().hits() > 0,
+            "replayed sessions must hit the route memo"
+        );
+        // The same scratch then serves a *different* router type: the
+        // memo restamps and the torus report still matches fresh.
+        let torus = Torus::of(4, 2);
+        let ts = spec(1.0, 25, 9);
+        let fresh = run_separate_on(&ts, TorusRouter::new(torus), &params);
+        let again =
+            run_separate_on_with_scratch(&ts, TorusRouter::new(torus), &params, &mut scratch);
+        assert_eq!(format!("{fresh:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn session_extraction_rebases_deps_and_start_times() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let s = spec(2.0, 12, 11);
+        let assembly = assemble_cube_sessions(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        let mut total = 0;
+        for i in 0..assembly.sessions() {
+            let w = assembly.session_workload(i);
+            assert!(!w.is_empty());
+            total += w.len();
+            for (j, m) in w.iter().enumerate() {
+                // Rebased deps stay inside the session and point
+                // strictly backwards (the tree is parent-before-child).
+                assert!(m.deps.iter().all(|&d| d < j), "session {i} msg {j}");
+                assert_eq!(m.min_start, SimTime::ZERO);
+                // The payload matches the flattened assembly.
+                let flat = &assembly.messages()[assembly.spans[i].range.clone()][j];
+                assert_eq!((m.src, m.dst, m.bytes), (flat.src, flat.dst, flat.bytes));
+            }
+            // A standalone session replay is a complete, runnable
+            // workload: everything delivers on an uncontended network.
+            let run = wormsim::simulate_on(
+                hcube::Ecube::new(Cube::of(5), Resolution::HighToLow),
+                &params,
+                &w,
+            );
+            assert!(run.messages.iter().all(|m| m.outcome.is_delivered()));
+        }
+        assert_eq!(total, assembly.messages().len());
     }
 
     #[test]

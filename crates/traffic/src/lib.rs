@@ -67,6 +67,10 @@ pub mod patterns;
 pub mod stats;
 
 pub use arrivals::{ArrivalProcess, Arrivals};
-pub use engine::{run_cube, run_separate_on, SessionRecord, TrafficReport, TrafficSpec};
+pub use engine::{
+    assemble_cube_sessions, assemble_separate_sessions_on, run_cube, run_cube_with_scratch,
+    run_separate_on, run_separate_on_with_scratch, run_sessions_on_with_scratch, SessionRecord,
+    SessionWorkload, TrafficReport, TrafficSpec,
+};
 pub use patterns::DestPattern;
 pub use stats::{saturation_point, BatchMeans, LoadPoint};

@@ -77,9 +77,14 @@ pub struct BatchMeans {
 
 impl BatchMeans {
     /// Computes batch-means statistics over `xs` using up to
-    /// `max_batches` contiguous equal-size batches (a trailing
-    /// remainder shorter than a full batch is folded into the last
-    /// batch).
+    /// `max_batches` contiguous, nearly-equal batches: when `n` is not
+    /// a multiple of the batch count, the remainder is distributed one
+    /// observation at a time across the leading batches, so batch sizes
+    /// never differ by more than 1. (Folding the whole remainder into
+    /// one batch — the old behavior — weights that batch's mean
+    /// equally in the variance while it summarizes up to twice as many
+    /// observations, biasing the confidence interval whenever
+    /// `n % k != 0`.)
     ///
     /// With fewer observations than batches, each observation is its
     /// own batch. Empty input gives `n = 0` and `NaN` statistics.
@@ -97,13 +102,17 @@ impl BatchMeans {
         let mean = xs.iter().sum::<f64>() / n as f64;
         let k = max_batches.max(1).min(n);
         let base = n / k;
+        let rem = n % k;
         let mut batch_means = Vec::with_capacity(k);
+        let mut start = 0;
         for b in 0..k {
-            let start = b * base;
-            let end = if b == k - 1 { n } else { start + base };
-            let len = end - start;
+            // The first `rem` batches absorb one extra observation.
+            let len = base + usize::from(b < rem);
+            let end = start + len;
             batch_means.push(xs[start..end].iter().sum::<f64>() / len as f64);
+            start = end;
         }
+        debug_assert_eq!(start, n);
         let ci_half_width = if k < 2 {
             f64::NAN
         } else {
@@ -155,17 +164,25 @@ pub struct LoadPoint {
 /// ];
 /// assert_eq!(saturation_point(&pts, 4.0, 0.9), Some(4.0));
 /// ```
+/// The base latency is the **first finite** mean in the sweep: a point
+/// with zero completed sessions reports `NaN` latency, and using it as
+/// the base would silently disable the latency-knee test for the whole
+/// sweep (every `NaN` comparison is false). The completion-ratio test
+/// is independent of the base and always applies.
 #[must_use]
 pub fn saturation_point(
     points: &[LoadPoint],
     latency_factor: f64,
     min_completion: f64,
 ) -> Option<f64> {
-    let base = points.first()?.mean_latency_ms;
+    let base = points
+        .iter()
+        .map(|p| p.mean_latency_ms)
+        .find(|m| m.is_finite());
     points
         .iter()
         .find(|p| {
-            (base > 0.0 && p.mean_latency_ms > latency_factor * base)
+            matches!(base, Some(b) if b > 0.0 && p.mean_latency_ms > latency_factor * b)
                 || p.completion_ratio < min_completion
         })
         .map(|p| p.offered)
@@ -204,6 +221,46 @@ mod tests {
         let three = BatchMeans::of(&[1.0, 2.0, 3.0], 10);
         assert_eq!(three.batches, 3);
         assert!(three.ci_half_width > 0.0);
+    }
+
+    #[test]
+    fn batch_remainder_is_distributed_across_batches() {
+        // n = 10, k = 4 → batch sizes 3, 3, 2, 2 (never 2, 2, 2, 4).
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let bm = BatchMeans::of(&xs, 4);
+        assert_eq!(bm.batches, 4);
+        assert!((bm.mean - 4.5).abs() < 1e-12);
+        // Expected batch means over [0,1,2], [3,4,5], [6,7], [8,9].
+        let means = [1.0, 4.0, 6.5, 8.5];
+        let bm_mean: f64 = means.iter().sum::<f64>() / 4.0;
+        let var: f64 = means
+            .iter()
+            .map(|m| (m - bm_mean) * (m - bm_mean))
+            .sum::<f64>()
+            / 3.0;
+        let expect = 3.182 * (var / 4.0).sqrt();
+        assert!(
+            (bm.ci_half_width - expect).abs() < 1e-9,
+            "CI must weight nearly-equal batches: got {}, want {expect}",
+            bm.ci_half_width
+        );
+    }
+
+    #[test]
+    fn equal_batches_are_unchanged_by_the_remainder_rule() {
+        let xs: Vec<f64> = (0..40).map(f64::from).collect();
+        let a = BatchMeans::of(&xs, 8); // 40 % 8 == 0: exact batches
+        assert_eq!(a.batches, 8);
+        // Batch b covers 5 consecutive values with mean 5b + 2.
+        let means: Vec<f64> = (0..8).map(|b| 5.0 * f64::from(b) + 2.0).collect();
+        let bm_mean: f64 = means.iter().sum::<f64>() / 8.0;
+        let var: f64 = means
+            .iter()
+            .map(|m| (m - bm_mean) * (m - bm_mean))
+            .sum::<f64>()
+            / 7.0;
+        let expect = 2.365 * (var / 8.0).sqrt();
+        assert!((a.ci_half_width - expect).abs() < 1e-9);
     }
 
     #[test]
@@ -261,5 +318,43 @@ mod tests {
         ];
         assert_eq!(saturation_point(&pts, 4.0, 0.9), None);
         assert_eq!(saturation_point(&[], 4.0, 0.9), None);
+    }
+
+    #[test]
+    fn nan_base_point_does_not_disable_the_latency_knee() {
+        // The lowest load completed zero sessions (NaN latency, caught
+        // by the completion test is NOT the case here: ratio kept high
+        // to isolate the knee path). The knee must be measured against
+        // the first *finite* latency instead.
+        let pts = [
+            LoadPoint {
+                offered: 0.25,
+                mean_latency_ms: f64::NAN,
+                completion_ratio: 1.0,
+            },
+            LoadPoint {
+                offered: 0.5,
+                mean_latency_ms: 1.0,
+                completion_ratio: 1.0,
+            },
+            LoadPoint {
+                offered: 2.0,
+                mean_latency_ms: 9.0,
+                completion_ratio: 1.0,
+            },
+        ];
+        assert_eq!(
+            saturation_point(&pts, 4.0, 0.9),
+            Some(2.0),
+            "knee must fall back to the first finite-latency base"
+        );
+        // All-NaN latencies: the knee test stays off, the completion
+        // test still works.
+        let all_nan = [LoadPoint {
+            offered: 1.0,
+            mean_latency_ms: f64::NAN,
+            completion_ratio: 0.2,
+        }];
+        assert_eq!(saturation_point(&all_nan, 4.0, 0.9), Some(1.0));
     }
 }

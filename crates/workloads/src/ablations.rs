@@ -8,7 +8,7 @@ use hcube::{Cube, NodeId, Resolution};
 use hypercast::bounds::min_steps_port_limited;
 use hypercast::contention::contention_witnesses;
 use hypercast::{Algorithm, PortModel};
-use wormsim::{simulate_multicast, SimParams};
+use wormsim::{simulate_multicast_with_scratch, EngineScratch, SimParams};
 
 /// Port-model ablation: W-sort and U-cube maximum delay on a 5-cube under
 /// one-port vs all-port nodes. Quantifies how much of the paper's win
@@ -31,11 +31,13 @@ pub fn ablation_ports(trials: usize) -> Figure {
             &points,
             trials,
             &[algo],
-            move |cube, src, dests, algo| {
+            move |cube, src, dests, algo, scratch: &mut EngineScratch| {
                 let t = algo
                     .build(cube, Resolution::HighToLow, port, src, dests)
                     .expect("valid instance");
-                [simulate_multicast(&t, &params, 4096).max_delay.as_ms()]
+                [simulate_multicast_with_scratch(&t, &params, 4096, scratch)
+                    .max_delay
+                    .as_ms()]
             },
         );
         let mut s = m.series(0).remove(0);
@@ -62,7 +64,8 @@ pub fn ablation_message_size(trials: usize) -> Figure {
     let params = SimParams::ncube2(PortModel::AllPort);
     // The x-axis is payload size, not destination count, so this ablation
     // draws its own per-trial 16-destination sets instead of using the
-    // generic sweep.
+    // generic sweep (reusing one local engine arena across all replays).
+    let mut scratch = EngineScratch::new();
     let mut series: Vec<Series> = Algorithm::PAPER
         .iter()
         .map(|a| Series {
@@ -82,7 +85,7 @@ pub fn ablation_message_size(trials: usize) -> Figure {
                     .build(cube, Resolution::HighToLow, PortModel::AllPort, src, &dests)
                     .expect("valid instance");
                 samples[ai].push(
-                    simulate_multicast(&t, &params, bytes as u32)
+                    simulate_multicast_with_scratch(&t, &params, bytes as u32, &mut scratch)
                         .max_delay
                         .as_ms(),
                 );
@@ -122,11 +125,11 @@ pub fn ablation_sensitivity(trials: usize) -> Figure {
             &points,
             trials,
             &[Algorithm::UCube, Algorithm::WSort],
-            move |cube, src, dests, algo| {
+            move |cube, src, dests, algo, scratch: &mut EngineScratch| {
                 let t = algo
                     .build(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
                     .expect("valid instance");
-                let r = simulate_multicast(&t, &params, 4096);
+                let r = simulate_multicast_with_scratch(&t, &params, 4096, scratch);
                 [r.max_delay.as_ms(), r.avg_delay.as_ms()]
             },
         );
@@ -156,7 +159,7 @@ pub fn ablation_optimality(trials: usize) -> Figure {
         &points,
         trials,
         &Algorithm::PAPER,
-        |cube, src, dests, algo| {
+        |cube, src, dests, algo, _scratch| {
             let t = algo
                 .build(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
                 .expect("valid instance");
@@ -171,7 +174,7 @@ pub fn ablation_optimality(trials: usize) -> Figure {
         &points,
         trials,
         &[Algorithm::UCube], // algorithm ignored by the metric below
-        |cube, src, dests, _| {
+        |cube, src, dests, _, _scratch| {
             let s =
                 min_steps_port_limited(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
                     .expect("small instance");
@@ -205,12 +208,12 @@ pub fn ablation_contention(trials: usize) -> Figure {
         &points,
         trials,
         &[Algorithm::UCube, Algorithm::Combine, Algorithm::WSort],
-        move |cube, src, dests, algo| {
+        move |cube, src, dests, algo, scratch: &mut EngineScratch| {
             let t = algo
                 .build(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
                 .expect("valid instance");
             let witnesses = contention_witnesses(&t).len();
-            let blocks = simulate_multicast(&t, &params, 4096).blocks as f64;
+            let blocks = simulate_multicast_with_scratch(&t, &params, 4096, scratch).blocks as f64;
             [if witnesses > 0 { 1.0 } else { 0.0 }, blocks]
         },
     );
@@ -392,7 +395,7 @@ pub fn ablation_scatter(trials: usize) -> Figure {
         &points,
         trials,
         &algos,
-        move |cube, src, dests, algo| {
+        move |cube, src, dests, algo, _scratch| {
             let sched = scatter(
                 algo,
                 cube,
@@ -426,6 +429,7 @@ pub fn ablation_scaling(trials: usize) -> Figure {
     let dims: Vec<u8> = (4..=10).collect();
     let params = SimParams::ncube2(PortModel::AllPort);
     let algos = [Algorithm::UCube, Algorithm::WSort];
+    let mut scratch = EngineScratch::new();
     let mut series: Vec<Series> = algos
         .iter()
         .map(|a| Series {
@@ -458,7 +462,11 @@ pub fn ablation_scaling(trials: usize) -> Figure {
                         &dests,
                     )
                     .expect("valid instance");
-                samples[ai].push(simulate_multicast(&t, &params, 4096).max_delay.as_ms());
+                samples[ai].push(
+                    simulate_multicast_with_scratch(&t, &params, 4096, &mut scratch)
+                        .max_delay
+                        .as_ms(),
+                );
             }
         }
         let mut means = [0.0f64; 2];

@@ -18,7 +18,7 @@ use crate::figure::Figure;
 use crate::sweep::{run_matrix, MatrixResult};
 use hcube::{Cube, NodeId, Resolution};
 use hypercast::{Algorithm, PortModel};
-use wormsim::{simulate_multicast, SimParams};
+use wormsim::{simulate_multicast_with_scratch, EngineScratch, SimParams};
 
 /// Trials per point used by the paper for the step and simulation figures.
 pub const PAPER_TRIALS_STEPS: usize = 100;
@@ -43,8 +43,10 @@ pub fn ten_cube_points() -> Vec<usize> {
     pts
 }
 
-fn steps_metric(port: PortModel) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; 1] + Sync {
-    move |cube, src, dests, algo| {
+fn steps_metric(
+    port: PortModel,
+) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm, &mut EngineScratch) -> [f64; 1] + Sync {
+    move |cube, src, dests, algo, _scratch| {
         let t = algo
             .build(cube, Resolution::HighToLow, port, src, dests)
             .expect("valid sweep instance");
@@ -55,12 +57,12 @@ fn steps_metric(port: PortModel) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm) 
 fn delay_metric(
     params: SimParams,
     bytes: u32,
-) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; 2] + Sync {
-    move |cube, src, dests, algo| {
+) -> impl Fn(Cube, NodeId, &[NodeId], Algorithm, &mut EngineScratch) -> [f64; 2] + Sync {
+    move |cube, src, dests, algo, scratch| {
         let t = algo
             .build(cube, Resolution::HighToLow, params.port_model, src, dests)
             .expect("valid sweep instance");
-        let r = simulate_multicast(&t, &params, bytes);
+        let r = simulate_multicast_with_scratch(&t, &params, bytes, scratch);
         [r.avg_delay.as_ms(), r.max_delay.as_ms()]
     }
 }

@@ -6,6 +6,13 @@
 //! aggregates per-(point, algorithm) summaries. Trials of different
 //! points run concurrently on scoped threads; results are deterministic
 //! because every trial's RNG is keyed by (experiment, point, trial).
+//!
+//! Every worker thread owns one [`wormsim::EngineScratch`] handed to the
+//! metric on each call, so metrics that replay trees through the engine
+//! reuse the worker's event heap, channel table, and route memo instead
+//! of reallocating per trial. Scratch reuse is byte-invisible (the
+//! engine's contract), so the summaries remain independent of how tasks
+//! land on workers.
 
 use crate::destsets::{random_dests, trial_rng};
 use crate::stats::Summary;
@@ -13,6 +20,7 @@ use hcube::{Cube, NodeId};
 use hypercast::Algorithm;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use wormsim::EngineScratch;
 
 /// Sweep results: `cells[point][algo]` holds `K` metric summaries.
 #[derive(Clone, Debug)]
@@ -47,8 +55,11 @@ impl<const K: usize> MatrixResult<K> {
 }
 
 /// Runs the sweep. For every point `m` and trial, draws a destination set
-/// and evaluates `metric(cube, source, dests, algo) -> [f64; K]` for each
-/// algorithm.
+/// and evaluates `metric(cube, source, dests, algo, scratch) -> [f64; K]`
+/// for each algorithm. The scratch is the calling worker's reusable
+/// engine arena — pass it to
+/// [`wormsim::simulate_multicast_with_scratch`] (or ignore it for
+/// metrics that never simulate).
 ///
 /// The source is fixed at node 0, as in the paper's experiments (the
 /// problem is vertex-transitive: relabeling by XOR maps any source to 0).
@@ -61,7 +72,7 @@ pub fn run_matrix<const K: usize, F>(
     metric: F,
 ) -> MatrixResult<K>
 where
-    F: Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; K] + Sync,
+    F: Fn(Cube, NodeId, &[NodeId], Algorithm, &mut EngineScratch) -> [f64; K] + Sync,
 {
     let workers = std::thread::available_parallelism()
         .map_or(4, |p| p.get())
@@ -89,7 +100,7 @@ pub fn run_matrix_with_workers<const K: usize, F>(
     metric: F,
 ) -> MatrixResult<K>
 where
-    F: Fn(Cube, NodeId, &[NodeId], Algorithm) -> [f64; K] + Sync,
+    F: Fn(Cube, NodeId, &[NodeId], Algorithm, &mut EngineScratch) -> [f64; K] + Sync,
 {
     assert!(workers > 0, "need at least one worker");
     let source = NodeId(0);
@@ -105,24 +116,29 @@ where
     let total_tasks = points.len() * trials;
     std::thread::scope(|scope| {
         for _ in 0..workers.min(total_tasks.max(1)) {
-            scope.spawn(|| loop {
-                let task = next.fetch_add(1, Ordering::Relaxed);
-                if task >= total_tasks {
-                    break;
-                }
-                let point = task / trials;
-                let trial = task % trials;
-                let m = points[point];
-                let mut rng = trial_rng(experiment, point, trial);
-                let dests = random_dests(&mut rng, cube, source, m);
-                let mut row: Vec<[f64; K]> = Vec::with_capacity(algos.len());
-                for &algo in algos {
-                    row.push(metric(cube, source, &dests, algo));
-                }
-                let mut cell = results[point].lock().expect("sweep mutex poisoned");
-                for (ai, vals) in row.into_iter().enumerate() {
-                    for (k, v) in vals.into_iter().enumerate() {
-                        cell[ai][k][trial] = v;
+            scope.spawn(|| {
+                // One engine arena per worker, reused across every trial
+                // this worker picks up.
+                let mut scratch = EngineScratch::new();
+                loop {
+                    let task = next.fetch_add(1, Ordering::Relaxed);
+                    if task >= total_tasks {
+                        break;
+                    }
+                    let point = task / trials;
+                    let trial = task % trials;
+                    let m = points[point];
+                    let mut rng = trial_rng(experiment, point, trial);
+                    let dests = random_dests(&mut rng, cube, source, m);
+                    let mut row: Vec<[f64; K]> = Vec::with_capacity(algos.len());
+                    for &algo in algos {
+                        row.push(metric(cube, source, &dests, algo, &mut scratch));
+                    }
+                    let mut cell = results[point].lock().expect("sweep mutex poisoned");
+                    for (ai, vals) in row.into_iter().enumerate() {
+                        for (k, v) in vals.into_iter().enumerate() {
+                            cell[ai][k][trial] = v;
+                        }
                     }
                 }
             });
@@ -157,7 +173,13 @@ mod tests {
     use super::*;
     use hypercast::PortModel;
 
-    fn steps_metric(cube: Cube, src: NodeId, dests: &[NodeId], algo: Algorithm) -> [f64; 1] {
+    fn steps_metric(
+        cube: Cube,
+        src: NodeId,
+        dests: &[NodeId],
+        algo: Algorithm,
+        _scratch: &mut EngineScratch,
+    ) -> [f64; 1] {
         let t = algo
             .build(
                 cube,

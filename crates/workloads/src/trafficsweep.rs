@@ -20,7 +20,7 @@ use hypercast::Algorithm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use traffic::{saturation_point, ArrivalProcess, Arrivals, DestPattern, LoadPoint, TrafficSpec};
-use wormsim::{SimParams, SimTime};
+use wormsim::{EngineScratch, SimParams, SimTime};
 
 /// Latency divergence factor that declares saturation (mean latency
 /// above `3×` the lowest-load latency).
@@ -168,10 +168,17 @@ fn detect(points: &[SweepPoint]) -> Option<f64> {
 
 /// Runs the full sweep for `cfg`. Deterministic: identical configs give
 /// structurally identical results (and byte-identical JSON).
+///
+/// The whole sweep shares one [`EngineScratch`]: every load point of
+/// every series replays into the same arenas, and recurring pool
+/// sessions resolve their routes from the scratch's memo (the memo
+/// restamps itself at each network boundary). Scratch reuse is
+/// byte-invisible — the determinism suite pins the artifact bytes.
 #[must_use]
 pub fn traffic_sweep(cfg: &SweepConfig) -> TrafficSweep {
     let params = SimParams::ncube2(hypercast::PortModel::AllPort);
     let mut series: Vec<SweepSeries> = Vec::new();
+    let mut scratch = EngineScratch::new();
 
     // --- hypercubes: all four paper algorithms over the pool -----------
     for (network, dim, m, loads) in [
@@ -194,7 +201,14 @@ pub fn traffic_sweep(cfg: &SweepConfig) -> TrafficSweep {
                         rate,
                         run_seed(cfg.seed, network, algo.name(), pi),
                     );
-                    let r = traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params);
+                    let r = traffic::run_cube_with_scratch(
+                        &spec,
+                        cube,
+                        Resolution::HighToLow,
+                        algo,
+                        &params,
+                        &mut scratch,
+                    );
                     SweepPoint {
                         offered_per_ms: rate,
                         mean_latency_ms: r.latency.mean,
@@ -232,7 +246,12 @@ pub fn traffic_sweep(cfg: &SweepConfig) -> TrafficSweep {
                 rate,
                 run_seed(cfg.seed, "torus4x3", "Separate", pi),
             );
-            let r = traffic::run_separate_on(&spec, TorusRouter::new(torus), &params);
+            let r = traffic::run_separate_on_with_scratch(
+                &spec,
+                TorusRouter::new(torus),
+                &params,
+                &mut scratch,
+            );
             SweepPoint {
                 offered_per_ms: rate,
                 mean_latency_ms: r.latency.mean,

@@ -87,6 +87,64 @@ fn torus_runs_are_byte_identical_across_repeats() {
     }
 }
 
+/// The tentpole's safety rail: a run replayed into a reused
+/// [`wormsim::EngineScratch`] is byte-identical to the fresh-allocation
+/// path — on the cube, on the torus, and on a faulted cube workload
+/// (dead links + stall windows + a global deadline), with **one**
+/// scratch serving all three back to back across rounds. That exercises
+/// the full reset contract: arenas resized across topologies, the route
+/// memo restamped between routers, the channel table swept after runs
+/// that aborted mid-flight.
+#[test]
+fn scratch_reuse_is_byte_identical_to_fresh_allocation() {
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let mut scratch = wormsim::EngineScratch::new();
+
+    let cube = Cube::of(4);
+    let cube_router = hcube::Ecube::new(cube, Resolution::HighToLow);
+    let torus_router = TorusRouter::new(Torus::of(4, 2));
+    let w = contentious_workload(16);
+
+    let mut plan = wormsim::FaultPlan::random_links(cube, 4, 5);
+    plan.stall(
+        NodeId(1),
+        hcube::Dim(0),
+        SimTime::ZERO,
+        SimTime::from_ns(40_000),
+    )
+    .deadline_all(SimTime::from_ns(120_000));
+
+    for _ in 0..3 {
+        let fresh = simulate_on(cube_router, &params, &w);
+        let reused = wormsim::simulate_on_with_scratch(cube_router, &params, &w, &mut scratch);
+        assert_runs_identical(&fresh, &reused);
+
+        let fresh = simulate_on(torus_router, &params, &w);
+        let reused = wormsim::simulate_on_with_scratch(torus_router, &params, &w, &mut scratch);
+        assert_runs_identical(&fresh, &reused);
+
+        let fresh = wormsim::simulate_with_faults_on(cube_router, &params, &w, &plan)
+            .expect("faulted workload is well-formed");
+        let reused = wormsim::simulate_with_faults_on_with_scratch(
+            cube_router,
+            &params,
+            &w,
+            &plan,
+            &mut scratch,
+        )
+        .expect("faulted workload is well-formed");
+        assert_runs_identical(&fresh, &reused);
+        assert!(
+            fresh.stats.timed_out > 0 || fresh.messages.iter().any(|m| !m.outcome.is_delivered()),
+            "the faulted leg must actually exercise the abort/cleanup paths"
+        );
+    }
+    assert!(
+        scratch.route_memo().hits() > 0,
+        "replayed rounds must hit the route memo"
+    );
+}
+
 /// The observability layer is part of the determinism contract too: the
 /// contention heatmap (seeded destination draws + in-loop EventRecorder
 /// blocked-time accounting) must regenerate byte-identically, and
@@ -113,11 +171,22 @@ fn observed_runs_match_unobserved_runs_bit_for_bit() {
     assert_runs_identical(&plain, &observed);
 }
 
-fn delay_metric(cube: Cube, src: NodeId, dests: &[NodeId], algo: Algorithm) -> [f64; 2] {
+fn delay_metric(
+    cube: Cube,
+    src: NodeId,
+    dests: &[NodeId],
+    algo: Algorithm,
+    scratch: &mut wormsim::EngineScratch,
+) -> [f64; 2] {
     let tree = algo
         .build(cube, Resolution::HighToLow, PortModel::AllPort, src, dests)
         .expect("valid instance");
-    let report = wormsim::simulate_multicast(&tree, &SimParams::ncube2(PortModel::AllPort), 1024);
+    let report = wormsim::simulate_multicast_with_scratch(
+        &tree,
+        &SimParams::ncube2(PortModel::AllPort),
+        1024,
+        scratch,
+    );
     [report.avg_delay.as_ms(), report.max_delay.as_ms()]
 }
 

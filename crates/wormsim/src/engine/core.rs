@@ -6,9 +6,15 @@
 //! goes through the [`Topology`](hcube::Topology) trait, and nothing in
 //! here assumes hypercube address arithmetic. The hypercube and the
 //! torus run the exact same loop.
+//!
+//! All mutable run state lives in a borrowed
+//! [`EngineScratch`](crate::scratch::EngineScratch): `Engine::new`
+//! *resets* the arenas instead of allocating them, and route lookups go
+//! through the scratch's [`RouteMemo`](crate::network::RouteMemo). The
+//! fresh-allocation entry points simply pass a brand-new scratch, so
+//! both paths execute the same code and produce byte-identical results.
 
-use crate::engine::arbitration::Channels;
-use crate::engine::events::{Event, EventQueue};
+use crate::engine::events::{self, Event};
 use crate::engine::outcomes::{NetStats, RunResult, SimError};
 use crate::engine::watchdog;
 use crate::engine::worm::{DepMessage, FaultCause, MessageResult, MsgState, Outcome};
@@ -16,6 +22,7 @@ use crate::faults::FaultPlan;
 use crate::network::ChannelMap;
 use crate::params::SimParams;
 use crate::probe::Probe;
+use crate::scratch::EngineScratch;
 use crate::time::SimTime;
 use hcube::{NodeId, Router, Topology};
 
@@ -24,12 +31,9 @@ pub(crate) struct Engine<'a, R: Router, P: Probe> {
     params: &'a SimParams,
     plan: &'a FaultPlan,
     workload: &'a [DepMessage],
-    channels: Channels,
-    msgs: Vec<MsgState>,
-    /// Per-channel dead flag, indexed like the channel map.
-    dead: Vec<bool>,
-    queue: EventQueue,
-    cpu_free: Vec<SimTime>,
+    /// The reusable arenas: event heap, message table, channel table,
+    /// dead flags, CPU clocks, cascade stack, and the route memo.
+    scratch: &'a mut EngineScratch,
     stats: NetStats,
     finished: usize,
     last_time: SimTime,
@@ -46,30 +50,48 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
         workload: &'a [DepMessage],
         plan: &'a FaultPlan,
         probe: &'a mut P,
+        scratch: &'a mut EngineScratch,
     ) -> Result<Engine<'a, R, P>, SimError> {
+        events::check_workload_size(workload.len())?;
         let map = ChannelMap::new(router);
-        let mut msgs = Vec::with_capacity(workload.len());
+
+        // Reset the arenas: every buffer returns to its pristine state
+        // without giving its allocation back.
+        scratch.queue.reset();
+        scratch.channels.reset(map.len());
+        scratch.dead.clear();
+        scratch.dead.resize(map.len(), false);
+        scratch.cpu_free.clear();
+        scratch.cpu_free.resize(map.nodes(), SimTime::ZERO);
+        scratch.finish_stack.clear();
+        scratch.msgs.truncate(workload.len());
         for (i, m) in workload.iter().enumerate() {
             if m.src == m.dst {
                 return Err(SimError::SelfSend { index: i });
             }
-            let route = map.route(params.port_model, m.src, m.dst);
-            msgs.push(MsgState::new(route, m.deps.len(), m.min_start));
+            let route = map.route_into(params.port_model, m.src, m.dst, &mut scratch.memo);
+            if i < scratch.msgs.len() {
+                scratch.msgs[i].reset(route, m.deps.len(), m.min_start);
+            } else {
+                scratch
+                    .msgs
+                    .push(MsgState::new(route, m.deps.len(), m.min_start));
+            }
         }
         for (i, m) in workload.iter().enumerate() {
             for &d in &m.deps {
                 if d >= workload.len() {
                     return Err(SimError::DependencyOutOfRange { index: i, dep: d });
                 }
-                msgs[d].dependents.push(i);
+                scratch.msgs[d].dependents.push(i);
             }
         }
 
-        let mut channels = Channels::new(map.len());
-        let mut dead = vec![false; map.len()];
         let topo = map.topology();
-        if !plan.is_empty() {
-            for (ch, slot) in dead.iter_mut().enumerate().take(map.externals()) {
+        // Deadline-only plans (the open-loop observation window) damage
+        // nothing: skip the whole channel-fault wiring pass.
+        if plan.has_network_faults() {
+            for (ch, slot) in scratch.dead.iter_mut().enumerate().take(map.externals()) {
                 let (v, p) = map.external_coords(ch);
                 // A directed channel is unusable when the link itself is
                 // dead or either endpoint node is down — decided through
@@ -79,40 +101,50 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
                     || plan.node_dead(v)
                     || plan.node_dead(topo.neighbor(v, p));
                 if plan.channel_stuck(v, p) {
-                    channels.stick(ch);
+                    scratch.channels.stick(ch);
                 }
             }
             for i in 0..map.nodes() {
                 let v = NodeId(i as u32);
                 if plan.node_dead(v) {
-                    dead[map.injection(v)] = true;
-                    dead[map.consumption(v)] = true;
+                    scratch.dead[map.injection(v)] = true;
+                    scratch.dead[map.consumption(v)] = true;
                 }
             }
         }
 
-        // Per-dimension channel counts for utilization statistics.
-        let mut dim_channels = vec![0u32; topo.dimensions() as usize];
-        for ch in 0..map.externals() {
-            dim_channels[map.dim_of(ch) as usize] += 1;
+        // Per-dimension channel counts (utilization statistics) and the
+        // external-channel → dimension table (busy-time accounting on
+        // every channel release) — cached in the scratch per router
+        // stamp. Reused scratches skip the walk over every external
+        // channel, and the hot release path replaces the topology's
+        // coordinate arithmetic with one table load.
+        if scratch.dim_stamp != Some(map.stamp()) {
+            scratch.dim_channels.clear();
+            scratch
+                .dim_channels
+                .resize(topo.dimensions() as usize, 0u32);
+            scratch.dim_table.clear();
+            scratch.dim_table.reserve(map.externals());
+            for ch in 0..map.externals() {
+                let d = map.dim_of(ch);
+                scratch.dim_channels[d as usize] += 1;
+                scratch.dim_table.push(d);
+            }
+            scratch.dim_stamp = Some(map.stamp());
         }
         let stats = NetStats {
             dim_busy: vec![SimTime::ZERO; topo.dimensions() as usize],
-            dim_channels,
+            dim_channels: scratch.dim_channels.clone(),
             ..NetStats::default()
         };
 
-        let cpu_free = vec![SimTime::ZERO; map.nodes()];
         Ok(Engine {
             map,
             params,
             plan,
             workload,
-            channels,
-            msgs,
-            dead,
-            queue: EventQueue::new(),
-            cpu_free,
+            scratch,
             stats,
             finished: 0,
             last_time: SimTime::ZERO,
@@ -120,28 +152,53 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
         })
     }
 
+    /// The dense channel index of hop `hop` of message `m`'s route.
+    #[inline]
+    fn route_channel(&self, m: usize, hop: usize) -> usize {
+        self.scratch
+            .memo
+            .channel_at(self.scratch.msgs[m].route_start, hop)
+    }
+
     /// If `ch` is inside a stall window at `t`, when it reopens.
     fn stalled_until(&self, ch: usize, t: SimTime) -> Option<SimTime> {
-        if self.plan.is_empty() || self.map.is_virtual(ch) {
+        if !self.plan.has_stalls() || self.map.is_virtual(ch) {
             return None;
         }
         let (v, p) = self.map.external_coords(ch);
         self.plan.stalled_until(v, p, t)
     }
 
+    /// Closes an open stall-window park on `m` at `t`, charging the
+    /// blocked time that actually elapsed — the full window when the
+    /// reopen retry fires, a pro-rated share when an abort cuts the
+    /// park short.
+    fn settle_stall(&mut self, m: usize, t: SimTime) {
+        if let Some((since, port)) = self.scratch.msgs[m].stall.take() {
+            let waited = t.saturating_sub(since);
+            self.scratch.msgs[m].blocked_time += waited;
+            if port {
+                self.stats.port_wait_time += waited;
+            } else {
+                self.stats.blocked_time += waited;
+            }
+        }
+    }
+
     /// Marks `m` finished, records stats, and cascades failure to
     /// dependents that now can never be sent.
     fn finish(&mut self, m: usize, t: SimTime, outcome: Outcome) {
-        let mut stack = vec![(m, outcome)];
-        while let Some((i, out)) = stack.pop() {
-            if self.msgs[i].outcome.is_some() {
+        debug_assert!(self.scratch.finish_stack.is_empty());
+        self.scratch.finish_stack.push((m, outcome));
+        while let Some((i, out)) = self.scratch.finish_stack.pop() {
+            if self.scratch.msgs[i].outcome.is_some() {
                 continue;
             }
-            self.msgs[i].outcome = Some(out);
-            self.msgs[i].finished_at = t;
+            self.scratch.msgs[i].outcome = Some(out);
+            self.scratch.msgs[i].finished_at = t;
             self.finished += 1;
             match out {
-                Outcome::Delivered => self.probe.on_delivered(t, i, self.msgs[i].injected),
+                Outcome::Delivered => self.probe.on_delivered(t, i, self.scratch.msgs[i].injected),
                 Outcome::Failed(cause) => {
                     self.stats.failed += 1;
                     self.probe.on_fault(t, i, cause);
@@ -153,57 +210,81 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
             }
             if out != Outcome::Delivered {
                 // Dependents of a lost message can never start.
-                for d in 0..self.msgs[i].dependents.len() {
-                    let dep = self.msgs[i].dependents[d];
-                    stack.push((dep, Outcome::Failed(FaultCause::DependencyFailed)));
+                for d in 0..self.scratch.msgs[i].dependents.len() {
+                    let dep = self.scratch.msgs[i].dependents[d];
+                    self.scratch
+                        .finish_stack
+                        .push((dep, Outcome::Failed(FaultCause::DependencyFailed)));
                 }
             }
         }
     }
 
-    /// Releases `msgs[m].route[..count]`, waking the first waiter of each
-    /// channel and charging per-dimension busy time.
+    /// Releases `msgs[m]`'s first `count` route channels, handing each
+    /// one **directly** to its FIFO-head waiter — the waiter holds the
+    /// channel the instant it is released
+    /// ([`Channels::handoff`](crate::engine::arbitration::Channels::handoff)),
+    /// so a same-time acquisition attempt still sitting in the event
+    /// heap can never steal it. Charges per-dimension busy time on the
+    /// way.
     fn release_channels(&mut self, m: usize, count: usize, t: SimTime) {
-        let route = std::mem::take(&mut self.msgs[m].route);
-        for &ch in &route[..count] {
-            let (held_since, waiter) = self.channels.release(ch, m);
+        for hop in 0..count {
+            let ch = self.route_channel(m, hop);
+            // A stall window covering the release instant defers the
+            // *grant* to the window's reopen; the reservation itself is
+            // made now, so nothing else can slip in.
+            let grant_t = self.stalled_until(ch, t).unwrap_or(t);
+            let (held_since, waiter) = self.scratch.channels.handoff(ch, m, grant_t);
             self.probe.on_channel_released(t, m, ch, held_since);
             if !self.map.is_virtual(ch) {
-                let d = self.map.dim_of(ch) as usize;
+                // Cached per-channel dimension: the topology's
+                // coordinate decode is too slow for the release path.
+                let d = self.scratch.dim_table[ch] as usize;
                 self.stats.dim_busy[d] += t.saturating_sub(held_since);
             }
             if let Some((w, whop)) = waiter {
-                self.msgs[w].waiting_on = None;
-                let waited = t.saturating_sub(self.msgs[w].wait_since);
-                self.msgs[w].blocked_time += waited;
+                debug_assert!(self.scratch.msgs[w].outcome.is_none());
+                self.scratch.msgs[w].waiting_on = None;
+                let waited = grant_t.saturating_sub(self.scratch.msgs[w].wait_since);
+                self.scratch.msgs[w].blocked_time += waited;
                 if self.map.is_virtual(ch) || whop == 0 {
                     self.stats.port_wait_time += waited;
                 } else {
                     self.stats.blocked_time += waited;
                 }
-                self.queue.push(t, Event::TryAcquire(w, whop));
+                self.probe.on_channel_granted(grant_t, w, ch, whop);
+                self.advance_after_grant(w, whop, ch, grant_t);
             }
         }
-        self.msgs[m].route = route;
-        self.msgs[m].acquired = 0;
+        self.scratch.msgs[m].acquired = 0;
     }
 
     /// Aborts an in-flight (or not-yet-started) message: releases held
-    /// channels, leaves any wait queue, finishes with `outcome`.
+    /// channels, leaves any wait queue, settles an open stall park,
+    /// finishes with `outcome`.
     fn abort(&mut self, m: usize, t: SimTime, outcome: Outcome) {
-        let held = self.msgs[m].acquired;
+        self.settle_stall(m, t);
+        let held = self.scratch.msgs[m].acquired;
         if held > 0 {
             self.release_channels(m, held, t);
         }
-        if let Some(ch) = self.msgs[m].waiting_on.take() {
-            self.channels.remove_waiter(ch, m);
+        if let Some(ch) = self.scratch.msgs[m].waiting_on.take() {
+            self.scratch.channels.remove_waiter(ch, m);
         }
         self.finish(m, t, outcome);
     }
 
     pub fn run(&mut self) -> Result<(), SimError> {
+        // The plan-wide observation window is one event for the whole
+        // run, scheduled before anything else: at its close time it
+        // outranks every same-time event (the window is `[0, close)`),
+        // and the open-loop hot path stops paying one deadline event
+        // per message.
+        if let Some(close) = self.plan.default_deadline() {
+            self.scratch.queue.push(close, Event::WindowClose);
+        }
         // Pre-fail messages with dead endpoints (cascades to dependents).
-        if !self.plan.is_empty() {
+        if self.plan.has_dead_nodes() {
             for i in 0..self.workload.len() {
                 let m = &self.workload[i];
                 if self.plan.node_dead(m.src) || self.plan.node_dead(m.dst) {
@@ -212,41 +293,51 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
             }
         }
         for i in 0..self.workload.len() {
-            if self.msgs[i].outcome.is_none() {
+            if self.scratch.msgs[i].outcome.is_none() {
                 if self.workload[i].deps.is_empty() {
-                    self.queue
+                    self.scratch
+                        .queue
                         .push(self.workload[i].min_start, Event::Eligible(i));
                 }
-                if let Some(d) = self.plan.deadline(i) {
-                    self.queue.push(d, Event::Deadline(i));
+                if let Some(d) = self.plan.message_deadline(i) {
+                    self.scratch.queue.push(d, Event::Deadline(i));
                 }
             }
         }
 
-        while let Some((t, event)) = self.queue.pop() {
+        while let Some((t, event)) = self.scratch.queue.pop() {
             self.last_time = t;
-            let m = match event {
+            match event {
+                Event::WindowClose => {
+                    self.on_window_close(t);
+                    continue;
+                }
                 Event::Eligible(m)
                 | Event::TryAcquire(m, _)
                 | Event::Complete(m)
-                | Event::Deadline(m) => m,
-            };
-            if self.msgs[m].outcome.is_some() {
-                continue; // stale event for an aborted/failed message
+                | Event::Deadline(m) => {
+                    if self.scratch.msgs[m].outcome.is_some() {
+                        continue; // stale event for an aborted/failed message
+                    }
+                }
             }
             match event {
                 Event::Eligible(m) => self.on_eligible(m, t),
                 Event::TryAcquire(m, hop) => self.on_try_acquire(m, hop, t),
                 Event::Complete(m) => self.on_complete(m, t),
                 Event::Deadline(m) => self.abort(m, t, Outcome::TimedOut),
+                Event::WindowClose => unreachable!("handled above"),
             }
         }
 
         if self.finished == self.workload.len() {
             return Ok(());
         }
+        // The run is ending without releasing everything: a reused
+        // scratch must sweep its channel table before the next run.
+        self.scratch.channels.mark_dirty();
         // Watchdog: the heap drained with unfinished messages.
-        let verdict = watchdog::verdict(&self.msgs, &self.channels, self.last_time);
+        let verdict = watchdog::verdict(&self.scratch.msgs, &self.scratch.channels, self.last_time);
         if let SimError::Deadlock {
             at,
             ref holders,
@@ -258,81 +349,107 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
         Err(verdict)
     }
 
+    /// The plan-wide observation window closes: abort every message
+    /// still short of delivery, in workload order, unless a per-message
+    /// deadline override governs it instead.
+    fn on_window_close(&mut self, t: SimTime) {
+        for m in 0..self.workload.len() {
+            if self.scratch.msgs[m].outcome.is_none() && self.plan.message_deadline(m).is_none() {
+                self.abort(m, t, Outcome::TimedOut);
+            }
+        }
+    }
+
     fn on_eligible(&mut self, m: usize, t: SimTime) {
         self.probe.on_eligible(t, m);
         let src = self.workload[m].src.0 as usize;
         let start = if self.params.cpu_serialized_startup {
-            let s = t.max(self.cpu_free[src]);
-            self.cpu_free[src] = s + self.params.t_send_sw;
+            let s = t.max(self.scratch.cpu_free[src]);
+            self.scratch.cpu_free[src] = s + self.params.t_send_sw;
             s
         } else {
             t
         };
         let inject = start + self.params.t_send_sw;
-        self.msgs[m].injected = inject;
-        self.probe.on_injected(inject, m, self.msgs[m].route.len());
-        self.queue.push(inject, Event::TryAcquire(m, 0));
+        self.scratch.msgs[m].injected = inject;
+        self.probe
+            .on_injected(inject, m, self.scratch.msgs[m].route_len as usize);
+        self.scratch.queue.push(inject, Event::TryAcquire(m, 0));
+    }
+
+    /// Post-grant bookkeeping shared by the free-channel acquisition
+    /// path and the atomic hand-off path: records route progress and
+    /// schedules the next hop (or the tail drain when the route is
+    /// complete).
+    fn advance_after_grant(&mut self, m: usize, hop: usize, ch: usize, t: SimTime) {
+        self.scratch.msgs[m].acquired = hop + 1;
+        let hop_cost = if self.map.is_virtual(ch) {
+            SimTime::ZERO
+        } else {
+            self.params.t_hop
+        };
+        let arrive = t + hop_cost;
+        if hop + 1 < self.scratch.msgs[m].route_len as usize {
+            self.probe.on_header_advanced(arrive, m, hop + 1);
+            self.scratch
+                .queue
+                .push(arrive, Event::TryAcquire(m, hop + 1));
+        } else {
+            let drain = arrive + self.params.t_byte * u64::from(self.workload[m].bytes);
+            self.scratch.queue.push(drain, Event::Complete(m));
+        }
     }
 
     fn on_try_acquire(&mut self, m: usize, hop: usize, t: SimTime) {
-        let ch = self.msgs[m].route[hop];
+        // A stall-window park ends here (this is its reopen retry):
+        // charge the window now that it actually elapsed.
+        self.settle_stall(m, t);
+        let ch = self.route_channel(m, hop);
         self.probe.on_channel_requested(t, m, ch, hop);
-        if self.dead[ch] {
+        if self.scratch.dead[ch] {
             // The header hit a dead channel: abort-and-discard.
-            self.msgs[m].acquired = hop;
+            self.scratch.msgs[m].acquired = hop;
             self.abort(m, t, Outcome::Failed(FaultCause::DeadChannel));
             return;
         }
         if let Some(reopen) = self.stalled_until(ch, t) {
             // Transient stall: the channel refuses acquisition until the
-            // window closes. Counts as contention blocking.
-            let waited = reopen - t;
-            self.msgs[m].blocked_time += waited;
-            if self.map.is_virtual(ch) || hop == 0 {
-                self.msgs[m].port_waits += 1;
+            // window closes. Counts as contention blocking; the blocked
+            // time is charged when the park ends (reopen or abort), not
+            // upfront — see `settle_stall`.
+            let port = self.map.is_virtual(ch) || hop == 0;
+            if port {
+                self.scratch.msgs[m].port_waits += 1;
                 self.stats.port_waits += 1;
-                self.stats.port_wait_time += waited;
             } else {
-                self.msgs[m].blocks += 1;
+                self.scratch.msgs[m].blocks += 1;
                 self.stats.blocks += 1;
-                self.stats.blocked_time += waited;
             }
-            self.probe.on_channel_blocked(t, m, ch, hop, 0);
-            self.queue.push(reopen, Event::TryAcquire(m, hop));
+            self.scratch.msgs[m].stall = Some((t, port));
+            let depth = self.scratch.channels.queue_len(ch);
+            self.probe.on_channel_blocked(t, m, ch, hop, depth);
+            self.scratch.queue.push(reopen, Event::TryAcquire(m, hop));
             return;
         }
-        if self.channels.is_free(ch) {
-            self.channels.acquire(ch, m, t);
+        if self.scratch.channels.is_free(ch) {
+            self.scratch.channels.acquire(ch, m, t);
             self.probe.on_channel_granted(t, m, ch, hop);
-            self.msgs[m].acquired = hop + 1;
-            let hop_cost = if self.map.is_virtual(ch) {
-                SimTime::ZERO
-            } else {
-                self.params.t_hop
-            };
-            let arrive = t + hop_cost;
-            if hop + 1 < self.msgs[m].route.len() {
-                self.probe.on_header_advanced(arrive, m, hop + 1);
-                self.queue.push(arrive, Event::TryAcquire(m, hop + 1));
-            } else {
-                let drain = arrive + self.params.t_byte * u64::from(self.workload[m].bytes);
-                self.queue.push(drain, Event::Complete(m));
-            }
+            self.advance_after_grant(m, hop, ch, t);
         } else {
             // Block in place: keep held channels, queue FIFO.
             // A block at hop 0 holds nothing upstream — it is
             // source-side port serialization (Theorem 3's benign
             // case), not network contention.
-            self.msgs[m].wait_since = t;
-            self.msgs[m].waiting_on = Some(ch);
+            self.scratch.msgs[m].wait_since = t;
+            self.scratch.msgs[m].waiting_on = Some(ch);
             if self.map.is_virtual(ch) || hop == 0 {
-                self.msgs[m].port_waits += 1;
+                self.scratch.msgs[m].port_waits += 1;
                 self.stats.port_waits += 1;
             } else {
-                self.msgs[m].blocks += 1;
+                self.scratch.msgs[m].blocks += 1;
                 self.stats.blocks += 1;
             }
-            let depth = self.channels.enqueue(ch, m, hop);
+            let depth = self.scratch.channels.enqueue(ch, m, hop);
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u32);
             self.probe.on_channel_blocked(t, m, ch, hop, depth);
         }
@@ -340,28 +457,29 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
 
     fn on_complete(&mut self, m: usize, t: SimTime) {
         self.probe.on_tail_drained(t, m);
-        let held = self.msgs[m].acquired;
+        let held = self.scratch.msgs[m].acquired;
         self.release_channels(m, held, t);
         let delivered = t + self.params.t_recv_sw;
         self.finish(m, delivered, Outcome::Delivered);
         self.stats.makespan = self.stats.makespan.max(delivered);
-        let dependents = std::mem::take(&mut self.msgs[m].dependents);
+        let dependents = std::mem::take(&mut self.scratch.msgs[m].dependents);
         for &d in &dependents {
-            if self.msgs[d].outcome.is_some() {
+            if self.scratch.msgs[d].outcome.is_some() {
                 continue;
             }
-            self.msgs[d].pending_deps -= 1;
-            if self.msgs[d].pending_deps == 0 {
-                let at = self.msgs[d].eligible_at.max(delivered);
-                self.queue.push(at, Event::Eligible(d));
+            self.scratch.msgs[d].pending_deps -= 1;
+            if self.scratch.msgs[d].pending_deps == 0 {
+                let at = self.scratch.msgs[d].eligible_at.max(delivered);
+                self.scratch.queue.push(at, Event::Eligible(d));
             }
         }
-        self.msgs[m].dependents = dependents;
+        self.scratch.msgs[m].dependents = dependents;
     }
 
     pub fn into_result(self) -> RunResult {
         let t_recv = self.params.t_recv_sw;
         let messages = self
+            .scratch
             .msgs
             .iter()
             .map(|s| {

@@ -42,12 +42,12 @@
 //! The engine is fully deterministic: integer time, FIFO queues, and a
 //! sequence-numbered event heap.
 
-mod arbitration;
+pub(crate) mod arbitration;
 mod core;
-mod events;
+pub(crate) mod events;
 mod outcomes;
 mod watchdog;
-mod worm;
+pub(crate) mod worm;
 
 #[cfg(test)]
 mod tests;
@@ -58,12 +58,21 @@ pub use worm::{DepMessage, FaultCause, MessageResult, Outcome};
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
 use crate::probe::{NoopProbe, Probe};
+use crate::scratch::EngineScratch;
 use crate::time::SimTime;
 use hcube::{Cube, Ecube, Resolution, Router};
 
-/// Runs a dependency workload on any routed topology with a fault plan
-/// and an in-loop [`Probe`] observer — the fully general core every
-/// other entry point delegates to.
+/// Runs a dependency workload on any routed topology with a fault
+/// plan, an in-loop [`Probe`] observer, and a caller-owned
+/// [`EngineScratch`] — the fully general core every other entry point
+/// delegates to.
+///
+/// The scratch is *reset*, never reallocated: reusing one scratch
+/// across runs keeps the event heap, message table, channel table, and
+/// memoized routes warm (see [`crate::scratch`]). Results are
+/// byte-identical to the fresh-allocation path. Even on an `Err`
+/// return the scratch stays safe to reuse — the channel table marks
+/// itself dirty and sweeps on the next reset.
 ///
 /// The probe is statically dispatched: passing [`NoopProbe`]
 /// monomorphizes every observation point away, so the uninstrumented
@@ -72,6 +81,28 @@ use hcube::{Cube, Ecube, Resolution, Router};
 /// an `Err` return — a deadlocked run still leaves its
 /// [`EventRecorder`](crate::probe::EventRecorder) full of blocked
 /// events and the watchdog alarm.
+///
+/// # Errors
+/// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
+/// [`SimError::WorkloadTooLarge`] / [`SimError::DependencyCycle`] for
+/// malformed workloads, and [`SimError::Deadlock`] when blocked worms
+/// can never progress.
+pub fn simulate_observed_with_faults_on_with_scratch<R: Router, P: Probe>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    plan: &FaultPlan,
+    probe: &mut P,
+    scratch: &mut EngineScratch,
+) -> Result<RunResult, SimError> {
+    let mut engine = core::Engine::new(router, params, workload, plan, probe, scratch)?;
+    engine.run()?;
+    Ok(engine.into_result())
+}
+
+/// Runs a dependency workload on any routed topology with a fault plan
+/// and an in-loop [`Probe`] observer, allocating a fresh scratch
+/// (see [`simulate_observed_with_faults_on_with_scratch`] to reuse one).
 ///
 /// # Errors
 /// [`SimError::SelfSend`] / [`SimError::DependencyOutOfRange`] /
@@ -84,9 +115,15 @@ pub fn simulate_observed_with_faults_on<R: Router, P: Probe>(
     plan: &FaultPlan,
     probe: &mut P,
 ) -> Result<RunResult, SimError> {
-    let mut engine = core::Engine::new(router, params, workload, plan, probe)?;
-    engine.run()?;
-    Ok(engine.into_result())
+    let mut scratch = EngineScratch::new();
+    simulate_observed_with_faults_on_with_scratch(
+        router,
+        params,
+        workload,
+        plan,
+        probe,
+        &mut scratch,
+    )
 }
 
 /// Fault-free [`simulate_observed_with_faults_on`]: any router, any
@@ -220,6 +257,63 @@ pub fn simulate_on<R: Router>(router: R, params: &SimParams, workload: &[DepMess
     }
 }
 
+/// Scratch-reusing [`simulate_with_faults_on`]: same semantics, but the
+/// engine's arenas come from (and return to) `scratch` instead of the
+/// allocator. Byte-identical to the fresh-allocation path.
+///
+/// # Errors
+/// See [`simulate_with_faults_on`].
+pub fn simulate_with_faults_on_with_scratch<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    plan: &FaultPlan,
+    scratch: &mut EngineScratch,
+) -> Result<RunResult, SimError> {
+    simulate_observed_with_faults_on_with_scratch(
+        router,
+        params,
+        workload,
+        plan,
+        &mut NoopProbe,
+        scratch,
+    )
+}
+
+/// Scratch-reusing [`try_simulate_on`]: fault-free, typed errors,
+/// reused arenas.
+///
+/// # Errors
+/// See [`try_simulate_on`].
+pub fn try_simulate_on_with_scratch<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    scratch: &mut EngineScratch,
+) -> Result<RunResult, SimError> {
+    simulate_with_faults_on_with_scratch(router, params, workload, &FaultPlan::none(), scratch)
+}
+
+/// Scratch-reusing [`simulate_on`]: the hot-path entry point for
+/// recurring sessions — reset instead of reallocate, memoized routes,
+/// byte-identical results.
+///
+/// # Panics
+/// Panics on malformed workloads: self-sends, out-of-range dependency
+/// indices, or dependency cycles.
+#[must_use]
+pub fn simulate_on_with_scratch<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    scratch: &mut EngineScratch,
+) -> RunResult {
+    match try_simulate_on_with_scratch(router, params, workload, scratch) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// Runs a dependency workload inside a **bounded observation window**:
 /// messages still undelivered when `horizon` expires are aborted with
 /// [`Outcome::TimedOut`] instead of extending the run.
@@ -267,6 +361,25 @@ pub fn simulate_window_on<R: Router>(
     horizon: SimTime,
 ) -> Result<RunResult, SimError> {
     simulate_window_observed_on(router, params, workload, horizon, &mut NoopProbe)
+}
+
+/// Scratch-reusing [`simulate_window_on`]: the open-loop traffic
+/// engine's hot path. Each worker replays its sessions into one
+/// [`EngineScratch`], so sustained-load sweeps stop paying a fresh
+/// `Engine` allocation per session.
+///
+/// # Errors
+/// See [`simulate_window_on`].
+pub fn simulate_window_on_with_scratch<R: Router>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    horizon: SimTime,
+    scratch: &mut EngineScratch,
+) -> Result<RunResult, SimError> {
+    let mut plan = FaultPlan::none();
+    plan.deadline_all(horizon);
+    simulate_with_faults_on_with_scratch(router, params, workload, &plan, scratch)
 }
 
 /// [`simulate_window_on`] with an in-loop [`Probe`] observer attached:

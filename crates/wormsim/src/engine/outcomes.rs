@@ -102,6 +102,15 @@ pub enum SimError {
         /// The out-of-range dependency value.
         dep: usize,
     },
+    /// The workload exceeds the event encoding's message-index
+    /// capacity (2^28 messages); a larger workload would silently
+    /// corrupt event payloads in release builds.
+    WorkloadTooLarge {
+        /// Number of messages in the rejected workload.
+        messages: usize,
+        /// Largest supported workload size.
+        max: usize,
+    },
     /// The dependency graph contains a cycle (or depends on something
     /// unsatisfiable), so some messages can never become eligible.
     DependencyCycle {
@@ -132,6 +141,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "dependency index out of range (message {index} depends on {dep})"
+                )
+            }
+            SimError::WorkloadTooLarge { messages, max } => {
+                write!(
+                    f,
+                    "workload too large for the event encoding ({messages} messages, max {max})"
                 )
             }
             SimError::DependencyCycle { stuck } => write!(

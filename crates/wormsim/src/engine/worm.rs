@@ -81,9 +81,17 @@ pub struct MessageResult {
 
 /// The worm's in-flight state machine: route progress, dependency
 /// counters, blocking accounting, and the terminal outcome once reached.
+///
+/// The route itself lives in the run's
+/// [`RouteMemo`](crate::network::RouteMemo) as a flat `(start, len)`
+/// range — per-message state carries no allocation for it, which is
+/// what lets [`EngineScratch`](crate::scratch::EngineScratch) replay
+/// recurring sessions without touching the allocator.
 pub(crate) struct MsgState {
-    /// The dense channel indices the worm acquires, in order.
-    pub route: Vec<usize>,
+    /// Start of this worm's channel sequence in the route memo.
+    pub route_start: u32,
+    /// Number of channels in the route.
+    pub route_len: u32,
     /// Dependencies not yet delivered.
     pub pending_deps: usize,
     /// Messages waiting on this one's delivery.
@@ -104,6 +112,11 @@ pub(crate) struct MsgState {
     pub acquired: usize,
     /// Channel whose queue this message currently sits in, if blocked.
     pub waiting_on: Option<usize>,
+    /// An open stall-window park: `(since, port_classified)`. The
+    /// blocked time is charged when the window actually elapses (the
+    /// reopen retry) or pro-rated at an abort — never upfront, so a
+    /// deadline that fires mid-window cannot overcount.
+    pub stall: Option<(SimTime, bool)>,
     /// Terminal state, once reached; time in `finished_at`.
     pub outcome: Option<Outcome>,
     /// Time the terminal state was reached.
@@ -111,10 +124,11 @@ pub(crate) struct MsgState {
 }
 
 impl MsgState {
-    /// Fresh state for a workload message with the given route.
-    pub fn new(route: Vec<usize>, deps: usize, eligible_at: SimTime) -> MsgState {
+    /// Fresh state for a workload message with the given route range.
+    pub fn new(route: (u32, u32), deps: usize, eligible_at: SimTime) -> MsgState {
         MsgState {
-            route,
+            route_start: route.0,
+            route_len: route.1,
             pending_deps: deps,
             dependents: Vec::new(),
             eligible_at,
@@ -125,8 +139,30 @@ impl MsgState {
             port_waits: 0,
             acquired: 0,
             waiting_on: None,
+            stall: None,
             outcome: None,
             finished_at: SimTime::ZERO,
         }
+    }
+
+    /// In-place [`new`](MsgState::new), reusing the `dependents`
+    /// allocation — the scratch path's replacement for rebuilding the
+    /// message table.
+    pub fn reset(&mut self, route: (u32, u32), deps: usize, eligible_at: SimTime) {
+        self.route_start = route.0;
+        self.route_len = route.1;
+        self.pending_deps = deps;
+        self.dependents.clear();
+        self.eligible_at = eligible_at;
+        self.injected = SimTime::ZERO;
+        self.wait_since = SimTime::ZERO;
+        self.blocked_time = SimTime::ZERO;
+        self.blocks = 0;
+        self.port_waits = 0;
+        self.acquired = 0;
+        self.waiting_on = None;
+        self.stall = None;
+        self.outcome = None;
+        self.finished_at = SimTime::ZERO;
     }
 }

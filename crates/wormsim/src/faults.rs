@@ -64,6 +64,50 @@ impl FaultPlan {
         self == &FaultPlan::default()
     }
 
+    /// Whether the plan damages the network itself — dead links, dead
+    /// nodes, stuck channels, or stall windows. Deadline-only plans (the
+    /// open-loop observation window) answer `false`, which lets the
+    /// engine skip the whole channel-fault wiring pass on its hottest
+    /// path.
+    #[must_use]
+    pub fn has_network_faults(&self) -> bool {
+        !self.dead_links.is_empty()
+            || !self.dead_nodes.is_empty()
+            || !self.stuck.is_empty()
+            || !self.stalls.is_empty()
+    }
+
+    /// Whether any channel has transient stall windows. Gates the
+    /// per-acquisition stall lookup in the engine's event loop.
+    #[must_use]
+    pub fn has_stalls(&self) -> bool {
+        !self.stalls.is_empty()
+    }
+
+    /// Whether any node is down entirely. Gates the pre-run endpoint
+    /// scan.
+    #[must_use]
+    pub fn has_dead_nodes(&self) -> bool {
+        !self.dead_nodes.is_empty()
+    }
+
+    /// The plan-wide default deadline, if one was set with
+    /// [`deadline_all`](FaultPlan::deadline_all). The engine schedules
+    /// it as a single window-close event instead of one deadline event
+    /// per message.
+    #[must_use]
+    pub fn default_deadline(&self) -> Option<SimTime> {
+        self.default_deadline
+    }
+
+    /// The per-message deadline override of workload message `index`,
+    /// if any — *not* falling back to the default (use
+    /// [`deadline`](FaultPlan::deadline) for the effective bound).
+    #[must_use]
+    pub fn message_deadline(&self, index: usize) -> Option<SimTime> {
+        self.message_deadlines.get(&index).copied()
+    }
+
     // ----- construction -------------------------------------------------
 
     /// Kills the directed external channel leaving `from` in `dim`.

@@ -50,14 +50,17 @@ pub mod multicast;
 pub mod network;
 pub mod params;
 pub mod probe;
+pub mod scratch;
 pub mod time;
 pub mod trace;
 
 pub use engine::{
     simulate, simulate_observed, simulate_observed_on, simulate_observed_with_faults_on,
-    simulate_on, simulate_window_observed_on, simulate_window_on, simulate_with_faults,
-    simulate_with_faults_on, try_simulate, try_simulate_observed_on, try_simulate_on, DepMessage,
-    FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
+    simulate_observed_with_faults_on_with_scratch, simulate_on, simulate_on_with_scratch,
+    simulate_window_observed_on, simulate_window_on, simulate_window_on_with_scratch,
+    simulate_with_faults, simulate_with_faults_on, simulate_with_faults_on_with_scratch,
+    try_simulate, try_simulate_observed_on, try_simulate_on, try_simulate_on_with_scratch,
+    DepMessage, FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
 };
 pub use faults::FaultPlan;
 pub use flit::{simulate_flits, simulate_flits_on, FlitMessage, FlitResult};
@@ -65,10 +68,12 @@ pub use metrics::{Histogram, Metrics, MetricsRegistry};
 pub use multicast::{
     multicast_workload, simulate_chunked_multicast, simulate_concurrent_multicasts,
     simulate_gather, simulate_multicast, simulate_multicast_observed,
-    simulate_multicast_with_faults, simulate_reduction, simulate_scatter, simulate_unicast,
-    ConcurrentReport, FaultSimReport, SimReport, TreeReport,
+    simulate_multicast_with_faults, simulate_multicast_with_scratch, simulate_reduction,
+    simulate_scatter, simulate_unicast, ConcurrentReport, FaultSimReport, SimReport, TreeReport,
 };
+pub use network::{ChannelMap, RouteMemo};
 pub use params::SimParams;
 pub use probe::{BlockedInterval, EventRecorder, NoopProbe, Probe, ProbeEvent, Tee, WatchdogAlarm};
+pub use scratch::EngineScratch;
 pub use time::SimTime;
 pub use trace::ChannelTrace;

@@ -9,11 +9,13 @@
 //! self-timed execution never blocks.
 
 use crate::engine::{
-    simulate, simulate_observed, simulate_with_faults, DepMessage, NetStats, RunResult, SimError,
+    simulate, simulate_observed, simulate_on_with_scratch, simulate_with_faults, DepMessage,
+    NetStats, RunResult, SimError,
 };
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
 use crate::probe::Probe;
+use crate::scratch::EngineScratch;
 use crate::time::SimTime;
 use hcube::NodeId;
 use hypercast::collectives::ReductionSchedule;
@@ -161,6 +163,32 @@ pub fn simulate_multicast_with_faults(
 pub fn simulate_multicast(tree: &MulticastTree, params: &SimParams, bytes: u32) -> SimReport {
     let workload = multicast_workload(tree, bytes);
     let run = simulate(tree.cube, tree.resolution, params, &workload);
+    let deliveries = tree
+        .unicasts
+        .iter()
+        .zip(&run.messages)
+        .map(|(u, r)| (u.dst, r.delivered))
+        .collect();
+    SimReport::from_run(deliveries, &run)
+}
+
+/// [`simulate_multicast`] replayed through a reusable [`EngineScratch`]:
+/// the engine resets the scratch's event heap, message table, and
+/// channel state instead of reallocating them, and recurring
+/// `(src, dst)` pairs hit the scratch's route memo. The report is
+/// byte-identical to [`simulate_multicast`] — sweeps that evaluate
+/// thousands of trees per worker thread use this entry point with one
+/// scratch per worker.
+#[must_use]
+pub fn simulate_multicast_with_scratch(
+    tree: &MulticastTree,
+    params: &SimParams,
+    bytes: u32,
+    scratch: &mut EngineScratch,
+) -> SimReport {
+    let workload = multicast_workload(tree, bytes);
+    let router = hcube::Ecube::new(tree.cube, tree.resolution);
+    let run = simulate_on_with_scratch(router, params, &workload, scratch);
     let deliveries = tree
         .unicasts
         .iter()

@@ -16,6 +16,126 @@
 
 use hcube::{Dim, NodeId, Router, Topology};
 use hypercast::PortModel;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// FNV-1a, the memo table's hasher: deterministic, dependency-free, and
+/// far cheaper than the default SipHash for the memo's tiny fixed-size
+/// keys — the lookup happens once per workload message on the engine's
+/// hot path. (The memo is never iterated, so hash quality only affects
+/// bucket clustering, where FNV-1a on small integer keys does fine.)
+#[derive(Clone, Debug)]
+pub(crate) struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// A per-`(src, dst, port_model)` memo of computed routes, stored as
+/// ranges into one flat channel-index buffer.
+///
+/// The engine resolves every workload route through
+/// [`ChannelMap::route_into`]; recurring sessions (the tree-cache hit
+/// path of the open-loop traffic engine) therefore never recompute an
+/// E-cube or torus route. The memo carries a *stamp* — a fingerprint of
+/// the router type and value — and clears itself whenever it is used
+/// with a different router, so one memo can be reused across
+/// heterogeneous sweeps (cube sizes, torus backends) without leaking
+/// stale routes between them.
+///
+/// The memo is only ever *looked up* by key, never iterated, so the
+/// hash map's nondeterministic iteration order cannot perturb the
+/// simulation's determinism contract; the routes it returns are the
+/// same deterministic sequences [`ChannelMap::route`] computes fresh.
+#[derive(Debug, Default)]
+pub struct RouteMemo {
+    /// Fingerprint of the router the cached routes belong to.
+    stamp: Option<u64>,
+    /// `(src, dst, one_port) → (start, len)` into `channels`.
+    table: HashMap<(u32, u32, bool), (u32, u32), BuildHasherDefault<Fnv1a>>,
+    /// Flat storage of every memoized route, concatenated.
+    channels: Vec<usize>,
+    /// Scratch hop buffer for route computation on a miss.
+    hops: Vec<(NodeId, Dim)>,
+    /// Lookups served without recomputing a route.
+    hits: u64,
+    /// Lookups that had to compute (and store) a route.
+    misses: u64,
+}
+
+impl RouteMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> RouteMemo {
+        RouteMemo::default()
+    }
+
+    /// Number of memoized routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the memo holds no routes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Lookups served from the memo since construction (survives
+    /// stamp-triggered clears — it measures the memo's lifetime value).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that computed a fresh route since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The channel sequence of a memoized route range, as returned by
+    /// [`ChannelMap::route_into`].
+    #[inline]
+    #[must_use]
+    pub fn channels(&self, start: u32, len: u32) -> &[usize] {
+        &self.channels[start as usize..start as usize + len as usize]
+    }
+
+    /// The `hop`-th channel of the route range starting at `start`.
+    #[inline]
+    #[must_use]
+    pub(crate) fn channel_at(&self, start: u32, hop: usize) -> usize {
+        self.channels[start as usize + hop]
+    }
+
+    /// Drops every memoized route (the hit/miss counters survive).
+    pub fn clear(&mut self) {
+        self.stamp = None;
+        self.table.clear();
+        self.channels.clear();
+    }
+}
 
 /// Dense indexing for the external and virtual channels of a routed
 /// topology.
@@ -29,6 +149,11 @@ pub struct ChannelMap<R: Router> {
     topo: R::Topo,
     externals: usize,
     nodes: usize,
+    /// Fingerprint of the router (type and value), computed once here —
+    /// [`route_into`](Self::route_into) validates the memo against it on
+    /// every lookup, so it must not cost a hash of the type name each
+    /// time.
+    stamp: u64,
 }
 
 impl<R: Router> ChannelMap<R> {
@@ -36,11 +161,18 @@ impl<R: Router> ChannelMap<R> {
     #[must_use]
     pub fn new(router: R) -> ChannelMap<R> {
         let topo = router.topology();
+        let stamp = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::any::type_name::<R>().hash(&mut h);
+            router.hash(&mut h);
+            h.finish()
+        };
         ChannelMap {
             router,
             topo,
             externals: topo.channel_count(),
             nodes: topo.node_count(),
+            stamp,
         }
     }
 
@@ -177,6 +309,57 @@ impl<R: Router> ChannelMap<R> {
         }
         channels
     }
+
+    /// Fingerprint of this map's router (type and value), used to
+    /// validate a [`RouteMemo`] against the router it cached for.
+    /// Computed once at construction.
+    pub(crate) fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Memoized [`route`](Self::route): returns the `(start, len)`
+    /// range of the route's channel sequence inside `memo` (read it
+    /// back with [`RouteMemo::channels`]), computing and storing the
+    /// route only on the first lookup of each `(src, dst, port_model)`
+    /// key. A memo previously used with a *different* router is cleared
+    /// first, so reuse across sweeps is always safe.
+    #[must_use]
+    pub fn route_into(
+        &self,
+        port_model: PortModel,
+        src: NodeId,
+        dst: NodeId,
+        memo: &mut RouteMemo,
+    ) -> (u32, u32) {
+        let stamp = self.stamp();
+        if memo.stamp != Some(stamp) {
+            memo.clear();
+            memo.stamp = Some(stamp);
+        }
+        let key = (src.0, dst.0, port_model == PortModel::OnePort);
+        if let Some(&range) = memo.table.get(&key) {
+            memo.hits += 1;
+            return range;
+        }
+        memo.misses += 1;
+        let start = memo.channels.len();
+        if port_model == PortModel::OnePort {
+            memo.channels.push(self.injection(src));
+        }
+        let mut hops = std::mem::take(&mut memo.hops);
+        hops.clear();
+        self.router.route_hops(src, dst, &mut hops);
+        for &(v, p) in &hops {
+            memo.channels.push(self.external(v, p));
+        }
+        memo.hops = hops;
+        if port_model == PortModel::OnePort {
+            memo.channels.push(self.consumption(dst));
+        }
+        let range = (start as u32, (memo.channels.len() - start) as u32);
+        memo.table.insert(key, range);
+        range
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +438,60 @@ mod tests {
         let route = map.route(PortModel::OnePort, t.node_at(&[0, 0]), t.node_at(&[1, 0]));
         assert_eq!(route[0], map.injection(t.node_at(&[0, 0])));
         assert_eq!(*route.last().unwrap(), map.consumption(t.node_at(&[1, 0])));
+    }
+
+    #[test]
+    fn route_into_memoizes_and_matches_route() {
+        let map = cube_map(4);
+        let mut memo = RouteMemo::new();
+        for _ in 0..2 {
+            for pm in [PortModel::AllPort, PortModel::OnePort] {
+                for (s, d) in [(0b0101, 0b1110), (0, 0b1000)] {
+                    let (src, dst) = (NodeId(s), NodeId(d));
+                    let (start, len) = map.route_into(pm, src, dst, &mut memo);
+                    assert_eq!(
+                        memo.channels(start, len),
+                        map.route(pm, src, dst).as_slice(),
+                        "memoized route must equal the fresh computation"
+                    );
+                }
+            }
+        }
+        assert_eq!(memo.len(), 4, "2 pairs x 2 port models");
+        assert_eq!(memo.misses(), 4);
+        assert_eq!(memo.hits(), 4, "second pass must be all hits");
+    }
+
+    #[test]
+    fn route_memo_invalidates_when_the_router_changes() {
+        let mut memo = RouteMemo::new();
+        let m4 = cube_map(4);
+        let (s, l) = m4.route_into(PortModel::AllPort, NodeId(0), NodeId(7), &mut memo);
+        assert_eq!(memo.channels(s, l).len(), 3);
+        // A different router value (another cube size) must not serve
+        // the 4-cube's channel indices.
+        let m5 = cube_map(5);
+        let (s, l) = m5.route_into(PortModel::AllPort, NodeId(0), NodeId(7), &mut memo);
+        assert_eq!(
+            memo.channels(s, l),
+            m5.route(PortModel::AllPort, NodeId(0), NodeId(7))
+                .as_slice()
+        );
+        assert_eq!(memo.len(), 1, "stale 4-cube entries were dropped");
+        // A different router *type* over a same-hash value also restamps.
+        let t = Torus::of(4, 2);
+        let tmap = ChannelMap::new(TorusRouter::new(t));
+        let (s, l) = tmap.route_into(
+            PortModel::AllPort,
+            t.node_at(&[0, 0]),
+            t.node_at(&[2, 1]),
+            &mut memo,
+        );
+        assert_eq!(
+            memo.channels(s, l),
+            tmap.route(PortModel::AllPort, t.node_at(&[0, 0]), t.node_at(&[2, 1]))
+                .as_slice()
+        );
     }
 
     #[test]
