@@ -1,0 +1,68 @@
+//! Regenerates the fault-churn sweep: delivery degradation, retry
+//! distributions, and time-to-recover for all four tree algorithms on a
+//! 64-node 6-cube and a 256-node 8-cube (plus separate addressing on a
+//! 64-node 4-ary 3-cube torus) while an MTBF/MTTR process kills and
+//! revives links and nodes under open-loop load. Archives
+//! `results/chaos_sweep.{txt,json}`.
+//!
+//! Flags:
+//! * `--smoke` — the short CI configuration (same schema, less work);
+//! * `--sessions N` — override sessions per grid point;
+//! * `--seed S` — override the master seed;
+//! * `--workers W` — worker threads (default 4; byte-identical output
+//!   for any count);
+//! * `--check FILE` — no simulation: parse and schema-validate an
+//!   existing artifact with the first-party parser, exit non-zero on
+//!   violation.
+
+use workloads::chaossweep::{chaos_sweep_with_workers, ChaosSweep, ChaosSweepConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match ChaosSweep::from_json(&text) {
+            Ok(sweep) => {
+                println!(
+                    "{path}: valid chaos sweep ({} series, {} grid points)",
+                    sweep.series.len(),
+                    sweep.series.iter().map(|s| s.points.len()).sum::<usize>()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ChaosSweepConfig::smoke()
+    } else {
+        ChaosSweepConfig::full()
+    };
+    if let Some(n) = arg_value(&args, "--sessions").and_then(|v| v.parse().ok()) {
+        cfg.sessions = n;
+    }
+    if let Some(s) = arg_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let sweep = chaos_sweep_with_workers(&cfg, workers);
+    let table = sweep.to_table();
+    println!("{table}");
+    let dir = bench::results_dir();
+    std::fs::write(dir.join("chaos_sweep.txt"), &table).expect("write txt");
+    std::fs::write(dir.join("chaos_sweep.json"), sweep.to_json()).expect("write json");
+    eprintln!("[saved results/chaos_sweep.txt results/chaos_sweep.json]");
+}

@@ -21,8 +21,11 @@
 use hcube::{Cube, Dim, Ecube, NodeId, Resolution, Router, Topology, Torus, TorusRouter};
 use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
-use hypercast::{Algorithm, PortModel};
-use traffic::{ArrivalProcess, Arrivals, DestPattern, TrafficReport, TrafficSpec};
+use hypercast::{Algorithm, PortModel, RetryPolicy};
+use traffic::{
+    ArrivalProcess, Arrivals, ChaosReport, ChaosSpec, ChurnSpec, DestPattern, TrafficReport,
+    TrafficSpec,
+};
 use wormsim::network::ChannelMap;
 use wormsim::{
     simulate, simulate_observed_on, simulate_on, ChannelTrace, DepMessage, EventRecorder,
@@ -56,6 +59,9 @@ struct Args {
     load: Option<f64>,
     arrivals: ArrivalProcess,
     sessions: usize,
+    chaos: Option<(f64, f64)>,
+    retries: u32,
+    backoff_us: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
         load: None,
         arrivals: ArrivalProcess::Poisson,
         sessions: 100,
+        chaos: None,
+        retries: 3,
+        backoff_us: 500,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -180,6 +189,38 @@ fn parse_args() -> Result<Args, String> {
                 args.load = Some(rate);
             }
             "--arrivals" => args.arrivals = ArrivalProcess::parse(take(&mut i)?)?,
+            "--chaos" => {
+                let v = take(&mut i)?;
+                let (mtbf, mttr) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--chaos: expected MTBF:MTTR in ms, got {v}"))?;
+                let mtbf: f64 = mtbf
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--chaos mtbf: {e}"))?;
+                let mttr: f64 = mttr
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("--chaos mttr: {e}"))?;
+                if !(mtbf > 0.0 && mttr > 0.0) {
+                    return Err(format!("--chaos: MTBF and MTTR must be positive, got {v}"));
+                }
+                args.chaos = Some((mtbf, mttr));
+            }
+            "--retries" => {
+                args.retries = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--backoff" => {
+                let b: u64 = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--backoff: {e}"))?;
+                if b == 0 {
+                    return Err("--backoff must be >= 1 µs".into());
+                }
+                args.backoff_us = b;
+            }
             "--sessions" => {
                 args.sessions = take(&mut i)?
                     .parse()
@@ -197,6 +238,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20             [--trace-out FILE.json] [--metrics-out FILE.prom|FILE.json]\n\
                      \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
                      \x20             [--load R [--arrivals det|poisson|bursty[:B]] [--sessions N]]\n\
+                     \x20             [--chaos MTBF:MTTR [--retries N] [--backoff B]]\n\
                      \n\
                      flag summary:\n\
                      \x20 topology    --n DIM, --topology cube|torus, --arity K (torus radix)\n\
@@ -206,6 +248,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20 faults      --faults K, --fail-link V:D, --fail-node V\n\
                      \x20 open loop   --load R (sessions/ms), --arrivals det|poisson|bursty[:B],\n\
                      \x20             --sessions N\n\
+                     \x20 churn       --chaos MTBF:MTTR (per-link, ms), --retries N, --backoff B (µs)\n\
                      \n\
                      observability: --trace-out writes a Chrome/Perfetto trace of the run's\n\
                      exact channel holds and blocking episodes (open in ui.perfetto.dev);\n\
@@ -227,6 +270,17 @@ fn parse_args() -> Result<Args, String> {
                      report includes steady-state latency (batch-means 95% CI),\n\
                      completion ratio, throughput, and cache hit rate. Incompatible with\n\
                      fault and trace flags.\n\
+                     \n\
+                     fault churn: --chaos MTBF:MTTR (requires --load) runs the open-loop\n\
+                     traffic under a seed-deterministic failure/repair process: each link\n\
+                     fails with the given per-link MTBF and revives after ~MTTR ms (nodes\n\
+                     churn too, at 4x the link MTBF and 1.5x the MTTR); failures strike in\n\
+                     the first 60% of the window, then the network heals. Faulted sessions\n\
+                     retry up to --retries times (default 3) under exponential backoff\n\
+                     starting at --backoff µs (default 500, x4 per attempt); retries on the\n\
+                     cube rebuild their trees through hypercast::repair. The report adds\n\
+                     delivery ratio, goodput, the retry-attempt histogram, losses, and\n\
+                     time-to-recover.\n\
                      \n\
                      --topology torus simulates separate addressing on a K-ary n-cube with\n\
                      dateline virtual channels (tree algorithms and fault repair are\n\
@@ -499,6 +553,104 @@ fn print_traffic_report(label: &str, r: &TrafficReport, json: bool) {
     }
 }
 
+/// Wraps the open-loop spec with the `--chaos` churn process and the
+/// retry policy. Node churn rides along at 4x the link MTBF and 1.5x
+/// the link MTTR (the sweep's convention); failures strike only in the
+/// first 60% of the window so every run ends with a healed network.
+fn chaos_spec(args: &Args, traffic: TrafficSpec, mtbf_ms: f64, mttr_ms: f64) -> ChaosSpec {
+    let churn = ChurnSpec {
+        link_mtbf_ms: mtbf_ms,
+        link_mttr_ms: mttr_ms,
+        node_mtbf_ms: mtbf_ms * 4.0,
+        node_mttr_ms: mttr_ms * 1.5,
+        churn_until: SimTime::from_ns((traffic.horizon.as_ns() as f64 * 0.6) as u64),
+    };
+    ChaosSpec {
+        traffic,
+        churn,
+        retry: RetryPolicy {
+            max_retries: args.retries,
+            base_backoff: args.backoff_us,
+            backoff_factor: 4,
+        },
+    }
+}
+
+fn print_chaos_report(label: &str, r: &ChaosReport, json: bool) {
+    let hist: Vec<String> = r
+        .retry_histogram
+        .iter()
+        .enumerate()
+        .map(|(k, n)| format!("{}x{n}", k + 1))
+        .collect();
+    let recover = match r.time_to_recover {
+        Some(t) => format!("{t}"),
+        None => "-".into(),
+    };
+    println!(
+        "{label:>9}: {} sessions ({} measured), delivered {:.3}, goodput {:.3}/ms, \
+         latency {:.4} ms ±{:.4} (95% CI)",
+        r.sessions.len(),
+        r.measured_sessions,
+        r.delivery_ratio,
+        r.goodput_per_ms,
+        r.latency.mean,
+        r.latency.ci_half_width,
+    );
+    println!(
+        "{:>9}  churn: {} fault events over {} epochs, attempts [{}], \
+         lost {}, window-cut {}, recover {}",
+        "",
+        r.fault_events,
+        r.epochs,
+        hist.join(" "),
+        r.lost,
+        r.window_cut,
+        recover,
+    );
+    println!(
+        "{:>9}  net: {} (timed out {}), cache {}h/{}m/{}e/{}i",
+        "",
+        stats_line(&r.net),
+        r.net.timed_out,
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.evictions,
+        r.cache.invalidations,
+    );
+    if json {
+        let fin = |x: f64| {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                "null".into()
+            }
+        };
+        let hist: Vec<String> = r.retry_histogram.iter().map(u64::to_string).collect();
+        println!(
+            "{{\"mode\":\"chaos\",\"algo\":\"{label}\",\"offered_per_ms\":{},\
+             \"sessions\":{},\"measured\":{},\"delivery_ratio\":{},\
+             \"goodput_per_ms\":{},\"mean_latency_ms\":{},\"ci_half_width_ms\":{},\
+             \"retry_histogram\":[{}],\"lost\":{},\"window_cut\":{},\
+             \"time_to_recover_ms\":{},\"epochs\":{},\"fault_events\":{}}}",
+            r.offered_rate_per_ms,
+            r.sessions.len(),
+            r.measured_sessions,
+            r.delivery_ratio,
+            r.goodput_per_ms,
+            fin(r.latency.mean),
+            fin(r.latency.ci_half_width),
+            hist.join(","),
+            r.lost,
+            r.window_cut,
+            r.time_to_recover
+                .map_or("null".into(), |t| format!("{}", t.as_ms())),
+            r.epochs,
+            r.fault_events,
+        );
+    }
+}
+
 /// `--load R`: open-loop steady-state traffic instead of a single shot.
 fn run_traffic(args: &Args, rate: f64) {
     if args.faults > 0
@@ -535,8 +687,14 @@ fn run_traffic(args: &Args, rate: f64) {
                 rate,
                 args.bytes
             );
-            let r = traffic::run_separate_on(&spec, TorusRouter::new(torus), &params);
-            print_traffic_report("Separate", &r, args.json);
+            if let Some((mtbf, mttr)) = args.chaos {
+                let spec = chaos_spec(args, spec, mtbf, mttr);
+                let r = traffic::run_chaos_separate_on(&spec, TorusRouter::new(torus), &params);
+                print_chaos_report("Separate", &r, args.json);
+            } else {
+                let r = traffic::run_separate_on(&spec, TorusRouter::new(torus), &params);
+                print_traffic_report("Separate", &r, args.json);
+            }
         }
         TopologyKind::Cube => {
             let cube = match Cube::new(args.n) {
@@ -561,8 +719,15 @@ fn run_traffic(args: &Args, rate: f64) {
             let pattern = traffic_pattern(args, NodeId(args.source));
             for algo in algos {
                 let spec = traffic_spec(args, rate, pattern.clone());
-                let r = traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params);
-                print_traffic_report(algo.name(), &r, args.json);
+                if let Some((mtbf, mttr)) = args.chaos {
+                    let spec = chaos_spec(args, spec, mtbf, mttr);
+                    let r =
+                        traffic::run_chaos_cube(&spec, cube, Resolution::HighToLow, algo, &params);
+                    print_chaos_report(algo.name(), &r, args.json);
+                } else {
+                    let r = traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params);
+                    print_traffic_report(algo.name(), &r, args.json);
+                }
             }
         }
     }
@@ -579,6 +744,10 @@ fn main() {
     if let Some(rate) = args.load {
         run_traffic(&args, rate);
         return;
+    }
+    if args.chaos.is_some() {
+        eprintln!("error: --chaos requires --load (churn acts on open-loop traffic)");
+        std::process::exit(2);
     }
     if args.topology == TopologyKind::Torus {
         run_torus(&args);

@@ -21,6 +21,7 @@
 //! eviction.
 
 use crate::algorithms::Algorithm;
+use crate::repair::{repair, NetworkFaults};
 use crate::schedule::PortModel;
 use crate::tree::MulticastTree;
 use hcube::{Cube, HcubeError, NodeId, Resolution};
@@ -44,6 +45,14 @@ pub struct TreeKey {
     pub source: NodeId,
     /// Destination set, sorted ascending (canonical form).
     pub dests: Vec<NodeId>,
+    /// Fault epoch the tree was built under. Always 0 for pristine-cube
+    /// trees (they are fault-independent); the cache's current epoch for
+    /// trees routed around faults, so a stale repaired tree can never be
+    /// served after the topology changes.
+    pub epoch: u64,
+    /// Whether the tree went through [`repair`](crate::repair::repair)
+    /// against the epoch's fault state.
+    pub repaired: bool,
 }
 
 impl TreeKey {
@@ -68,11 +77,13 @@ impl TreeKey {
             port,
             source,
             dests,
+            epoch: 0,
+            repaired: false,
         }
     }
 }
 
-/// Hit/miss/eviction counters of a [`TreeCache`].
+/// Hit/miss/eviction/invalidation counters of a [`TreeCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -81,6 +92,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Repaired entries dropped because the fault epoch advanced (their
+    /// topology snapshot went stale); pristine entries are never
+    /// invalidated.
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -123,6 +138,8 @@ pub struct TreeCache {
     capacity: usize,
     /// Monotonic use-stamp; drives the LRU order.
     clock: u64,
+    /// Current fault epoch; repaired entries are keyed to it.
+    epoch: u64,
     map: HashMap<TreeKey, (u64, Arc<MulticastTree>)>,
     /// Reverse index stamp → key; the first entry is least recently used.
     lru: BTreeMap<u64, TreeKey>,
@@ -137,9 +154,35 @@ impl TreeCache {
         TreeCache {
             capacity,
             clock: 0,
+            epoch: 0,
             map: HashMap::new(),
             lru: BTreeMap::new(),
             stats: CacheStats::default(),
+        }
+    }
+
+    /// The fault epoch repaired entries are currently keyed to.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the cache to fault epoch `epoch`. If the epoch actually
+    /// changes, every *repaired* entry is dropped — its topology
+    /// snapshot is stale — and counted in
+    /// [`CacheStats::invalidations`]; pristine-cube entries survive
+    /// (they are fault-independent). A same-epoch call is a no-op.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        if epoch == self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        let stale: Vec<TreeKey> = self.map.keys().filter(|k| k.repaired).cloned().collect();
+        for key in stale {
+            if let Some((stamp, _)) = self.map.remove(&key) {
+                self.lru.remove(&stamp);
+                self.stats.invalidations += 1;
+            }
         }
     }
 
@@ -185,25 +228,77 @@ impl TreeCache {
         dests: &[NodeId],
     ) -> Result<Arc<MulticastTree>, HcubeError> {
         let key = TreeKey::new(algo, cube, resolution, port, source, dests);
-        if let Some((stamp, tree)) = self.map.get_mut(&key) {
-            self.stats.hits += 1;
-            // Refresh the LRU position.
-            self.lru.remove(stamp);
-            self.clock += 1;
-            *stamp = self.clock;
-            self.lru.insert(self.clock, key);
-            return Ok(Arc::clone(tree));
+        if let Some(tree) = self.lookup(&key) {
+            return Ok(tree);
         }
         self.stats.misses += 1;
         // Build from the canonical (sorted) destination set: construction
         // is order-insensitive, so this matches any listing order.
         let tree = Arc::new(algo.build(cube, resolution, port, source, &key.dests)?);
-        if self.capacity == 0 {
+        self.insert(key, &tree);
+        Ok(tree)
+    }
+
+    /// Like [`get_or_build`](TreeCache::get_or_build), but the returned
+    /// tree is routed around `faults` via [`repair`](crate::repair::repair):
+    /// destinations on dead nodes are pruned and paths crossing dead
+    /// channels rerouted. The entry is keyed to the cache's current
+    /// fault [`epoch`](TreeCache::epoch) (plus a `repaired` marker), so
+    /// repeated retries within one epoch hit while a later
+    /// [`set_epoch`](TreeCache::set_epoch) makes it unreachable.
+    ///
+    /// Unreachable or pruned destinations are *not* an error here — they
+    /// simply have no unicast in the returned tree; callers diff the
+    /// requested set against the tree's coverage (that is what the
+    /// traffic engine's retry layer does).
+    ///
+    /// # Errors
+    /// Exactly the errors of the underlying pristine
+    /// [`Algorithm::build`]; repair itself cannot fail.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_build_repaired(
+        &mut self,
+        algo: Algorithm,
+        cube: Cube,
+        resolution: Resolution,
+        port: PortModel,
+        source: NodeId,
+        dests: &[NodeId],
+        faults: &NetworkFaults,
+    ) -> Result<Arc<MulticastTree>, HcubeError> {
+        let mut key = TreeKey::new(algo, cube, resolution, port, source, dests);
+        key.epoch = self.epoch;
+        key.repaired = true;
+        if let Some(tree) = self.lookup(&key) {
             return Ok(tree);
         }
+        self.stats.misses += 1;
+        let pristine = algo.build(cube, resolution, port, source, &key.dests)?;
+        let tree = Arc::new(repair(&pristine, faults).tree);
+        self.insert(key, &tree);
+        Ok(tree)
+    }
+
+    /// Hit path: refreshes the LRU position and counts the hit.
+    fn lookup(&mut self, key: &TreeKey) -> Option<Arc<MulticastTree>> {
+        let (stamp, tree) = self.map.get_mut(key)?;
+        self.stats.hits += 1;
+        // Refresh the LRU position.
+        self.lru.remove(stamp);
         self.clock += 1;
-        self.map
-            .insert(key.clone(), (self.clock, Arc::clone(&tree)));
+        *stamp = self.clock;
+        self.lru.insert(self.clock, key.clone());
+        Some(Arc::clone(tree))
+    }
+
+    /// Miss path: caches the freshly built tree, evicting the LRU entry
+    /// if the capacity bound is exceeded.
+    fn insert(&mut self, key: TreeKey, tree: &Arc<MulticastTree>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.map.insert(key.clone(), (self.clock, Arc::clone(tree)));
         self.lru.insert(self.clock, key);
         if self.map.len() > self.capacity {
             // Evict the least recently used entry (smallest stamp).
@@ -214,7 +309,6 @@ impl TreeCache {
                 }
             }
         }
-        Ok(tree)
     }
 }
 
@@ -250,7 +344,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                invalidations: 0
             }
         );
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
@@ -317,9 +412,76 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 2,
-                evictions: 0
+                evictions: 0,
+                invalidations: 0
             }
         );
+    }
+
+    fn build_repaired(
+        cache: &mut TreeCache,
+        d: &[u32],
+        faults: &NetworkFaults,
+    ) -> Arc<MulticastTree> {
+        cache
+            .get_or_build_repaired(
+                Algorithm::WSort,
+                Cube::of(5),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                NodeId(0),
+                &dests(d),
+                faults,
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn repaired_entries_hit_within_an_epoch() {
+        let mut c = TreeCache::new(8);
+        let mut faults = NetworkFaults::new();
+        faults.fail_node(NodeId(5));
+        let a = build_repaired(&mut c, &[1, 5, 9], &faults);
+        let b = build_repaired(&mut c, &[9, 5, 1], &faults);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(c.stats().hits, 1);
+        // Destination 5 is dead, so the repaired tree dropped it.
+        assert!(a.unicasts.iter().all(|u| u.dst != NodeId(5)));
+    }
+
+    #[test]
+    fn repaired_and_pristine_entries_do_not_collide() {
+        let mut c = TreeCache::new(8);
+        let faults = NetworkFaults::new();
+        let plain = build_cached(&mut c, &[1, 5, 9]);
+        let repaired = build_repaired(&mut c, &[1, 5, 9], &faults);
+        assert_eq!(c.stats().misses, 2, "repaired key is distinct");
+        assert!(!Arc::ptr_eq(&plain, &repaired));
+        // With no faults, repair is the identity on structure.
+        assert_eq!(plain.unicasts, repaired.unicasts);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_only_repaired_entries() {
+        let mut c = TreeCache::new(8);
+        let mut faults = NetworkFaults::new();
+        faults.fail_node(NodeId(5));
+        build_cached(&mut c, &[1, 2]);
+        build_repaired(&mut c, &[1, 5, 9], &faults);
+        build_repaired(&mut c, &[3, 7], &faults);
+        assert_eq!(c.len(), 3);
+        c.set_epoch(1);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.len(), 1, "pristine entry survives");
+        assert_eq!(c.stats().invalidations, 2);
+        // Same-epoch call is a no-op.
+        c.set_epoch(1);
+        assert_eq!(c.stats().invalidations, 2);
+        // The pristine entry still hits; the repaired ones rebuild.
+        build_cached(&mut c, &[1, 2]);
+        assert_eq!(c.stats().hits, 1);
+        build_repaired(&mut c, &[3, 7], &faults);
+        assert_eq!(c.stats().misses, 4);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod verify;
 
 pub use algorithms::Algorithm;
 pub use cache::{CacheStats, TreeCache, TreeKey};
+pub use protocol::RetryPolicy;
 pub use repair::{NetworkFaults, RepairOutcome};
 pub use schedule::PortModel;
 pub use tree::{MulticastTree, Unicast};

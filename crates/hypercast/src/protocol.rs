@@ -197,7 +197,7 @@ pub(crate) fn local_split(algo: Algorithm, seg: &[NodeId], ns: u8) -> Vec<(Vec<N
 /// `base_backoff · backoff_factor^(i−1)` time units before the `i`-th
 /// retransmission, and gives up (falling back to relay rerouting) after
 /// `max_retries` retransmissions.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum retransmissions per message before rerouting.
     pub max_retries: u32,

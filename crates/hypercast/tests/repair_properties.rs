@@ -37,6 +37,37 @@ fn faulty_instance() -> impl Strategy<Value = (u8, u32, Vec<u32>, Vec<u32>, Vec<
     })
 }
 
+/// A *heavily* faulted instance: up to `3n` dead directed links and up
+/// to 4 dead nodes at once, plus an algorithm selector — the combined
+/// link+node churn an epoch of the traffic chaos layer can accumulate.
+#[allow(clippy::type_complexity)]
+fn heavy_combined_instance() -> impl Strategy<Value = (u8, u32, Vec<u32>, Vec<u32>, Vec<u32>, usize)>
+{
+    (4u8..=7).prop_flat_map(|n| {
+        let m = 1u32 << n;
+        let links = m * u32::from(n);
+        (
+            Just(n),
+            0..m,
+            prop::collection::btree_set(0..m, 1..=(m as usize - 1).min(24)),
+            prop::collection::btree_set(0..links, 4..=(3 * n as usize)),
+            prop::collection::btree_set(0..m, 1..=4),
+            0..4usize,
+        )
+            .prop_map(|(n, src, dset, lset, nset, algo)| {
+                let dests: Vec<u32> = dset.into_iter().filter(|&d| d != src).collect();
+                (
+                    n,
+                    src,
+                    dests,
+                    lset.into_iter().collect(),
+                    nset.into_iter().collect(),
+                    algo,
+                )
+            })
+    })
+}
+
 fn make_faults(n: u8, links: &[u32], nodes: &[u32]) -> NetworkFaults {
     let mut f = NetworkFaults::new();
     for &ix in links {
@@ -119,6 +150,68 @@ proptest! {
             ValidateOptions { port_model: PortModel::AllPort, forbid_relays: false },
         );
         prop_assert!(violations.is_empty(), "repair violates tree contract: {:?}", violations);
+    }
+
+    /// Under heavy combined link+node fault plans, every paper algorithm's
+    /// repaired tree partitions the destination set exactly: dead
+    /// destinations are dropped, and each live destination is delivered
+    /// clean of every fault or typed unreachable — never silently lost.
+    #[test]
+    fn heavy_combined_faults_partition_destinations_for_every_algorithm(
+        (n, src, dests, links, nodes, algo_ix) in heavy_combined_instance(),
+    ) {
+        prop_assume!(!dests.is_empty());
+        let algo = Algorithm::PAPER[algo_ix];
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        let tree = algo
+            .build(Cube::of(n), Resolution::HighToLow, PortModel::AllPort, NodeId(src), &dest_ids)
+            .unwrap();
+        let faults = make_faults(n, &links, &nodes);
+        let out = repair(&tree, &faults);
+
+        for u in &out.tree.unicasts {
+            prop_assert!(
+                path_is_clean(out.tree.resolution, u.src, u.dst, &faults),
+                "{}: unicast {} -> {} crosses a fault", algo.name(), u.src, u.dst
+            );
+        }
+        prop_assert!(broken_unicasts(&out.tree, &faults).is_empty());
+
+        let delivered: std::collections::HashSet<NodeId> =
+            out.tree.receivers().into_iter().collect();
+        for &d in &dest_ids {
+            let buckets = usize::from(faults.node_dead(d) && out.dropped.contains(&d))
+                + usize::from(delivered.contains(&d))
+                + usize::from(out.unreachable.contains(&d));
+            prop_assert_eq!(
+                buckets, 1,
+                "{}: destination {} must land in exactly one bucket \
+                 (dead-and-dropped / delivered / unreachable)", algo.name(), d
+            );
+        }
+    }
+
+    /// Repair is idempotent: repairing an already-repaired tree against
+    /// the same combined fault plan changes nothing — the chaos retry
+    /// path may rebuild through the cache any number of times within an
+    /// epoch without the tree drifting.
+    #[test]
+    fn repair_is_idempotent_under_combined_faults(
+        (n, src, dests, links, nodes, algo_ix) in heavy_combined_instance(),
+    ) {
+        prop_assume!(!dests.is_empty());
+        let algo = Algorithm::PAPER[algo_ix];
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        let tree = algo
+            .build(Cube::of(n), Resolution::HighToLow, PortModel::AllPort, NodeId(src), &dest_ids)
+            .unwrap();
+        let faults = make_faults(n, &links, &nodes);
+        let once = repair(&tree, &faults);
+        let twice = repair(&once.tree, &faults);
+        prop_assert_eq!(&twice.tree.unicasts, &once.tree.unicasts);
+        prop_assert!(twice.rerouted.is_empty(), "second repair rerouted again");
+        prop_assert!(twice.dropped.is_empty(), "second repair dropped again");
+        prop_assert_eq!(twice.extra_steps, 0);
     }
 
     /// Repair on a healthy network is the identity.

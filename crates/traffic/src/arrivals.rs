@@ -97,6 +97,17 @@ fn unit_open_closed<R: RngCore>(rng: &mut R) -> f64 {
     (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Draws one exponentially distributed gap with the given mean (in
+/// nanoseconds), truncated to whole nanoseconds — the shared sampling
+/// primitive of the Poisson arrival process and the fault-churn
+/// failure/repair streams. Built on [`det_ln`], so identical RNG states
+/// give identical gaps on every platform.
+#[must_use]
+pub fn exp_gap_ns<R: RngCore>(rng: &mut R, mean_ns: f64) -> u64 {
+    let u = unit_open_closed(rng);
+    (-mean_ns * det_ln(u)) as u64
+}
+
 /// The shape of the arrival point process (the rate is carried
 /// separately by [`Arrivals`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -200,10 +211,7 @@ impl Arrivals {
             if i > 0 {
                 let gap_ns: u64 = match self.process {
                     ArrivalProcess::Deterministic => mean_ns as u64,
-                    ArrivalProcess::Poisson => {
-                        let u = unit_open_closed(rng);
-                        (-mean_ns * det_ln(u)) as u64
-                    }
+                    ArrivalProcess::Poisson => exp_gap_ns(rng, mean_ns),
                     ArrivalProcess::Bursty { mean_burst } => {
                         if burst_left > 0 {
                             burst_left -= 1;

@@ -1,0 +1,268 @@
+//! Online fault churn: seed-deterministic failure/repair processes.
+//!
+//! A [`ChurnSpec`] describes links and nodes dying and reviving *while
+//! traffic flows*, as two independent MTBF/MTTR renewal processes (one
+//! for links, one for nodes). Each process is rendered into a plain
+//! [`FaultTimeline`] of timestamped events, which the chaos engine
+//! snapshots into epoch-numbered [`wormsim::FaultPlan`]s — churn is
+//! *data*, generated up front, never sampled mid-simulation.
+//!
+//! **Model.** With per-element MTBF `μ` and `k` elements, the merged
+//! failure stream is Poisson with constant rate `k/μ` (the superposition
+//! of `k` exponential clocks); each failure picks its victim uniformly
+//! among the elements currently *live* and schedules its repair an
+//! `Exp(MTTR)` gap later. Failures are only injected before
+//! [`ChurnSpec::churn_until`]; already-scheduled repairs complete
+//! naturally afterwards, so the network always heals once churn stops —
+//! the property that makes time-to-recover measurable.
+//!
+//! **Determinism.** Gaps are drawn through
+//! [`exp_gap_ns`](crate::arrivals::exp_gap_ns) (the same bit-exact
+//! exponential sampler as Poisson arrivals), victims by index into a
+//! sorted live-set, and the link and node streams use separate RNG
+//! streams derived from the run seed — so enabling churn never perturbs
+//! the traffic RNG stream, which is what keeps a quiet
+//! ([`ChurnSpec::is_quiet`]) chaos run byte-identical to the plain
+//! engine.
+
+use crate::arrivals::exp_gap_ns;
+use hcube::{Dim, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use wormsim::{FaultEvent, FaultEventKind, FaultTimeline, SimTime};
+
+/// Seed tweak of the link-churn RNG stream (`b"clnk"`).
+const LINK_STREAM: u64 = 0x636c_6e6b;
+/// Seed tweak of the node-churn RNG stream (`b"cnod"`).
+const NODE_STREAM: u64 = 0x636e_6f64;
+
+/// A failure/repair process over the measurement window. An MTBF of
+/// [`f64::INFINITY`] disables the corresponding stream entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Mean time between failures of one directed link, in ms.
+    pub link_mtbf_ms: f64,
+    /// Mean time to repair a failed link, in ms.
+    pub link_mttr_ms: f64,
+    /// Mean time between failures of one node, in ms.
+    pub node_mtbf_ms: f64,
+    /// Mean time to repair a failed node, in ms.
+    pub node_mttr_ms: f64,
+    /// Failures are only injected before this time; pending repairs
+    /// still complete afterwards (the network always heals).
+    pub churn_until: SimTime,
+}
+
+impl ChurnSpec {
+    /// No churn at all: both streams disabled.
+    #[must_use]
+    pub fn quiet() -> ChurnSpec {
+        ChurnSpec {
+            link_mtbf_ms: f64::INFINITY,
+            link_mttr_ms: 0.0,
+            node_mtbf_ms: f64::INFINITY,
+            node_mttr_ms: 0.0,
+            churn_until: SimTime::ZERO,
+        }
+    }
+
+    /// Whether both streams are disabled (the generated timeline is
+    /// empty and a chaos run degenerates to the plain engine).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.link_mtbf_ms.is_infinite() && self.node_mtbf_ms.is_infinite()
+    }
+
+    /// Renders the churn process on `topo` into a concrete event
+    /// timeline. Deterministic in `(spec, topology, seed)`; the RNG
+    /// streams are derived from `seed` but separate from (and
+    /// non-interfering with) the traffic engine's arrival/pattern
+    /// stream.
+    #[must_use]
+    pub fn timeline_on<T: Topology>(&self, topo: &T, seed: u64) -> FaultTimeline {
+        let mut events: Vec<FaultEvent> = Vec::new();
+        if self.link_mtbf_ms.is_finite() {
+            let links: Vec<(u32, u8)> = (0..topo.node_count() as u32)
+                .flat_map(|v| (0..topo.ports_per_node()).map(move |p| (v, p)))
+                .collect();
+            renewal_stream(
+                &mut StdRng::seed_from_u64(seed ^ LINK_STREAM),
+                &links,
+                self.link_mtbf_ms,
+                self.link_mttr_ms,
+                self.churn_until,
+                &mut events,
+                |&(v, p)| FaultEventKind::LinkDown(NodeId(v), Dim(p)),
+                |&(v, p)| FaultEventKind::LinkUp(NodeId(v), Dim(p)),
+            );
+        }
+        if self.node_mtbf_ms.is_finite() {
+            let nodes: Vec<u32> = (0..topo.node_count() as u32).collect();
+            renewal_stream(
+                &mut StdRng::seed_from_u64(seed ^ NODE_STREAM),
+                &nodes,
+                self.node_mtbf_ms,
+                self.node_mttr_ms,
+                self.churn_until,
+                &mut events,
+                |&v| FaultEventKind::NodeDown(NodeId(v)),
+                |&v| FaultEventKind::NodeUp(NodeId(v)),
+            );
+        }
+        FaultTimeline::new(events)
+    }
+}
+
+/// Generates one merged-Poisson failure/repair stream over `elements`,
+/// appending `down`/`up` events. Victims are drawn uniformly among the
+/// currently-live elements (a failure arriving while everything is down
+/// is skipped); each failure schedules its own `Exp(mttr)` repair.
+#[allow(clippy::too_many_arguments)]
+fn renewal_stream<E: Copy + Ord, R: RngCore>(
+    rng: &mut R,
+    elements: &[E],
+    mtbf_ms: f64,
+    mttr_ms: f64,
+    churn_until: SimTime,
+    events: &mut Vec<FaultEvent>,
+    down: impl Fn(&E) -> FaultEventKind,
+    up: impl Fn(&E) -> FaultEventKind,
+) {
+    assert!(
+        mtbf_ms > 0.0 && mttr_ms >= 0.0,
+        "MTBF must be positive and MTTR nonnegative"
+    );
+    if elements.is_empty() || churn_until == SimTime::ZERO {
+        return;
+    }
+    // Superposition of per-element exponential clocks: one merged
+    // Poisson stream at k/MTBF. The rate is held constant (not scaled by
+    // the momentarily-live count) — a second-order effect at realistic
+    // failure densities, and it keeps the stream a pure function of the
+    // RNG state.
+    let mean_gap_ns = mtbf_ms * 1.0e6 / elements.len() as f64;
+    let mean_repair_ns = mttr_ms * 1.0e6;
+    let mut live: BTreeSet<E> = elements.iter().copied().collect();
+    // Pending repairs, ordered by (time, element) for determinism.
+    let mut repairs: BTreeMap<(u64, E), ()> = BTreeMap::new();
+    let mut now: u64 = 0;
+    loop {
+        now += exp_gap_ns(rng, mean_gap_ns).max(1);
+        if SimTime::from_ns(now) >= churn_until {
+            break;
+        }
+        // Complete every repair due before this failure, so the victim
+        // draw sees the true live-set.
+        while let Some((&(t, e), ())) = repairs.iter().next() {
+            if t > now {
+                break;
+            }
+            repairs.remove(&(t, e));
+            events.push(FaultEvent {
+                at: SimTime::from_ns(t),
+                kind: up(&e),
+            });
+            live.insert(e);
+        }
+        if live.is_empty() {
+            continue; // everything is already down; the arrival is lost
+        }
+        let idx = rng.gen_range(0..live.len());
+        let victim = *live.iter().nth(idx).expect("index < len");
+        live.remove(&victim);
+        events.push(FaultEvent {
+            at: SimTime::from_ns(now),
+            kind: down(&victim),
+        });
+        let back = now + exp_gap_ns(rng, mean_repair_ns).max(1);
+        repairs.insert((back, victim), ());
+    }
+    // Churn stopped: let every scheduled repair complete.
+    for (&(t, e), ()) in &repairs {
+        events.push(FaultEvent {
+            at: SimTime::from_ns(t),
+            kind: up(&e),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcube::Cube;
+
+    fn churny() -> ChurnSpec {
+        ChurnSpec {
+            link_mtbf_ms: 50.0,
+            link_mttr_ms: 2.0,
+            node_mtbf_ms: 200.0,
+            node_mttr_ms: 3.0,
+            churn_until: SimTime::from_ms(20),
+        }
+    }
+
+    #[test]
+    fn quiet_spec_generates_no_events() {
+        let tl = ChurnSpec::quiet().timeline_on(&Cube::of(6), 42);
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn timeline_is_seed_deterministic() {
+        let spec = churny();
+        let a = spec.timeline_on(&Cube::of(6), 42);
+        let b = spec.timeline_on(&Cube::of(6), 42);
+        assert_eq!(a, b);
+        let c = spec.timeline_on(&Cube::of(6), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_failure_is_eventually_repaired() {
+        let tl = churny().timeline_on(&Cube::of(6), 7);
+        assert!(!tl.is_empty(), "this spec must actually produce churn");
+        let last = tl.epochs().pop().expect("at least one epoch");
+        assert!(
+            last.plan.is_empty(),
+            "final epoch must be fully healed, got {:?}",
+            last.plan
+        );
+    }
+
+    #[test]
+    fn failures_stop_at_churn_until() {
+        let spec = churny();
+        let tl = spec.timeline_on(&Cube::of(6), 7);
+        for e in tl.events() {
+            match e.kind {
+                FaultEventKind::LinkDown(..) | FaultEventKind::NodeDown(..) => {
+                    assert!(e.at < spec.churn_until, "failure at {} after cutoff", e.at);
+                }
+                FaultEventKind::LinkUp(..) | FaultEventKind::NodeUp(..) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn higher_churn_rate_means_more_failures() {
+        let mut calm = churny();
+        calm.link_mtbf_ms = 400.0;
+        calm.node_mtbf_ms = f64::INFINITY;
+        let mut wild = calm;
+        wild.link_mtbf_ms = 20.0;
+        let cube = Cube::of(6);
+        assert!(wild.timeline_on(&cube, 5).len() > calm.timeline_on(&cube, 5).len());
+    }
+
+    #[test]
+    fn link_only_churn_never_touches_nodes() {
+        let mut spec = churny();
+        spec.node_mtbf_ms = f64::INFINITY;
+        let tl = spec.timeline_on(&Cube::of(6), 11);
+        assert!(tl.events().iter().all(|e| matches!(
+            e.kind,
+            FaultEventKind::LinkDown(..) | FaultEventKind::LinkUp(..)
+        )));
+    }
+}

@@ -213,8 +213,9 @@ impl SessionWorkload {
 }
 
 /// Appends one session's tree unicasts to `workload` (deps offset to
-/// the session's base, `min_start` = arrival).
-fn push_tree_session(
+/// the session's base, `min_start` = arrival). Shared with the chaos
+/// engine, whose retry waves lay out the same per-session batches.
+pub(crate) fn push_tree_session(
     workload: &mut Vec<DepMessage>,
     tree: &hypercast::MulticastTree,
     bytes: u32,

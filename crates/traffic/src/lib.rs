@@ -25,7 +25,14 @@
 //!   [`wormsim::simulate_window_on`] so saturation cannot run away;
 //! * [`stats`] — steady-state output analysis: warmup truncation,
 //!   batch-means confidence intervals, throughput, and the
-//!   [`stats::saturation_point`] detector for latency-vs-load sweeps.
+//!   [`stats::saturation_point`] detector for latency-vs-load sweeps;
+//! * [`churn`] / [`chaos`] — online fault churn and self-healing
+//!   recovery: a seed-deterministic MTBF/MTTR failure/repair process
+//!   rendered into epoch-numbered fault plans, with faulted sessions
+//!   retried under exponential backoff through
+//!   [`hypercast::repair`](hypercast::repair::repair)-rebuilt trees,
+//!   surfacing delivery ratio, goodput, retry distributions, and
+//!   time-to-recover.
 //!
 //! **Zero-load anchoring.** A one-session run of a
 //! [`DestPattern::Fixed`] pattern is byte-identical to the single-shot
@@ -62,11 +69,19 @@
 #![warn(clippy::all)]
 
 pub mod arrivals;
+pub mod chaos;
+pub mod churn;
 pub mod engine;
 pub mod patterns;
 pub mod stats;
 
 pub use arrivals::{ArrivalProcess, Arrivals};
+pub use chaos::{
+    run_chaos_cube, run_chaos_cube_on_timeline, run_chaos_cube_with_scratch, run_chaos_separate_on,
+    run_chaos_separate_on_with_scratch, ChaosReport, ChaosSession, ChaosSpec, RetriesExhausted,
+    SessionFailure,
+};
+pub use churn::ChurnSpec;
 pub use engine::{
     assemble_cube_sessions, assemble_separate_sessions_on, run_cube, run_cube_with_scratch,
     run_separate_on, run_separate_on_with_scratch, run_sessions_on_with_scratch, SessionRecord,

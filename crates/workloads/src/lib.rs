@@ -12,6 +12,9 @@
 //!   parameter sensitivity, optimality gaps, contention rates;
 //! * [`faultsweep`] — fault-injection sweep: delivery ratio and makespan
 //!   vs dead links, with and without `hypercast::repair`;
+//! * [`chaossweep`] — online fault churn under open-loop load: delivery
+//!   degradation, retry distributions, and time-to-recover across a
+//!   churn × load grid;
 //! * [`torussweep`] — topology extension: separate-addressing delay on a
 //!   64-node hypercube vs a 64-node k-ary n-cube torus;
 //! * [`heatmap`] — measured per-dimension channel contention per
@@ -29,6 +32,7 @@
 #![warn(clippy::all)]
 
 pub mod ablations;
+pub mod chaossweep;
 pub mod destsets;
 pub mod faultsweep;
 pub mod figure;

@@ -16,7 +16,7 @@
 
 use crate::json::{self, Value};
 use hcube::{Cube, Resolution, Torus, TorusRouter};
-use hypercast::Algorithm;
+use hypercast::{Algorithm, CacheStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use traffic::{saturation_point, ArrivalProcess, Arrivals, DestPattern, LoadPoint, TrafficSpec};
@@ -89,6 +89,10 @@ pub struct SweepPoint {
     pub throughput_per_ms: f64,
     /// Tree-cache hit rate of the run (0 for separate addressing).
     pub cache_hit_rate: f64,
+    /// Full tree-cache counters of the run
+    /// (hits/misses/evictions/invalidations; all zero for separate
+    /// addressing).
+    pub cache: CacheStats,
 }
 
 /// One (network, algorithm) latency-vs-load curve.
@@ -118,7 +122,7 @@ pub struct TrafficSweep {
 }
 
 /// Stable FNV-1a seed derivation for one run of the sweep.
-fn run_seed(master: u64, network: &str, algorithm: &str, point: usize) -> u64 {
+pub(crate) fn run_seed(master: u64, network: &str, algorithm: &str, point: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master;
     let mut eat = |b: u8| {
         h ^= u64::from(b);
@@ -137,7 +141,7 @@ fn run_seed(master: u64, network: &str, algorithm: &str, point: usize) -> u64 {
 }
 
 /// Observation window sized to the arrival schedule plus drain slack.
-fn horizon_for(sessions: usize, rate_per_ms: f64) -> SimTime {
+pub(crate) fn horizon_for(sessions: usize, rate_per_ms: f64) -> SimTime {
     SimTime::from_ms((sessions as f64 / rate_per_ms * 1.25 + 30.0) as u64)
 }
 
@@ -216,6 +220,7 @@ pub fn traffic_sweep(cfg: &SweepConfig) -> TrafficSweep {
                         completion_ratio: r.completion_ratio,
                         throughput_per_ms: r.throughput_per_ms,
                         cache_hit_rate: r.cache.hit_rate(),
+                        cache: r.cache,
                     }
                 })
                 .collect();
@@ -259,6 +264,7 @@ pub fn traffic_sweep(cfg: &SweepConfig) -> TrafficSweep {
                 completion_ratio: r.completion_ratio,
                 throughput_per_ms: r.throughput_per_ms,
                 cache_hit_rate: r.cache.hit_rate(),
+                cache: r.cache,
             }
         })
         .collect();
@@ -364,6 +370,22 @@ impl TrafficSweep {
                                             (
                                                 "cache_hit_rate".into(),
                                                 Value::Number(p.cache_hit_rate),
+                                            ),
+                                            (
+                                                "cache_hits".into(),
+                                                Value::Number(p.cache.hits as f64),
+                                            ),
+                                            (
+                                                "cache_misses".into(),
+                                                Value::Number(p.cache.misses as f64),
+                                            ),
+                                            (
+                                                "cache_evictions".into(),
+                                                Value::Number(p.cache.evictions as f64),
+                                            ),
+                                            (
+                                                "cache_invalidations".into(),
+                                                Value::Number(p.cache.invalidations as f64),
                                             ),
                                         ])
                                     })
@@ -475,6 +497,12 @@ impl TrafficSweep {
                         completion_ratio: get_num(p, "completion_ratio")?,
                         throughput_per_ms: get_num(p, "throughput_per_ms")?,
                         cache_hit_rate: get_num(p, "cache_hit_rate")?,
+                        cache: CacheStats {
+                            hits: get_num(p, "cache_hits")? as u64,
+                            misses: get_num(p, "cache_misses")? as u64,
+                            evictions: get_num(p, "cache_evictions")? as u64,
+                            invalidations: get_num(p, "cache_invalidations")? as u64,
+                        },
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?;
@@ -508,16 +536,22 @@ impl TrafficSweep {
                 "== {} ({} nodes), {}  [m = {}] ==\n",
                 s.network, s.nodes, s.algorithm, s.m
             ));
-            out.push_str("  load/ms   latency ms   ±95% CI   complete   thru/ms   cache hit\n");
+            out.push_str(
+                "  load/ms   latency ms   ±95% CI   complete   thru/ms   cache hit   hit/miss/evict/inv\n",
+            );
             for p in &s.points {
                 out.push_str(&format!(
-                    "  {:>7.2}   {:>10.4}   {:>7.4}   {:>8.3}   {:>7.3}   {:>9.3}\n",
+                    "  {:>7.2}   {:>10.4}   {:>7.4}   {:>8.3}   {:>7.3}   {:>9.3}   {}/{}/{}/{}\n",
                     p.offered_per_ms,
                     p.mean_latency_ms,
                     p.ci_half_width_ms,
                     p.completion_ratio,
                     p.throughput_per_ms,
                     p.cache_hit_rate,
+                    p.cache.hits,
+                    p.cache.misses,
+                    p.cache.evictions,
+                    p.cache.invalidations,
                 ));
             }
             match s.saturation_per_ms {
@@ -585,6 +619,11 @@ mod tests {
                     s.network,
                     s.algorithm
                 );
+                assert!(p.cache.hits > 0);
+                // The pool fits (capacity = 2x groups) and nothing
+                // invalidates trees in a churn-free sweep.
+                assert_eq!(p.cache.evictions, 0);
+                assert_eq!(p.cache.invalidations, 0);
             }
         }
         // Separate addressing builds no trees.
@@ -593,7 +632,10 @@ mod tests {
             .iter()
             .find(|s| s.network == "torus4x3")
             .unwrap();
-        assert!(torus.points.iter().all(|p| p.cache_hit_rate == 0.0));
+        assert!(torus
+            .points
+            .iter()
+            .all(|p| p.cache_hit_rate == 0.0 && p.cache == CacheStats::default()));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use hcube::{Cube, NodeId, Resolution, Torus, TorusRouter};
 use hypercast::{Algorithm, PortModel};
+use workloads::chaossweep::{chaos_sweep, chaos_sweep_with_workers, ChaosSweep, ChaosSweepConfig};
 use workloads::sweep::{run_matrix_with_workers, MatrixResult};
 use workloads::trafficsweep::{traffic_sweep, SweepConfig, TrafficSweep};
 use wormsim::{simulate, simulate_on, DepMessage, RunResult, SimParams, SimTime};
@@ -298,5 +299,162 @@ fn committed_traffic_sweep_artifact_regenerates_byte_identically() {
         TRAFFIC_SWEEP_GOLDEN.trim_end_matches('\n'),
         "results/traffic_sweep.json diverged from regeneration — rerun \
          `cargo run -p bench --release --bin traffic_sweep` and commit"
+    );
+}
+
+/// The committed chaos-sweep artifact, validated with the first-party
+/// parser — the same check `chaos_sweep --check` runs in CI.
+const CHAOS_SWEEP_GOLDEN: &str = include_str!("../../../results/chaos_sweep.json");
+
+/// The committed `results/chaos_sweep.json` must parse under the
+/// schema, carry the full configuration, and satisfy the robustness
+/// acceptance properties: the churn-free rung of every series delivers
+/// 1.0, churny rungs degrade smoothly (never to zero), every disrupted
+/// run recovers in finite time, and the cube series exercise the
+/// epoch-keyed tree cache (hits plus repaired-entry invalidations).
+#[test]
+fn committed_chaos_sweep_artifact_is_valid_and_complete() {
+    let sweep = ChaosSweep::from_json(CHAOS_SWEEP_GOLDEN)
+        .expect("committed chaos_sweep.json violates its own schema");
+    assert_eq!(
+        sweep.config,
+        ChaosSweepConfig::full(),
+        "committed artifact was not produced by ChaosSweepConfig::full()"
+    );
+    assert_eq!(sweep.series.len(), 9, "2 cubes x 4 algorithms + 1 torus");
+    let rungs = sweep.config.link_mtbf_ladder_ms.len();
+    for s in &sweep.series {
+        let loads = if s.network == "cube8" {
+            &sweep.config.loads_256
+        } else {
+            &sweep.config.loads_64
+        };
+        assert_eq!(
+            s.points.len(),
+            rungs * loads.len(),
+            "{} {}: incomplete churn x load grid",
+            s.network,
+            s.algorithm
+        );
+        for p in &s.points {
+            if p.link_mtbf_ms.is_finite() {
+                assert!(
+                    p.fault_events > 0 && p.epochs > 1,
+                    "{} {}: churny rung must actually churn",
+                    s.network,
+                    s.algorithm
+                );
+                assert!(
+                    p.delivery_ratio > 0.5,
+                    "{} {}: delivery must degrade smoothly, not cliff (got {})",
+                    s.network,
+                    s.algorithm,
+                    p.delivery_ratio
+                );
+                assert!(
+                    p.time_to_recover_ms.is_some(),
+                    "{} {}: churny rung must report a recovery time",
+                    s.network,
+                    s.algorithm
+                );
+            } else {
+                assert_eq!(
+                    p.delivery_ratio, 1.0,
+                    "{} {}: churn-free anchor must deliver everything",
+                    s.network, s.algorithm
+                );
+                assert_eq!(p.lost, 0);
+                assert_eq!(p.time_to_recover_ms, None);
+            }
+        }
+        // The harshest rung disrupts more sessions than the calmest
+        // churny rung: sum of retried-or-lost across its load points.
+        let disrupted = |mtbf: f64| -> u64 {
+            s.points
+                .iter()
+                .filter(|p| p.link_mtbf_ms == mtbf)
+                .map(|p| p.retry_histogram.iter().skip(1).sum::<u64>() + p.lost)
+                .sum()
+        };
+        let finite: Vec<f64> = sweep
+            .config
+            .link_mtbf_ladder_ms
+            .iter()
+            .copied()
+            .filter(|m| m.is_finite())
+            .collect();
+        let calmest = finite.iter().cloned().fold(f64::MIN, f64::max);
+        let harshest = finite.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            disrupted(harshest) >= disrupted(calmest),
+            "{} {}: disruption must not decrease as MTBF shrinks",
+            s.network,
+            s.algorithm
+        );
+        if s.network.starts_with("cube") {
+            assert!(
+                s.points.iter().all(|p| p.cache.hits > 0),
+                "{} {}: recurring pool traffic must hit the tree cache",
+                s.network,
+                s.algorithm
+            );
+            assert!(
+                s.points
+                    .iter()
+                    .any(|p| p.cache.invalidations > 0 || p.retry_histogram.len() == 1),
+                "{} {}: repaired trees must be invalidated at epoch turns",
+                s.network,
+                s.algorithm
+            );
+        }
+    }
+    // Serialization is canonical: re-emitting the parsed artifact must
+    // reproduce the committed bytes exactly.
+    assert_eq!(
+        sweep.to_json(),
+        CHAOS_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "to_json is not canonical for the committed artifact"
+    );
+}
+
+/// Chaos grid points are independent seeded runs, so the worker pool
+/// must not leak state between them: the 1-worker and multi-worker
+/// sweeps must serialize byte-identically (each worker reuses one
+/// `EngineScratch` across whatever subset of the grid it drains).
+#[test]
+fn chaos_sweep_is_independent_of_worker_count() {
+    let cfg = ChaosSweepConfig {
+        sessions: 10,
+        pool_groups: 3,
+        bytes: 512,
+        seed: 29,
+        loads_64: vec![2.0],
+        loads_256: vec![4.0],
+        link_mtbf_ladder_ms: vec![f64::INFINITY, 400.0],
+        ..ChaosSweepConfig::full()
+    };
+    let serial = chaos_sweep(&cfg);
+    for workers in [2, 7] {
+        assert_eq!(
+            chaos_sweep_with_workers(&cfg, workers).to_json(),
+            serial.to_json(),
+            "chaos sweep output changed at {workers} workers"
+        );
+    }
+}
+
+/// Full-artifact byte-reproducibility: regenerating the chaos sweep
+/// with the committed configuration reproduces
+/// `results/chaos_sweep.json` exactly. Expensive, so ignored by
+/// default; CI runs it in release via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full sweep regeneration; run in release builds"]
+fn committed_chaos_sweep_artifact_regenerates_byte_identically() {
+    let regenerated = chaos_sweep_with_workers(&ChaosSweepConfig::full(), 4);
+    assert_eq!(
+        regenerated.to_json(),
+        CHAOS_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "results/chaos_sweep.json diverged from regeneration — rerun \
+         `cargo run -p bench --release --bin chaos_sweep` and commit"
     );
 }

@@ -35,6 +35,35 @@ pub struct NetStats {
 }
 
 impl NetStats {
+    /// Folds another run's statistics into this one: counters and busy
+    /// times sum, `makespan` and `max_queue_depth` take the maximum,
+    /// and the per-dimension vectors merge elementwise (adopting the
+    /// other run's shape if this one is still empty). This is how the
+    /// chaos engine aggregates the per-epoch waves of one measurement
+    /// window into a single report.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.blocked_time += other.blocked_time;
+        self.blocks += other.blocks;
+        self.port_wait_time += other.port_wait_time;
+        self.port_waits += other.port_waits;
+        self.makespan = self.makespan.max(other.makespan);
+        self.failed += other.failed;
+        self.timed_out += other.timed_out;
+        if self.dim_busy.len() < other.dim_busy.len() {
+            self.dim_busy.resize(other.dim_busy.len(), SimTime::ZERO);
+        }
+        for (mine, theirs) in self.dim_busy.iter_mut().zip(&other.dim_busy) {
+            *mine += *theirs;
+        }
+        if self.dim_channels.len() < other.dim_channels.len() {
+            self.dim_channels.resize(other.dim_channels.len(), 0);
+        }
+        for (mine, theirs) in self.dim_channels.iter_mut().zip(&other.dim_channels) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+    }
+
     /// Mean utilization of the external channels of each coordinate
     /// dimension: held time divided by `makespan · channels`, in
     /// dimension order. Empty if the run had zero makespan.
@@ -169,7 +198,15 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    /// `SimError` is a leaf in every error chain: each variant fully
+    /// describes its own failure, so there is never an underlying
+    /// source. Layers that wrap a simulation failure (e.g. the traffic
+    /// crate's retry exhaustion) chain *to* a `SimError`, not from it.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        None
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -188,6 +225,53 @@ mod tests {
         assert!((u[0] - 0.25).abs() < 1e-12);
         assert!((u[1] - 0.5).abs() < 1e-12);
         assert_eq!(u[2], 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_extrema() {
+        let mut a = NetStats {
+            blocked_time: SimTime::from_ns(10),
+            blocks: 2,
+            port_wait_time: SimTime::from_ns(5),
+            port_waits: 1,
+            makespan: SimTime::from_ns(100),
+            failed: 1,
+            timed_out: 0,
+            dim_busy: vec![SimTime::from_ns(4)],
+            dim_channels: vec![2],
+            max_queue_depth: 3,
+        };
+        let b = NetStats {
+            blocked_time: SimTime::from_ns(7),
+            blocks: 3,
+            port_wait_time: SimTime::from_ns(2),
+            port_waits: 4,
+            makespan: SimTime::from_ns(60),
+            failed: 0,
+            timed_out: 2,
+            dim_busy: vec![SimTime::from_ns(1), SimTime::from_ns(9)],
+            dim_channels: vec![2, 8],
+            max_queue_depth: 5,
+        };
+        a.absorb(&b);
+        assert_eq!(a.blocked_time, SimTime::from_ns(17));
+        assert_eq!(a.blocks, 5);
+        assert_eq!(a.port_wait_time, SimTime::from_ns(7));
+        assert_eq!(a.port_waits, 5);
+        assert_eq!(a.makespan, SimTime::from_ns(100));
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.timed_out, 2);
+        assert_eq!(a.dim_busy, vec![SimTime::from_ns(5), SimTime::from_ns(9)]);
+        assert_eq!(a.dim_channels, vec![2, 8]);
+        assert_eq!(a.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn sim_error_is_an_error_leaf() {
+        let e = SimError::SelfSend { index: 3 };
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_none());
+        assert!(dyn_err.to_string().contains("message 3"));
     }
 
     #[test]

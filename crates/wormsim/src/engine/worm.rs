@@ -32,6 +32,20 @@ pub enum FaultCause {
     DependencyFailed,
 }
 
+impl core::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultCause::DeadEndpoint => write!(f, "source or destination node is dead"),
+            FaultCause::DeadChannel => write!(f, "header reached a dead channel"),
+            FaultCause::DependencyFailed => {
+                write!(f, "a dependency failed or timed out")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultCause {}
+
 /// Per-message terminal state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Outcome {

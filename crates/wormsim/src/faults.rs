@@ -131,6 +131,22 @@ impl FaultPlan {
         self
     }
 
+    /// Repairs the directed channel leaving `from` in `dim` (the inverse
+    /// of [`fail_link`](FaultPlan::fail_link)); a no-op if the link was
+    /// not dead. This is how a [`FaultTimeline`] advances a plan across
+    /// repair events.
+    pub fn revive_link(&mut self, from: NodeId, dim: Dim) -> &mut Self {
+        self.dead_links.remove(&(from.0, dim.0));
+        self
+    }
+
+    /// Brings node `v` back up (the inverse of
+    /// [`fail_node`](FaultPlan::fail_node)); a no-op if it was not dead.
+    pub fn revive_node(&mut self, v: NodeId) -> &mut Self {
+        self.dead_nodes.remove(&v.0);
+        self
+    }
+
     /// Makes the channel leaving `from` in `dim` refuse acquisition
     /// during `[from_t, until_t)`. Windows may overlap; later lookups
     /// resolve chains.
@@ -333,6 +349,172 @@ impl FaultPlan {
     }
 }
 
+// ----------------------------------------------------------------------
+// Fault timelines: churn as data.
+// ----------------------------------------------------------------------
+
+/// What a single timestamped churn event does to the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultEventKind {
+    /// The directed channel leaving the node in the dimension dies.
+    LinkDown(NodeId, Dim),
+    /// The directed channel leaving the node in the dimension is
+    /// repaired.
+    LinkUp(NodeId, Dim),
+    /// The node goes down entirely.
+    NodeDown(NodeId),
+    /// The node comes back up.
+    NodeUp(NodeId),
+}
+
+/// One timestamped failure or repair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    /// Absolute simulated time the event takes effect.
+    pub at: SimTime,
+    /// What changes.
+    pub kind: FaultEventKind,
+}
+
+/// One epoch of a [`FaultTimeline`]: a maximal interval over which the
+/// fault state is constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEpoch {
+    /// Epoch number, counting from 0 (the state before the first event
+    /// after time zero).
+    pub index: u64,
+    /// Start of the epoch (inclusive); epoch 0 starts at
+    /// [`SimTime::ZERO`].
+    pub start: SimTime,
+    /// The cumulative fault state in force throughout the epoch.
+    pub plan: FaultPlan,
+}
+
+/// A piecewise-constant fault process: a sorted sequence of failure and
+/// repair events, snapshotted into epoch-numbered [`FaultPlan`]s.
+///
+/// This is the *online* counterpart of a static plan: link/node churn
+/// (MTBF/MTTR arrival streams, scripted outages, …) is first rendered
+/// into plain timestamped events, and the timeline then answers "what
+/// does the network look like at time *t*" deterministically. Sessions
+/// launched inside epoch *e* run under epoch *e*'s plan for their whole
+/// lifetime — the epoch-isolation approximation the open-loop chaos
+/// engine documents.
+///
+/// Events at identical timestamps apply in `FaultEventKind` order
+/// (down before up, links before nodes) — the ordering is part of the
+/// determinism contract.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// Builds a timeline from events in any order; they are sorted by
+    /// `(time, kind)` so equal inputs give equal timelines.
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultTimeline {
+        events.sort_unstable();
+        FaultTimeline { events }
+    }
+
+    /// A timeline with no events: one healthy epoch covering all time.
+    #[must_use]
+    pub fn quiet() -> FaultTimeline {
+        FaultTimeline::default()
+    }
+
+    /// Whether the timeline carries no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The sorted events.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Time of the last event — after it the network state is final
+    /// (recovery measurements are anchored here). `None` when empty.
+    #[must_use]
+    pub fn last_event(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Snapshots the timeline into epochs: epoch 0 starts at time zero
+    /// (events stamped exactly zero are folded into it), and every later
+    /// distinct event timestamp starts the next epoch. Each epoch's plan
+    /// is the cumulative fault state — failures applied, repairs erased.
+    #[must_use]
+    pub fn epochs(&self) -> Vec<FaultEpoch> {
+        let mut out: Vec<FaultEpoch> = Vec::new();
+        let mut plan = FaultPlan::none();
+        let mut i = 0usize;
+        // Events at t = 0 belong to epoch 0.
+        while i < self.events.len() && self.events[i].at == SimTime::ZERO {
+            apply(&mut plan, self.events[i].kind);
+            i += 1;
+        }
+        out.push(FaultEpoch {
+            index: 0,
+            start: SimTime::ZERO,
+            plan: plan.clone(),
+        });
+        while i < self.events.len() {
+            let at = self.events[i].at;
+            while i < self.events.len() && self.events[i].at == at {
+                apply(&mut plan, self.events[i].kind);
+                i += 1;
+            }
+            out.push(FaultEpoch {
+                index: out.len() as u64,
+                start: at,
+                plan: plan.clone(),
+            });
+        }
+        out
+    }
+
+    /// The cumulative fault state in force at time `t` (the plan of the
+    /// epoch containing `t`).
+    #[must_use]
+    pub fn plan_at(&self, t: SimTime) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            apply(&mut plan, e.kind);
+        }
+        plan
+    }
+}
+
+fn apply(plan: &mut FaultPlan, kind: FaultEventKind) {
+    match kind {
+        FaultEventKind::LinkDown(v, d) => {
+            plan.fail_link(v, d);
+        }
+        FaultEventKind::LinkUp(v, d) => {
+            plan.revive_link(v, d);
+        }
+        FaultEventKind::NodeDown(v) => {
+            plan.fail_node(v);
+        }
+        FaultEventKind::NodeUp(v) => {
+            plan.revive_node(v);
+        }
+    }
+}
+
 /// Bridge to `hypercast`'s tree-repair machinery: the structural
 /// (time-independent) faults of a plan — dead links and dead nodes — as
 /// a [`hypercast::repair::NetworkFaults`]. Transient stalls, stuck
@@ -487,5 +669,81 @@ mod tests {
         assert!(p
             .dead_links()
             .all(|(v, port)| { (v.0 as usize) < 16 && port.0 < Topology::ports_per_node(&t) }));
+    }
+
+    #[test]
+    fn quiet_timeline_is_one_healthy_epoch() {
+        let tl = FaultTimeline::quiet();
+        assert!(tl.is_empty());
+        assert_eq!(tl.len(), 0);
+        assert_eq!(tl.last_event(), None);
+        let epochs = tl.epochs();
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].index, 0);
+        assert_eq!(epochs[0].start, SimTime::ZERO);
+        assert!(epochs[0].plan.is_empty());
+    }
+
+    #[test]
+    fn epochs_accumulate_failures_and_erase_repairs() {
+        let tl = FaultTimeline::new(vec![
+            FaultEvent {
+                at: SimTime::from_ns(300),
+                kind: FaultEventKind::LinkUp(NodeId(1), Dim(1)),
+            },
+            FaultEvent {
+                at: SimTime::from_ns(100),
+                kind: FaultEventKind::LinkDown(NodeId(1), Dim(1)),
+            },
+            FaultEvent {
+                at: SimTime::from_ns(200),
+                kind: FaultEventKind::NodeDown(NodeId(5)),
+            },
+        ]);
+        assert_eq!(tl.last_event(), Some(SimTime::from_ns(300)));
+        let epochs = tl.epochs();
+        assert_eq!(epochs.len(), 4);
+        assert!(epochs[0].plan.is_empty());
+        assert!(epochs[1].plan.channel_dead(NodeId(1), Dim(1)));
+        assert!(!epochs[1].plan.node_dead(NodeId(5)));
+        assert!(epochs[2].plan.channel_dead(NodeId(1), Dim(1)));
+        assert!(epochs[2].plan.node_dead(NodeId(5)));
+        assert!(!epochs[3].plan.channel_dead(NodeId(1), Dim(1)));
+        assert!(epochs[3].plan.node_dead(NodeId(5)));
+        assert_eq!(epochs[3].start, SimTime::from_ns(300));
+        assert_eq!(epochs[3].index, 3);
+        // plan_at agrees with the epoch containing the query time.
+        assert_eq!(tl.plan_at(SimTime::from_ns(150)), epochs[1].plan);
+        assert_eq!(tl.plan_at(SimTime::from_ns(200)), epochs[2].plan);
+        assert_eq!(tl.plan_at(SimTime::from_ns(1000)), epochs[3].plan);
+    }
+
+    #[test]
+    fn time_zero_events_fold_into_epoch_zero() {
+        let tl = FaultTimeline::new(vec![
+            FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultEventKind::NodeDown(NodeId(3)),
+            },
+            FaultEvent {
+                at: SimTime::from_ns(50),
+                kind: FaultEventKind::NodeUp(NodeId(3)),
+            },
+        ]);
+        let epochs = tl.epochs();
+        assert_eq!(epochs.len(), 2);
+        assert!(epochs[0].plan.node_dead(NodeId(3)));
+        assert!(!epochs[1].plan.node_dead(NodeId(3)));
+    }
+
+    #[test]
+    fn revive_ops_invert_failures() {
+        let mut plan = FaultPlan::none();
+        plan.fail_link(NodeId(0), Dim(1)).fail_node(NodeId(2));
+        plan.revive_link(NodeId(0), Dim(1)).revive_node(NodeId(2));
+        assert!(plan.is_empty());
+        // Reviving something never failed is a no-op.
+        plan.revive_link(NodeId(9), Dim(0)).revive_node(NodeId(9));
+        assert!(plan.is_empty());
     }
 }

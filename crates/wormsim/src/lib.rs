@@ -62,7 +62,7 @@ pub use engine::{
     try_simulate, try_simulate_observed_on, try_simulate_on, try_simulate_on_with_scratch,
     DepMessage, FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
 };
-pub use faults::FaultPlan;
+pub use faults::{FaultEpoch, FaultEvent, FaultEventKind, FaultPlan, FaultTimeline};
 pub use flit::{simulate_flits, simulate_flits_on, FlitMessage, FlitResult};
 pub use metrics::{Histogram, Metrics, MetricsRegistry};
 pub use multicast::{
