@@ -1,0 +1,64 @@
+//! Regenerates the virtual-lane ladder: contention (blocks, blocked
+//! time, per-lane utilization) of naive multicast trees vs lanes per
+//! physical link, replayed on four 64-node networks — E-cube on the
+//! 6-cube, dimension-ordered routing on a 4-ary×3-ary torus, and
+//! west-first minimal-adaptive plus deterministic XY on an 8×8 mesh —
+//! for all four paper tree algorithms. Archives
+//! `results/lane_sweep.{txt,json}`.
+//!
+//! Flags:
+//! * `--smoke` — the short CI configuration (same schema, less work);
+//! * `--trials N` — override destination draws per cell;
+//! * `--seed S` — override the master seed;
+//! * `--check FILE` — no simulation: parse and schema-validate an
+//!   existing artifact with the first-party parser, exit non-zero on
+//!   violation.
+
+use workloads::lanesweep::{lane_sweep, LaneSweep, LaneSweepConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match LaneSweep::from_json(&text) {
+            Ok(sweep) => {
+                println!(
+                    "{path}: valid lane sweep ({} series, {} lane points)",
+                    sweep.series.len(),
+                    sweep.series.iter().map(|s| s.points.len()).sum::<usize>()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        LaneSweepConfig::smoke()
+    } else {
+        LaneSweepConfig::full()
+    };
+    if let Some(n) = arg_value(&args, "--trials").and_then(|v| v.parse().ok()) {
+        cfg.trials = n;
+    }
+    if let Some(s) = arg_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+
+    let sweep = lane_sweep(&cfg);
+    let table = sweep.to_table();
+    println!("{table}");
+    let dir = bench::results_dir();
+    std::fs::write(dir.join("lane_sweep.txt"), &table).expect("write txt");
+    std::fs::write(dir.join("lane_sweep.json"), sweep.to_json()).expect("write json");
+    eprintln!("[saved results/lane_sweep.txt results/lane_sweep.json]");
+}

@@ -16,9 +16,16 @@
 //! algorithms are hypercube-specific, so the torus path simulates
 //! separate addressing (one dimension-ordered unicast per destination)
 //! on the dateline-VC router and reports the same delay/utilization
-//! summary.
+//! summary. `--topology mesh --width W --height H` does the same on a
+//! 2D mesh, where `--router ecube|adaptive` picks deterministic XY or
+//! the west-first minimal-adaptive router. `--lanes N` runs any backend
+//! with N virtual lanes per physical link (the torus needs an even N —
+//! its lanes come in dateline pairs).
 
-use hcube::{Cube, Dim, Ecube, NodeId, Resolution, Router, Topology, Torus, TorusRouter};
+use hcube::{
+    Cube, Dim, Ecube, Mesh, MeshXY, MinimalAdaptive, NodeId, Resolution, Router, Topology, Torus,
+    TorusRouter,
+};
 use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
 use hypercast::{Algorithm, PortModel, RetryPolicy};
@@ -28,20 +35,33 @@ use traffic::{
 };
 use wormsim::network::ChannelMap;
 use wormsim::{
-    simulate, simulate_observed_on, simulate_on, ChannelTrace, DepMessage, EventRecorder,
-    FaultPlan, Metrics, NetStats, SimParams, SimTime, Tee,
+    simulate_observed_on, simulate_on, ChannelTrace, DepMessage, EventRecorder, FaultPlan, Metrics,
+    NetStats, SimParams, SimTime, Tee,
 };
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum TopologyKind {
     Cube,
     Torus,
+    Mesh,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RouterKind {
+    /// Deterministic dimension-ordered routing (E-cube / XY).
+    Ecube,
+    /// West-first minimal-adaptive routing (mesh only).
+    Adaptive,
 }
 
 struct Args {
     n: u8,
     topology: TopologyKind,
     arity: u16,
+    width: u16,
+    height: u16,
+    router: RouterKind,
+    lanes: Option<u8>,
     algo: Option<Algorithm>,
     port: PortModel,
     source: u32,
@@ -69,6 +89,10 @@ fn parse_args() -> Result<Args, String> {
         n: 6,
         topology: TopologyKind::Cube,
         arity: 4,
+        width: 4,
+        height: 4,
+        router: RouterKind::Ecube,
+        lanes: None,
         algo: None,
         port: PortModel::AllPort,
         source: 0,
@@ -105,10 +129,31 @@ fn parse_args() -> Result<Args, String> {
                 args.topology = match take(&mut i)? {
                     "cube" | "hypercube" => TopologyKind::Cube,
                     "torus" => TopologyKind::Torus,
+                    "mesh" => TopologyKind::Mesh,
                     other => return Err(format!("unknown topology {other}")),
                 }
             }
             "--arity" => args.arity = take(&mut i)?.parse().map_err(|e| format!("--arity: {e}"))?,
+            "--width" => args.width = take(&mut i)?.parse().map_err(|e| format!("--width: {e}"))?,
+            "--height" => {
+                args.height = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--height: {e}"))?
+            }
+            "--router" => {
+                args.router = match take(&mut i)? {
+                    "ecube" | "xy" | "deterministic" => RouterKind::Ecube,
+                    "adaptive" | "west-first" => RouterKind::Adaptive,
+                    other => return Err(format!("unknown router {other}")),
+                }
+            }
+            "--lanes" => {
+                let l: u8 = take(&mut i)?.parse().map_err(|e| format!("--lanes: {e}"))?;
+                if l == 0 {
+                    return Err("--lanes must be >= 1".into());
+                }
+                args.lanes = Some(l);
+            }
             "--algo" => {
                 let v = take(&mut i)?.to_lowercase();
                 args.algo = Some(match v.as_str() {
@@ -231,7 +276,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: mcast --n <dim> [--topology cube|torus] [--arity K]\n\
+                    "usage: mcast --n <dim> [--topology cube|torus|mesh] [--arity K]\n\
+                     \x20             [--width W --height H] [--router ecube|adaptive] [--lanes N]\n\
                      \x20             [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
                      \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
                      \x20             [--bytes B] [--trace] [--json]\n\
@@ -241,7 +287,10 @@ fn parse_args() -> Result<Args, String> {
                      \x20             [--chaos MTBF:MTTR [--retries N] [--backoff B]]\n\
                      \n\
                      flag summary:\n\
-                     \x20 topology    --n DIM, --topology cube|torus, --arity K (torus radix)\n\
+                     \x20 topology    --n DIM, --topology cube|torus|mesh, --arity K (torus radix),\n\
+                     \x20             --width W --height H (mesh shape)\n\
+                     \x20 routing     --router ecube|adaptive (adaptive = west-first, mesh only),\n\
+                     \x20             --lanes N (virtual lanes per link; torus needs an even N)\n\
                      \x20 multicast   --algo ..., --port one|all, --source A,\n\
                      \x20             --dests a,b,c | --random M, --seed S, --bytes B\n\
                      \x20 output      --json, --trace, --trace-out FILE, --metrics-out FILE\n\
@@ -283,8 +332,12 @@ fn parse_args() -> Result<Args, String> {
                      time-to-recover.\n\
                      \n\
                      --topology torus simulates separate addressing on a K-ary n-cube with\n\
-                     dateline virtual channels (tree algorithms and fault repair are\n\
-                     hypercube-specific)."
+                     dateline virtual channels; --topology mesh does the same on a WxH mesh\n\
+                     under XY (--router ecube) or west-first minimal-adaptive routing\n\
+                     (--router adaptive). Tree algorithms and fault repair are\n\
+                     hypercube-specific. --lanes N threads every backend's physical links\n\
+                     with N virtual lanes; the JSON report then carries per-lane\n\
+                     utilization."
                 );
                 std::process::exit(0);
             }
@@ -366,30 +419,17 @@ fn write_artifact(path: &str, contents: &str, flag: &str) {
     }
 }
 
-/// Separate-addressing multicast on the k-ary n-cube torus backend.
-fn run_torus(args: &Args) {
-    if args.faults > 0 || !args.fail_links.is_empty() || !args.fail_nodes.is_empty() {
-        eprintln!("error: fault injection/repair flags are hypercube-only");
-        std::process::exit(2);
-    }
-    let torus = match Torus::new(args.arity, args.n) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
+/// Validates the source and assembles the destination set for a
+/// separate-addressing backend (torus or mesh).
+fn separate_dests<T: Topology>(args: &Args, topo: &T, what: &str) -> Vec<NodeId> {
     let source = NodeId(args.source);
-    if !torus.contains(source) {
-        eprintln!(
-            "error: --source {} outside the {}-ary {}-cube",
-            args.source, args.arity, args.n
-        );
+    if !topo.contains(source) {
+        eprintln!("error: --source {} outside the {what}", args.source);
         std::process::exit(2);
     }
     let dests: Vec<NodeId> = if let Some(m) = args.random {
         let mut rng = workloads::destsets::trial_rng("mcast-cli", 0, args.seed as usize);
-        workloads::destsets::random_dests_on(&mut rng, &torus, source, m)
+        workloads::destsets::random_dests_on(&mut rng, topo, source, m)
     } else if args.dests.is_empty() {
         eprintln!("error: provide --dests or --random (try --help)");
         std::process::exit(2);
@@ -397,14 +437,21 @@ fn run_torus(args: &Args) {
         args.dests.iter().copied().map(NodeId).collect()
     };
     for &d in &dests {
-        if !torus.contains(d) || d == source {
-            eprintln!("error: destination {} invalid for this torus", d.0);
+        if !topo.contains(d) || d == source {
+            eprintln!("error: destination {} invalid for this {what}", d.0);
             std::process::exit(2);
         }
     }
+    dests
+}
 
+/// Simulates one-unicast-per-destination separate addressing on `router`
+/// and prints the shared summary, JSON (with lane accounting), trace,
+/// and observability artifacts. `json_head` carries the topology-shaped
+/// JSON prefix (`"topology":...` fields, no trailing comma).
+fn run_separate<R: Router + Copy>(router: R, args: &Args, dests: &[NodeId], json_head: &str) {
     let params = SimParams::ncube2(args.port);
-    let router = TorusRouter::new(torus);
+    let source = NodeId(args.source);
     let workload: Vec<DepMessage> = dests
         .iter()
         .map(|&dst| DepMessage {
@@ -424,15 +471,6 @@ fn run_torus(args: &Args) {
             / run.messages.len() as u64,
     );
     println!(
-        "{}-ary {}-cube torus | {} | source {} | {} destinations | {} bytes\n",
-        args.arity,
-        args.n,
-        args.port.label(),
-        torus.node_label(source),
-        dests.len(),
-        args.bytes
-    );
-    println!(
         " separate: {} messages, sim avg {} max {} (blocks {})",
         run.messages.len(),
         avg,
@@ -447,18 +485,25 @@ fn run_torus(args: &Args) {
             .iter()
             .map(|u| format!("{u:.6}"))
             .collect();
+        let lane_util: Vec<String> = run
+            .stats
+            .lane_utilization()
+            .iter()
+            .map(|u| format!("{u:.6}"))
+            .collect();
         println!(
-            "{{\"topology\":\"torus\",\"arity\":{},\"n\":{},\"dests\":{},\"bytes\":{},\
+            "{{{json_head},\"dests\":{},\"bytes\":{},\
              \"avg_delay_ns\":{},\"makespan_ns\":{},\"blocks\":{},\
-             \"dim_utilization\":[{}],\"max_queue_depth\":{}}}",
-            args.arity,
-            args.n,
+             \"dim_utilization\":[{}],\"lanes\":{},\"lane_utilization\":[{}],\
+             \"max_queue_depth\":{}}}",
             dests.len(),
             args.bytes,
             avg.as_ns(),
             run.stats.makespan.as_ns(),
             run.stats.blocks,
             util.join(","),
+            run.stats.lane_busy.len(),
+            lane_util.join(","),
             run.stats.max_queue_depth
         );
     }
@@ -479,6 +524,99 @@ fn run_torus(args: &Args) {
             args.trace_out.as_deref(),
             args.metrics_out.as_deref(),
         );
+    }
+}
+
+/// Separate-addressing multicast on the k-ary n-cube torus backend.
+fn run_torus(args: &Args) {
+    if args.faults > 0 || !args.fail_links.is_empty() || !args.fail_nodes.is_empty() {
+        eprintln!("error: fault injection/repair flags are hypercube-only");
+        std::process::exit(2);
+    }
+    if args.router == RouterKind::Adaptive {
+        eprintln!("error: --router adaptive is mesh-only (the torus routes dimension-ordered)");
+        std::process::exit(2);
+    }
+    let torus = match Torus::new(args.arity, args.n) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let router = match args.lanes {
+        None => TorusRouter::new(torus),
+        Some(l) if l >= 2 && l % 2 == 0 => TorusRouter::with_lane_multiplier(torus, l / 2),
+        Some(l) => {
+            eprintln!("error: --lanes {l}: torus lanes come in dateline pairs (use an even N)");
+            std::process::exit(2);
+        }
+    };
+    let dests = separate_dests(args, &torus, &format!("{}-ary {}-cube", args.arity, args.n));
+    println!(
+        "{}-ary {}-cube torus | {} | source {} | {} destinations | {} bytes\n",
+        args.arity,
+        args.n,
+        args.port.label(),
+        torus.node_label(NodeId(args.source)),
+        dests.len(),
+        args.bytes
+    );
+    let json_head = format!(
+        "\"topology\":\"torus\",\"arity\":{},\"n\":{}",
+        args.arity, args.n
+    );
+    run_separate(router, args, &dests, &json_head);
+}
+
+/// Separate-addressing multicast on the 2D mesh backend, under XY or
+/// west-first minimal-adaptive routing.
+fn run_mesh(args: &Args) {
+    if args.faults > 0 || !args.fail_links.is_empty() || !args.fail_nodes.is_empty() {
+        eprintln!("error: fault injection/repair flags are hypercube-only");
+        std::process::exit(2);
+    }
+    let mesh = match Mesh::new(args.width, args.height) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let lanes = args.lanes.unwrap_or(1);
+    let dests = separate_dests(args, &mesh, &format!("{}x{} mesh", args.width, args.height));
+    let router_name = match args.router {
+        RouterKind::Ecube => "xy",
+        RouterKind::Adaptive => "west-first adaptive",
+    };
+    println!(
+        "{}x{} mesh | {router_name} | {} | source {} | {} destinations | {} bytes\n",
+        args.width,
+        args.height,
+        args.port.label(),
+        mesh.node_label(NodeId(args.source)),
+        dests.len(),
+        args.bytes
+    );
+    let json_head = format!(
+        "\"topology\":\"mesh\",\"width\":{},\"height\":{},\"router\":\"{}\"",
+        args.width,
+        args.height,
+        match args.router {
+            RouterKind::Ecube => "ecube",
+            RouterKind::Adaptive => "adaptive",
+        }
+    );
+    match args.router {
+        RouterKind::Ecube => {
+            run_separate(MeshXY::with_lanes(mesh, lanes), args, &dests, &json_head)
+        }
+        RouterKind::Adaptive => run_separate(
+            MinimalAdaptive::with_lanes(mesh, lanes),
+            args,
+            &dests,
+            &json_head,
+        ),
     }
 }
 
@@ -667,8 +805,16 @@ fn run_traffic(args: &Args, rate: f64) {
         eprintln!("error: provide --dests or --random (try --help)");
         std::process::exit(2);
     }
+    if args.lanes.is_some() {
+        eprintln!("error: --lanes applies to single-shot runs (drop --load)");
+        std::process::exit(2);
+    }
     let params = SimParams::ncube2(args.port);
     match args.topology {
+        TopologyKind::Mesh => {
+            eprintln!("error: --load supports cube and torus backends");
+            std::process::exit(2);
+        }
         TopologyKind::Torus => {
             let torus = match Torus::new(args.arity, args.n) {
                 Ok(t) => t,
@@ -753,6 +899,14 @@ fn main() {
         run_torus(&args);
         return;
     }
+    if args.topology == TopologyKind::Mesh {
+        run_mesh(&args);
+        return;
+    }
+    if args.router == RouterKind::Adaptive {
+        eprintln!("error: --router adaptive is mesh-only (the cube routes E-cube)");
+        std::process::exit(2);
+    }
     let cube = match Cube::new(args.n) {
         Ok(c) => c,
         Err(e) => {
@@ -820,7 +974,8 @@ fn main() {
             }
         };
         let witnesses = contention_witnesses(&tree);
-        let report = wormsim::simulate_multicast(&tree, &params, args.bytes);
+        let lanes = args.lanes.unwrap_or(1);
+        let report = wormsim::simulate_multicast_lanes(&tree, &params, args.bytes, lanes);
         println!(
             "{:>9}: {} steps, {} messages, def-4 witnesses {}, sim avg {} max {} (blocks {})",
             algo.name(),
@@ -870,14 +1025,22 @@ fn main() {
                 .iter()
                 .map(|u| format!("{u:.6}"))
                 .collect();
+            let lane_util: Vec<String> = report
+                .stats
+                .lane_utilization()
+                .iter()
+                .map(|u| format!("{u:.6}"))
+                .collect();
             println!(
                 "{{\"algo\":\"{}\",\"avg_delay_ns\":{},\"max_delay_ns\":{},\"blocks\":{},\
-                 \"dim_utilization\":[{}],\"max_queue_depth\":{}}}",
+                 \"dim_utilization\":[{}],\"lanes\":{lanes},\"lane_utilization\":[{}],\
+                 \"max_queue_depth\":{}}}",
                 algo.name(),
                 report.avg_delay.as_ns(),
                 report.max_delay.as_ns(),
                 report.blocks,
                 util.join(","),
+                lane_util.join(","),
                 report.stats.max_queue_depth
             );
         }
@@ -900,14 +1063,9 @@ fn main() {
                         min_start: SimTime::ZERO,
                     })
                     .collect();
-                let run = simulate(cube, Resolution::HighToLow, &params, &workload);
-                let trace = ChannelTrace::reconstruct(
-                    cube,
-                    Resolution::HighToLow,
-                    &params,
-                    &workload,
-                    &run,
-                );
+                let router = Ecube::with_lanes(cube, Resolution::HighToLow, lanes);
+                let run = simulate_on(router, &params, &workload);
+                let trace = ChannelTrace::reconstruct_on(router, &params, &workload, &run);
                 println!("{}", trace.render_timeline(64));
                 println!(
                     "external-channel utilization: {:.1}% across {} channels",
@@ -919,7 +1077,7 @@ fn main() {
         if args.trace_out.is_some() || args.metrics_out.is_some() {
             let workload = wormsim::multicast_workload(&tree, args.bytes);
             write_observability(
-                Ecube::new(cube, Resolution::HighToLow),
+                Ecube::with_lanes(cube, Resolution::HighToLow, lanes),
                 &params,
                 &workload,
                 args.trace_out.as_deref(),

@@ -41,6 +41,14 @@ pub enum HcubeError {
         /// The rejected dimensionality.
         n: u8,
     },
+    /// The requested mesh parameters are unsupported (`w < 2`, `h = 0`,
+    /// or more than [`crate::mesh::MAX_MESH_NODES`] nodes).
+    BadMesh {
+        /// The rejected width.
+        w: u16,
+        /// The rejected height.
+        h: u16,
+    },
 }
 
 impl fmt::Display for HcubeError {
@@ -72,6 +80,12 @@ impl fmt::Display for HcubeError {
                 write!(
                     f,
                     "unsupported torus parameters: {k}-ary {n}-cube (need k >= 2, n >= 1, at most 2^24 nodes)"
+                )
+            }
+            HcubeError::BadMesh { w, h } => {
+                write!(
+                    f,
+                    "unsupported mesh parameters: {w}x{h} (need w >= 2, h >= 1, at most 2^24 nodes)"
                 )
             }
         }

@@ -48,6 +48,7 @@ pub mod chain;
 pub mod cube;
 pub mod disjoint;
 pub mod error;
+pub mod mesh;
 pub mod path;
 pub mod routing;
 pub mod sampling;
@@ -58,8 +59,9 @@ pub mod torus;
 pub use addr::{delta_high, delta_low, Dim, NodeId};
 pub use cube::{Cube, MAX_DIMENSION};
 pub use error::HcubeError;
+pub use mesh::{Mesh, MeshXY, MinimalAdaptive};
 pub use path::{Channel, Path};
 pub use routing::Resolution;
 pub use subcube::Subcube;
-pub use topology::{Ecube, Router, Topology};
+pub use topology::{Ecube, Hop, Router, Topology};
 pub use torus::{Torus, TorusRouter};

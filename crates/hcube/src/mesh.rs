@@ -1,0 +1,527 @@
+//! The 2D mesh backend: the NoC scenario for the multi-lane channel
+//! layer.
+//!
+//! A [`Mesh`] is a `W × H` grid without wraparound — the canonical
+//! network-on-chip topology of the multicast-NoC literature (PAPERS.md).
+//! Each node has four link ports (`x+`, `x−`, `y+`, `y−`); boundary
+//! ports exist as dense index slots but loop back to their own node and
+//! are never routed over, keeping the `(node, port)` ↔ channel-index
+//! bijection uniform.
+//!
+//! Two routers are provided:
+//!
+//! * [`MeshXY`] — deterministic dimension-ordered XY routing (all `x`
+//!   hops, then all `y` hops). Deadlock-free by the classic argument:
+//!   the only turns are `x → y`, so ranking links `(x-links by
+//!   position, then y-links by position)` ascends along every route.
+//! * [`MinimalAdaptive`] — a west-first turn-model router (Glass & Ni).
+//!   Worms take all `x−` hops first; the remaining `x+`/`y` hops are
+//!   interleaved in a deterministic per-pair order (an FNV mix of the
+//!   `(src, dst)` addresses), spreading minimal "staircase" paths
+//!   across the fabric. Every lane of a link is interchangeable (a
+//!   single lane class), so a blocked worm may grab **any** free lane
+//!   of its next link; lane 0 doubles as the always-present escape lane
+//!   in the Duato sense — the network is deadlock-free even restricted
+//!   to a single lane, because west-first forbids exactly the turns
+//!   (`y± → x−`) that could close a dependency cycle. See DESIGN.md
+//!   §14 for the full argument; `hcube/tests/mesh_properties.rs` checks
+//!   the turn discipline and the acyclicity of the channel-dependency
+//!   graph exhaustively on small meshes.
+
+use crate::addr::{Dim, NodeId};
+use crate::error::HcubeError;
+use crate::topology::{Hop, Router, Topology};
+
+/// A `W × H` 2D mesh (no wraparound). Node `(x, y)` has address
+/// `y·W + x`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Mesh {
+    w: u16,
+    h: u16,
+}
+
+/// Largest supported node count, matching the torus cap.
+pub const MAX_MESH_NODES: usize = 1 << 24;
+
+/// Port indices: `x+ = 0`, `x− = 1`, `y+ = 2`, `y− = 3` (dimension is
+/// `port >> 1`, matching the torus direction encoding).
+const PORT_XP: u8 = 0;
+const PORT_XM: u8 = 1;
+const PORT_YP: u8 = 2;
+const PORT_YM: u8 = 3;
+
+impl Mesh {
+    /// Creates a `w × h` mesh.
+    ///
+    /// # Errors
+    /// [`HcubeError::BadMesh`] unless `w ≥ 2`, `h ≥ 1`, and
+    /// `w·h ≤ MAX_MESH_NODES`.
+    pub fn new(w: u16, h: u16) -> Result<Mesh, HcubeError> {
+        if w < 2 || h == 0 || (w as usize) * (h as usize) > MAX_MESH_NODES {
+            return Err(HcubeError::BadMesh { w, h });
+        }
+        Ok(Mesh { w, h })
+    }
+
+    /// Creates a `w × h` mesh, panicking on invalid parameters.
+    ///
+    /// # Panics
+    /// If [`Mesh::new`] would error.
+    #[must_use]
+    pub fn of(w: u16, h: u16) -> Mesh {
+        Mesh::new(w, h).expect("valid mesh parameters")
+    }
+
+    /// The width `W` (nodes per row).
+    #[inline]
+    #[must_use]
+    pub fn width(self) -> u16 {
+        self.w
+    }
+
+    /// The height `H` (nodes per column).
+    #[inline]
+    #[must_use]
+    pub fn height(self) -> u16 {
+        self.h
+    }
+
+    /// The `x` coordinate of node `v`.
+    #[inline]
+    #[must_use]
+    pub fn x(self, v: NodeId) -> u16 {
+        (v.0 % u32::from(self.w)) as u16
+    }
+
+    /// The `y` coordinate of node `v`.
+    #[inline]
+    #[must_use]
+    pub fn y(self, v: NodeId) -> u16 {
+        (v.0 / u32::from(self.w)) as u16
+    }
+
+    /// The node at `(x, y)`.
+    ///
+    /// # Panics
+    /// If the coordinates are out of range.
+    #[must_use]
+    pub fn node_at(self, x: u16, y: u16) -> NodeId {
+        assert!(x < self.w && y < self.h, "mesh coordinate out of range");
+        NodeId(u32::from(y) * u32::from(self.w) + u32::from(x))
+    }
+
+    /// The minimal (Manhattan) distance between two nodes.
+    #[must_use]
+    pub fn distance(self, u: NodeId, v: NodeId) -> u32 {
+        let dx = (i32::from(self.x(u)) - i32::from(self.x(v))).unsigned_abs();
+        let dy = (i32::from(self.y(u)) - i32::from(self.y(v))).unsigned_abs();
+        dx + dy
+    }
+
+    /// Iterates over all node addresses.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..Topology::node_count(&self) as u32).map(NodeId)
+    }
+}
+
+impl Topology for Mesh {
+    fn kind(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn node_count(&self) -> usize {
+        self.w as usize * self.h as usize
+    }
+
+    fn dimensions(&self) -> u8 {
+        2
+    }
+
+    fn ports_per_node(&self) -> u8 {
+        4
+    }
+
+    fn channel_index(&self, from: NodeId, port: Dim) -> usize {
+        debug_assert!(Topology::contains(self, from));
+        debug_assert!(port.0 < 4);
+        from.0 as usize * 4 + port.0 as usize
+    }
+
+    fn channel_coords(&self, ch: usize) -> (NodeId, Dim) {
+        (NodeId((ch / 4) as u32), Dim((ch % 4) as u8))
+    }
+
+    fn port_dim(&self, port: Dim) -> u8 {
+        port.0 >> 1
+    }
+
+    fn neighbor(&self, from: NodeId, port: Dim) -> NodeId {
+        let (x, y) = (self.x(from), self.y(from));
+        match port.0 {
+            PORT_XP if x + 1 < self.w => self.node_at(x + 1, y),
+            PORT_XM if x > 0 => self.node_at(x - 1, y),
+            PORT_YP if y + 1 < self.h => self.node_at(x, y + 1),
+            PORT_YM if y > 0 => self.node_at(x, y - 1),
+            // Boundary ports are dense index slots that loop back;
+            // routers never traverse them.
+            _ => from,
+        }
+    }
+
+    fn node_label(&self, v: NodeId) -> String {
+        format!("{},{}", self.x(v), self.y(v))
+    }
+
+    fn channel_label(&self, ch: usize) -> String {
+        let (from, port) = Topology::channel_coords(self, ch);
+        format!("{}--{}→", self.node_label(from), port_name(port))
+    }
+
+    fn lane_label(&self, ch: usize, lane: u8) -> String {
+        let (from, port) = Topology::channel_coords(self, ch);
+        format!("{}--{}v{}→", self.node_label(from), port_name(port), lane)
+    }
+
+    fn dim_label(&self, d: u8) -> String {
+        if d == 0 {
+            "x".into()
+        } else {
+            "y".into()
+        }
+    }
+}
+
+fn port_name(port: Dim) -> &'static str {
+    match port.0 {
+        PORT_XP => "x+",
+        PORT_XM => "x-",
+        PORT_YP => "y+",
+        _ => "y-",
+    }
+}
+
+/// Deterministic dimension-ordered XY routing on the mesh: all `x`
+/// hops, then all `y` hops. Deadlock-free with a single lane; extra
+/// lanes (one interchangeable class) only add buffering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MeshXY {
+    /// The mesh routed on.
+    pub mesh: Mesh,
+    lanes: u8,
+}
+
+impl MeshXY {
+    /// An XY router on `mesh` with a single lane per link.
+    #[must_use]
+    pub fn new(mesh: Mesh) -> MeshXY {
+        MeshXY::with_lanes(mesh, 1)
+    }
+
+    /// An XY router with `lanes` interchangeable lanes per link.
+    ///
+    /// # Panics
+    /// If `lanes == 0`.
+    #[must_use]
+    pub fn with_lanes(mesh: Mesh, lanes: u8) -> MeshXY {
+        assert!(lanes >= 1, "a router needs at least one lane");
+        MeshXY { mesh, lanes }
+    }
+}
+
+impl Router for MeshXY {
+    type Topo = Mesh;
+
+    fn topology(&self) -> Mesh {
+        self.mesh
+    }
+
+    fn lanes(&self) -> u8 {
+        self.lanes
+    }
+
+    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<Hop>) {
+        let m = self.mesh;
+        let (tx, ty) = (m.x(dst), m.y(dst));
+        let mut cur = src;
+        while m.x(cur) != tx {
+            let port = if m.x(cur) < tx { PORT_XP } else { PORT_XM };
+            out.push(Hop {
+                from: cur,
+                port: Dim(port),
+                lane: 0,
+            });
+            cur = Topology::neighbor(&m, cur, Dim(port));
+        }
+        while m.y(cur) != ty {
+            let port = if m.y(cur) < ty { PORT_YP } else { PORT_YM };
+            out.push(Hop {
+                from: cur,
+                port: Dim(port),
+                lane: 0,
+            });
+            cur = Topology::neighbor(&m, cur, Dim(port));
+        }
+        debug_assert_eq!(cur, dst, "route must terminate at the destination");
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.mesh.distance(src, dst)
+    }
+}
+
+/// West-first minimal-adaptive routing on the mesh (Glass & Ni turn
+/// model).
+///
+/// All `x−` ("west") hops are taken first; the remaining `x+`/`y` hops
+/// are interleaved in a deterministic per-pair order derived from an
+/// FNV mix of the `(src, dst)` addresses, so different pairs take
+/// different minimal staircase paths (path diversity without breaking
+/// the byte-for-byte reproducibility contract). All `lanes` of a link
+/// form one interchangeable class: the engine's lane-adaptive
+/// acquisition may grab any free lane, and deadlock freedom holds on
+/// every lane individually because west-first forbids the `y± → x−`
+/// turns (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MinimalAdaptive {
+    /// The mesh routed on.
+    pub mesh: Mesh,
+    lanes: u8,
+}
+
+impl MinimalAdaptive {
+    /// A west-first minimal-adaptive router with a single lane per
+    /// link.
+    #[must_use]
+    pub fn new(mesh: Mesh) -> MinimalAdaptive {
+        MinimalAdaptive::with_lanes(mesh, 1)
+    }
+
+    /// A west-first minimal-adaptive router with `lanes`
+    /// interchangeable lanes per link.
+    ///
+    /// # Panics
+    /// If `lanes == 0`.
+    #[must_use]
+    pub fn with_lanes(mesh: Mesh, lanes: u8) -> MinimalAdaptive {
+        assert!(lanes >= 1, "a router needs at least one lane");
+        MinimalAdaptive { mesh, lanes }
+    }
+}
+
+/// FNV-1a mix of the pair addresses: the per-pair interleaving seed.
+fn pair_mix(src: NodeId, dst: NodeId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.0.to_le_bytes().into_iter().chain(dst.0.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Router for MinimalAdaptive {
+    type Topo = Mesh;
+
+    fn topology(&self) -> Mesh {
+        self.mesh
+    }
+
+    fn lanes(&self) -> u8 {
+        self.lanes
+    }
+
+    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<Hop>) {
+        let m = self.mesh;
+        let (tx, ty) = (m.x(dst), m.y(dst));
+        let mut cur = src;
+        // Mandatory west prefix: a west-first route takes every x− hop
+        // before any other turn.
+        while m.x(cur) > tx {
+            out.push(Hop {
+                from: cur,
+                port: Dim(PORT_XM),
+                lane: 0,
+            });
+            cur = Topology::neighbor(&m, cur, Dim(PORT_XM));
+        }
+        // Remaining moves go east and/or one fixed y direction; any
+        // interleaving is minimal and turn-legal (E↔N/S turns are all
+        // permitted by west-first). Pick the interleaving from the pair
+        // mix so distinct pairs spread over distinct staircases.
+        let mix = pair_mix(src, dst);
+        let mut bit = 0u32;
+        while m.x(cur) != tx || m.y(cur) != ty {
+            let need_x = m.x(cur) < tx;
+            let need_y = m.y(cur) != ty;
+            let go_x = need_x && (!need_y || (mix >> (bit & 63)) & 1 == 1);
+            bit += 1;
+            let port = if go_x {
+                PORT_XP
+            } else if m.y(cur) < ty {
+                PORT_YP
+            } else {
+                PORT_YM
+            };
+            out.push(Hop {
+                from: cur,
+                port: Dim(port),
+                lane: 0,
+            });
+            cur = Topology::neighbor(&m, cur, Dim(port));
+        }
+    }
+
+    fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.mesh.distance(src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_parameters() {
+        assert!(Mesh::new(1, 4).is_err());
+        assert!(Mesh::new(4, 0).is_err());
+        assert!(Mesh::new(4096, 4096).is_ok());
+        assert!(Mesh::new(4097, 4096).is_err());
+        assert!(Mesh::new(2, 1).is_ok());
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let m = Mesh::of(5, 3);
+        assert_eq!(Topology::node_count(&m), 15);
+        for v in m.nodes() {
+            assert_eq!(m.node_at(m.x(v), m.y(v)), v);
+        }
+        assert_eq!(m.node_at(4, 2), NodeId(14));
+    }
+
+    #[test]
+    fn channel_indexing_is_a_bijection() {
+        let m = Mesh::of(3, 2);
+        let mut seen = vec![false; Topology::channel_count(&m)];
+        for v in m.nodes() {
+            for p in 0..4 {
+                let i = Topology::channel_index(&m, v, Dim(p));
+                assert!(!seen[i]);
+                seen[i] = true;
+                assert_eq!(Topology::channel_coords(&m, i), (v, Dim(p)));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn boundary_ports_loop_back() {
+        let m = Mesh::of(3, 3);
+        assert_eq!(
+            Topology::neighbor(&m, m.node_at(2, 1), Dim(PORT_XP)),
+            m.node_at(2, 1)
+        );
+        assert_eq!(
+            Topology::neighbor(&m, m.node_at(0, 1), Dim(PORT_XM)),
+            m.node_at(0, 1)
+        );
+        assert_eq!(
+            Topology::neighbor(&m, m.node_at(1, 2), Dim(PORT_YP)),
+            m.node_at(1, 2)
+        );
+        assert_eq!(
+            Topology::neighbor(&m, m.node_at(1, 0), Dim(PORT_YM)),
+            m.node_at(1, 0)
+        );
+        assert_eq!(
+            Topology::neighbor(&m, m.node_at(1, 1), Dim(PORT_XP)),
+            m.node_at(2, 1)
+        );
+    }
+
+    #[test]
+    fn xy_routes_are_minimal_and_contiguous() {
+        let m = Mesh::of(4, 3);
+        let r = MeshXY::new(m);
+        for u in m.nodes() {
+            for v in m.nodes() {
+                let mut hops = Vec::new();
+                r.route_hops(u, v, &mut hops);
+                assert_eq!(hops.len() as u32, m.distance(u, v));
+                let mut at = u;
+                for h in &hops {
+                    assert_eq!(h.from, at);
+                    let next = Topology::neighbor(&m, h.from, h.port);
+                    assert_ne!(next, at, "route never rides a boundary loop");
+                    at = next;
+                }
+                assert_eq!(at, v);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_routes_are_minimal_and_west_first() {
+        let m = Mesh::of(4, 4);
+        let r = MinimalAdaptive::new(m);
+        for u in m.nodes() {
+            for v in m.nodes() {
+                let mut hops = Vec::new();
+                r.route_hops(u, v, &mut hops);
+                assert_eq!(hops.len() as u32, m.distance(u, v));
+                let mut at = u;
+                let mut seen_non_west = false;
+                for h in &hops {
+                    assert_eq!(h.from, at);
+                    if h.port.0 == PORT_XM {
+                        assert!(!seen_non_west, "west hops form a prefix");
+                    } else {
+                        seen_non_west = true;
+                    }
+                    at = Topology::neighbor(&m, h.from, h.port);
+                }
+                assert_eq!(at, v);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_paths_diverge_across_pairs() {
+        // The staircase interleaving must actually vary by pair — if
+        // every pair collapsed onto XY order the router would add no
+        // path diversity.
+        let m = Mesh::of(4, 4);
+        let r = MinimalAdaptive::new(m);
+        let xy = MeshXY::new(m);
+        let mut diverged = 0usize;
+        for u in m.nodes() {
+            for v in m.nodes() {
+                if r.route_channels(u, v) != xy.route_channels(u, v) {
+                    diverged += 1;
+                }
+            }
+        }
+        assert!(diverged > 20, "only {diverged} pairs diverged from XY");
+    }
+
+    #[test]
+    fn routers_expose_lane_configuration() {
+        let m = Mesh::of(4, 4);
+        assert_eq!(MeshXY::new(m).lanes(), 1);
+        assert_eq!(MeshXY::with_lanes(m, 4).lanes(), 4);
+        assert_eq!(MeshXY::with_lanes(m, 4).lane_classes(), 1);
+        assert_eq!(MinimalAdaptive::with_lanes(m, 3).lanes(), 3);
+        assert_eq!(MinimalAdaptive::with_lanes(m, 3).lane_classes(), 1);
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        let m = Mesh::of(4, 3);
+        let v = m.node_at(2, 1);
+        assert_eq!(Topology::node_label(&m, v), "2,1");
+        let ch = Topology::channel_index(&m, v, Dim(PORT_YM));
+        assert_eq!(Topology::channel_label(&m, ch), "2,1--y-→");
+        assert_eq!(Topology::lane_label(&m, ch, 1), "2,1--y-v1→");
+        assert_eq!(Topology::dim_label(&m, 0), "x");
+        assert_eq!(Topology::dim_label(&m, 1), "y");
+    }
+}

@@ -11,23 +11,28 @@
 //! channel dependency).
 //!
 //! [`TorusRouter`] therefore implements the classic *dateline virtual
-//! channel* scheme (Dally & Seitz): every physical channel is split into
-//! two virtual channels, a worm starts each dimension on VC0 and
-//! switches to VC1 after traversing the ring's wrap edge. Ranking
-//! channels by `(dimension, direction, vc, ring position)` is then
-//! strictly increasing along any route, so the channel-dependency graph
-//! is acyclic and the network cannot deadlock — the property the torus
-//! property tests drive the engine's watchdog against.
+//! channel* scheme (Dally & Seitz) as two **lane classes** of the
+//! generic virtual-lane mechanism ([`Router::lanes`]): every physical
+//! link carries `2m` lanes split into a low class (lanes `0..m`, the
+//! pre-dateline class "VC0") and a high class (lanes `m..2m`, "VC1").
+//! A worm starts each dimension in the low class and switches to the
+//! high class after traversing the ring's wrap edge. Ranking links by
+//! `(dimension, direction, class, ring position)` is then strictly
+//! increasing along any route, so the link-class dependency graph is
+//! acyclic and the network cannot deadlock — lanes within a class are
+//! interchangeable, so the argument survives adaptive lane selection
+//! (DESIGN.md §14). The default `m = 1` is byte-identical to the
+//! original hard-coded two-VC encoding.
 //!
-//! In the [`Topology`] port encoding each node has `4n` ports:
-//! `port = 4·dim + 2·direction + vc` with direction `0 = +`, `1 = −`.
-//! Virtual channels are modeled as independent channel resources (each
-//! with full link bandwidth); contention on the shared physical link is
+//! In the [`Topology`] port encoding each node has `2n` physical link
+//! ports: `port = 2·dim + direction` with direction `0 = +`, `1 = −`.
+//! Lanes are modeled as independent channel resources (each with full
+//! link bandwidth); contention on the shared physical link is
 //! deliberately not modeled — see DESIGN.md §9.
 
 use crate::addr::{Dim, NodeId};
 use crate::error::HcubeError;
-use crate::topology::{Router, Topology};
+use crate::topology::{Hop, Router, Topology};
 
 /// A k-ary n-cube: `n` dimensions of `k`-node rings.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -153,19 +158,19 @@ impl Torus {
         (0..Topology::node_count(&self) as u32).map(NodeId)
     }
 
-    /// Decodes a port index into `(dimension, plus_direction, vc)`.
+    /// Decodes a link port index into `(dimension, plus_direction)`.
     #[inline]
     #[must_use]
-    pub fn port_parts(self, port: Dim) -> (u8, bool, u8) {
-        (port.0 >> 2, port.0 & 0b10 == 0, port.0 & 1)
+    pub fn port_parts(self, port: Dim) -> (u8, bool) {
+        (port.0 >> 1, port.0 & 1 == 0)
     }
 
-    /// Encodes `(dimension, plus_direction, vc)` as a port index.
+    /// Encodes `(dimension, plus_direction)` as a link port index.
     #[inline]
     #[must_use]
-    pub fn port_of(self, dim: u8, plus: bool, vc: u8) -> Dim {
-        debug_assert!(dim < self.n && vc < 2);
-        Dim((dim << 2) | (u8::from(!plus) << 1) | vc)
+    pub fn port_of(self, dim: u8, plus: bool) -> Dim {
+        debug_assert!(dim < self.n);
+        Dim((dim << 1) | u8::from(!plus))
     }
 }
 
@@ -187,7 +192,7 @@ impl Topology for Torus {
     }
 
     fn ports_per_node(&self) -> u8 {
-        4 * self.n
+        2 * self.n
     }
 
     fn channel_index(&self, from: NodeId, port: Dim) -> usize {
@@ -202,11 +207,11 @@ impl Topology for Torus {
     }
 
     fn port_dim(&self, port: Dim) -> u8 {
-        port.0 >> 2
+        port.0 >> 1
     }
 
     fn neighbor(&self, from: NodeId, port: Dim) -> NodeId {
-        let (dim, plus, _vc) = self.port_parts(port);
+        let (dim, plus) = self.port_parts(port);
         self.step(from, dim, plus)
     }
 
@@ -217,39 +222,76 @@ impl Topology for Torus {
 
     fn channel_label(&self, ch: usize) -> String {
         let (from, port) = Topology::channel_coords(self, ch);
-        let (dim, plus, vc) = self.port_parts(port);
+        let (dim, plus) = self.port_parts(port);
+        format!(
+            "{}--d{}{}→",
+            self.node_label(from),
+            dim,
+            if plus { '+' } else { '-' }
+        )
+    }
+
+    fn lane_label(&self, ch: usize, lane: u8) -> String {
+        let (from, port) = Topology::channel_coords(self, ch);
+        let (dim, plus) = self.port_parts(port);
+        // Matches the original two-VC notation at the default lane
+        // multiplier (lane 0 = "v0", lane 1 = "v1").
         format!(
             "{}--d{}{}v{}→",
             self.node_label(from),
             dim,
             if plus { '+' } else { '-' },
-            vc
+            lane
         )
     }
 
     fn dim_label(&self, d: u8) -> String {
-        // Matches the `d{n}±v{vc}` notation of `channel_label`.
+        // Matches the `d{n}±v{lane}` notation of `lane_label`.
         format!("d{d}")
     }
 }
 
-/// Minimal dimension-ordered routing on the torus with dateline virtual
-/// channels (see the module docs for the deadlock-freedom argument).
+/// Minimal dimension-ordered routing on the torus with dateline lane
+/// classes (see the module docs for the deadlock-freedom argument).
 ///
 /// Per dimension the router travels the shorter way around the ring
 /// (ties break toward `+`), correcting dimensions in ascending order.
-/// Routes are fully deterministic.
+/// Paths are fully deterministic; a worm enters each dimension in the
+/// low lane class and moves to the high class after the wrap edge.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TorusRouter {
     /// The torus routed on.
     pub torus: Torus,
+    /// Lanes per dateline class (`lanes() = 2m`).
+    m: u8,
 }
 
 impl TorusRouter {
-    /// A dimension-ordered router on `torus`.
+    /// A dimension-ordered router on `torus` with one lane per dateline
+    /// class (`lanes() = 2`, the classic Dally–Seitz configuration).
     #[must_use]
     pub fn new(torus: Torus) -> TorusRouter {
-        TorusRouter { torus }
+        TorusRouter::with_lane_multiplier(torus, 1)
+    }
+
+    /// A dimension-ordered router with `m` interchangeable lanes per
+    /// dateline class (`lanes() = 2m`: lanes `0..m` pre-dateline,
+    /// `m..2m` post-dateline).
+    ///
+    /// # Panics
+    /// If `m == 0` or `2m` overflows `u8`.
+    #[must_use]
+    pub fn with_lane_multiplier(torus: Torus, m: u8) -> TorusRouter {
+        assert!(m >= 1, "a router needs at least one lane per class");
+        assert!(m <= 127, "lane count 2m must fit in u8");
+        TorusRouter { torus, m }
+    }
+
+    /// Lanes per dateline class.
+    #[inline]
+    #[must_use]
+    pub fn lane_multiplier(&self) -> u8 {
+        self.m
     }
 }
 
@@ -260,7 +302,15 @@ impl Router for TorusRouter {
         self.torus
     }
 
-    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<(NodeId, Dim)>) {
+    fn lanes(&self) -> u8 {
+        2 * self.m
+    }
+
+    fn lane_classes(&self) -> u8 {
+        2
+    }
+
+    fn route_hops(&self, src: NodeId, dst: NodeId, out: &mut Vec<Hop>) {
         let t = self.torus;
         let k = t.arity();
         let mut cur = src;
@@ -277,10 +327,16 @@ impl Router for TorusRouter {
             let mut crossed = false;
             for _ in 0..steps {
                 let c = t.coord(cur, d);
-                let vc = u8::from(crossed);
-                out.push((cur, t.port_of(d, plus, vc)));
+                // Nominal lane = lowest lane of the dateline class.
+                let lane = if crossed { self.m } else { 0 };
+                out.push(Hop {
+                    from: cur,
+                    port: t.port_of(d, plus),
+                    lane,
+                });
                 // The wrap edge is k-1 → 0 going +, 0 → k-1 going −;
-                // hops after it ride VC1 (the dateline switch).
+                // hops after it ride the high class (the dateline
+                // switch).
                 if (plus && c == k - 1) || (!plus && c == 0) {
                     crossed = true;
                 }
@@ -357,9 +413,9 @@ mod tests {
                     r.route_hops(u, v, &mut hops);
                     assert_eq!(hops.len() as u32, t.distance(u, v), "minimal route");
                     let mut at = u;
-                    for &(from, port) in &hops {
-                        assert_eq!(from, at, "contiguous route");
-                        at = Topology::neighbor(&t, from, port);
+                    for h in &hops {
+                        assert_eq!(h.from, at, "contiguous route");
+                        at = Topology::neighbor(&t, h.from, h.port);
                     }
                     assert_eq!(at, v, "route ends at destination");
                 }
@@ -368,19 +424,59 @@ mod tests {
     }
 
     #[test]
-    fn dateline_switches_vc_exactly_after_the_wrap_edge() {
+    fn dateline_switches_class_exactly_after_the_wrap_edge() {
         let t = Torus::of(4, 1);
         let r = TorusRouter::new(t);
         // 3 → 1 the short way is +: 3 →(wrap) 0 → 1. The wrap hop rides
-        // VC0; the hop after it rides VC1.
+        // the low class; the hop after it rides the high class.
         let mut hops = Vec::new();
         r.route_hops(t.node_at(&[3]), t.node_at(&[1]), &mut hops);
-        let parts: Vec<(u8, bool, u8)> = hops.iter().map(|&(_, p)| t.port_parts(p)).collect();
+        let parts: Vec<(u8, bool, u8)> = hops
+            .iter()
+            .map(|h| {
+                let (d, plus) = t.port_parts(h.port);
+                (d, plus, h.lane)
+            })
+            .collect();
         assert_eq!(parts, vec![(0, true, 0), (0, true, 1)]);
-        // A route that never wraps stays on VC0.
+        // A route that never wraps stays in the low class.
         hops.clear();
         r.route_hops(t.node_at(&[0]), t.node_at(&[2]), &mut hops);
-        assert!(hops.iter().all(|&(_, p)| t.port_parts(p).2 == 0));
+        assert!(hops.iter().all(|h| h.lane == 0));
+    }
+
+    #[test]
+    fn lane_multiplier_scales_classes() {
+        let t = Torus::of(4, 1);
+        let r = TorusRouter::with_lane_multiplier(t, 3);
+        assert_eq!(r.lanes(), 6);
+        assert_eq!(r.lane_classes(), 2);
+        let mut hops = Vec::new();
+        r.route_hops(t.node_at(&[3]), t.node_at(&[1]), &mut hops);
+        // Nominal lanes are the class floors: 0 (low) and m (high).
+        let lanes: Vec<u8> = hops.iter().map(|h| h.lane).collect();
+        assert_eq!(lanes, vec![0, 3]);
+    }
+
+    #[test]
+    fn default_multiplier_matches_the_original_vc_encoding() {
+        // At m = 1 a dense (link, lane) channel index is
+        // (v·2n + 2d+dir)·2 + vc = v·4n + 4d + 2·dir + vc — exactly the
+        // original 4n-ports-per-node encoding. Pin it.
+        let t = Torus::of(4, 2);
+        let r = TorusRouter::new(t);
+        for u in t.nodes() {
+            for v in t.nodes() {
+                let mut hops = Vec::new();
+                r.route_hops(u, v, &mut hops);
+                let chans = r.route_channels(u, v);
+                for (h, &ch) in hops.iter().zip(&chans) {
+                    let (d, plus) = t.port_parts(h.port);
+                    let old_port = 4 * d as usize + 2 * usize::from(!plus) + h.lane as usize;
+                    assert_eq!(ch, h.from.0 as usize * 8 + old_port);
+                }
+            }
+        }
     }
 
     #[test]
@@ -390,7 +486,7 @@ mod tests {
         // Distance 2 both ways on a 4-ring: the + way is taken.
         let mut hops = Vec::new();
         r.route_hops(t.node_at(&[0]), t.node_at(&[2]), &mut hops);
-        assert!(hops.iter().all(|&(_, p)| t.port_parts(p).1));
+        assert!(hops.iter().all(|h| t.port_parts(h.port).1));
     }
 
     #[test]
@@ -410,7 +506,8 @@ mod tests {
         let t = Torus::of(4, 2);
         let v = t.node_at(&[3, 1]);
         assert_eq!(Topology::node_label(&t, v), "3,1");
-        let ch = Topology::channel_index(&t, v, t.port_of(1, false, 1));
-        assert_eq!(Topology::channel_label(&t, ch), "3,1--d1-v1→");
+        let ch = Topology::channel_index(&t, v, t.port_of(1, false));
+        assert_eq!(Topology::channel_label(&t, ch), "3,1--d1-→");
+        assert_eq!(Topology::lane_label(&t, ch, 1), "3,1--d1-v1→");
     }
 }

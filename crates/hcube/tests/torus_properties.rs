@@ -1,6 +1,6 @@
 //! Property-based tests for the k-ary n-cube torus backend: minimal
 //! dimension-ordered routing, dense channel indexing, and the dateline
-//! virtual-channel discipline that makes the router deadlock-free.
+//! lane-class discipline that makes the router deadlock-free.
 
 use hcube::{NodeId, Router, Topology, Torus, TorusRouter};
 use proptest::prelude::*;
@@ -34,7 +34,8 @@ proptest! {
 
     /// Routes are contiguous chains of in-bounds neighbor steps: hop i
     /// ends where hop i+1 starts, the first leaves the source, the last
-    /// arrives at the destination.
+    /// arrives at the destination. Nominal lanes stay below the lane
+    /// count and on their class floor.
     #[test]
     fn routes_are_contiguous_and_in_bounds((k, n, u, v) in torus_and_pair()) {
         let t = Torus::of(k, n);
@@ -43,25 +44,30 @@ proptest! {
         prop_assume!(u != v);
         let mut hops = Vec::new();
         router.route_hops(u, v, &mut hops);
-        prop_assert_eq!(hops.first().unwrap().0, u);
+        prop_assert_eq!(hops.first().unwrap().from, u);
         for w in hops.windows(2) {
-            prop_assert_eq!(t.neighbor(w[0].0, w[0].1), w[1].0);
+            prop_assert_eq!(t.neighbor(w[0].from, w[0].port), w[1].from);
         }
-        for &(node, port) in &hops {
-            prop_assert!(t.contains(node));
-            prop_assert!(port.0 < t.ports_per_node());
-            prop_assert!(t.contains(t.neighbor(node, port)));
+        let class_size = router.lanes() / router.lane_classes();
+        for h in &hops {
+            prop_assert!(t.contains(h.from));
+            prop_assert!(h.port.0 < t.ports_per_node());
+            prop_assert!(t.contains(t.neighbor(h.from, h.port)));
+            prop_assert!(h.lane < router.lanes());
+            prop_assert_eq!(h.lane % class_size, 0, "nominal lane is a class floor");
         }
-        let (last, lp) = *hops.last().unwrap();
-        prop_assert_eq!(t.neighbor(last, lp), v);
+        let last = *hops.last().unwrap();
+        prop_assert_eq!(t.neighbor(last.from, last.port), v);
     }
 
-    /// Dimension-ordered with a dateline VC discipline: dimensions are
-    /// visited in ascending order; within a dimension the direction is
-    /// fixed and the VC class climbs from 0 to 1 exactly at the wrap
-    /// edge, never back. Strictly increasing (dim, vc, progress) rank is
-    /// the classic Dally–Seitz acyclicity argument, so this property is
-    /// the routing half of deadlock freedom.
+    /// Dimension-ordered with a dateline lane-class discipline:
+    /// dimensions are visited in ascending order; within a dimension the
+    /// direction is fixed and the lane class climbs from low to high
+    /// exactly at the wrap edge, never back. Strictly increasing
+    /// (dim, class, progress) rank is the classic Dally–Seitz acyclicity
+    /// argument, so this property is the routing half of deadlock
+    /// freedom — and because the engine only ever swaps lanes *within* a
+    /// class, it survives adaptive lane selection unchanged.
     #[test]
     fn dateline_discipline_holds((k, n, u, v) in torus_and_pair()) {
         let t = Torus::of(k, n);
@@ -69,26 +75,51 @@ proptest! {
         let (u, v) = (NodeId(u), NodeId(v));
         let mut hops = Vec::new();
         router.route_hops(u, v, &mut hops);
+        let class_size = router.lanes() / router.lane_classes();
         let mut last_dim: Option<u8> = None;
-        let mut last_vc = 0u8;
-        for &(node, port) in &hops {
-            let (dim, plus, vc) = t.port_parts(port);
+        let mut last_class = 0u8;
+        for h in &hops {
+            let (dim, plus) = t.port_parts(h.port);
+            let class = h.lane / class_size;
             if last_dim != Some(dim) {
                 prop_assert!(last_dim.is_none_or(|d| d < dim), "dims must ascend");
                 last_dim = Some(dim);
-                last_vc = 0;
+                last_class = 0;
             }
-            prop_assert!(vc >= last_vc, "VC class never decreases within a dimension");
-            if vc > last_vc {
-                // The VC climbs exactly when the previous hop crossed the
-                // wrap edge; the hop *after* the dateline runs on VC1.
-                let c = t.coord(node, dim);
+            prop_assert!(class >= last_class, "lane class never decreases within a dimension");
+            if class > last_class {
+                // The class climbs exactly when the previous hop crossed
+                // the wrap edge; the hop *after* the dateline runs in the
+                // high class.
+                let c = t.coord(h.from, dim);
                 prop_assert!(
                     (plus && c == 0) || (!plus && c == k - 1),
-                    "VC1 must start right after the dateline (coord {c}, plus {plus})"
+                    "high class must start right after the dateline (coord {c}, plus {plus})"
                 );
             }
-            last_vc = vc;
+            last_class = class;
+        }
+    }
+
+    /// The dateline discipline is independent of the lane multiplier:
+    /// scaling `m` scales nominal lanes to the class floors but leaves
+    /// the (link, class) structure of every route untouched.
+    #[test]
+    fn lane_multiplier_preserves_route_structure((k, n, u, v) in torus_and_pair(), m in 1u8..=4) {
+        let t = Torus::of(k, n);
+        let base = TorusRouter::new(t);
+        let wide = TorusRouter::with_lane_multiplier(t, m);
+        let (u, v) = (NodeId(u), NodeId(v));
+        let mut h1 = Vec::new();
+        let mut hm = Vec::new();
+        base.route_hops(u, v, &mut h1);
+        wide.route_hops(u, v, &mut hm);
+        prop_assert_eq!(h1.len(), hm.len());
+        for (a, b) in h1.iter().zip(&hm) {
+            prop_assert_eq!(a.from, b.from);
+            prop_assert_eq!(a.port, b.port);
+            // Class floor scales with m: 0 → 0, 1 → m.
+            prop_assert_eq!(u16::from(b.lane), u16::from(a.lane) * u16::from(m));
         }
     }
 

@@ -50,7 +50,7 @@ pub struct TreeKey {
     /// trees routed around faults, so a stale repaired tree can never be
     /// served after the topology changes.
     pub epoch: u64,
-    /// Whether the tree went through [`repair`](crate::repair::repair)
+    /// Whether the tree went through [`repair`](crate::repair::repair())
     /// against the epoch's fault state.
     pub repaired: bool,
 }
@@ -240,7 +240,7 @@ impl TreeCache {
     }
 
     /// Like [`get_or_build`](TreeCache::get_or_build), but the returned
-    /// tree is routed around `faults` via [`repair`](crate::repair::repair):
+    /// tree is routed around `faults` via [`repair`](crate::repair::repair()):
     /// destinations on dead nodes are pruned and paths crossing dead
     /// channels rerouted. The entry is keyed to the cache's current
     /// fault [`epoch`](TreeCache::epoch) (plus a `repaired` marker), so

@@ -94,6 +94,166 @@ pub fn is_contention_free(tree: &MulticastTree) -> bool {
     contention_witnesses(tree).is_empty()
 }
 
+/// How many virtual lanes per physical link this tree needs to run
+/// contention-free under worst-case timing.
+///
+/// Two unicasts that contend (Definition 4) on an arc must occupy
+/// *different lanes* of that arc to avoid blocking. A worm's occupancy
+/// of an arc is a time interval, and pairwise-intersecting intervals
+/// always share a common point (the Helly property in one dimension), so
+/// the worst-case *simultaneous* demand on an arc equals the largest set
+/// of pairwise-contending unicasts crossing it — a maximum clique of the
+/// per-arc conflict graph. The answer is the maximum over arcs, and `1`
+/// for a contention-free tree.
+///
+/// Arcs carrying more than 64 mutually-contending unicasts (far beyond
+/// anything the builders emit) fall back to the trivial bound: one lane
+/// per contender.
+#[must_use]
+pub fn min_lanes_for_freedom(tree: &MulticastTree) -> u32 {
+    let witnesses = contention_witnesses(tree);
+    if witnesses.is_empty() {
+        return 1;
+    }
+    let res = tree.resolution;
+    // A witness records *one* shared arc per contending pair; lane demand
+    // needs the conflict graph of *every* arc, so re-derive the full
+    // shared-arc set for each witnessed pair (cheap: paths are short).
+    let mut per_arc: HashMap<Channel, Vec<(Unicast, Unicast)>> = HashMap::new();
+    for w in &witnesses {
+        for arc in w.earlier.path(res).arcs() {
+            if w.later.path(res).uses(arc) {
+                per_arc.entry(arc).or_default().push((w.earlier, w.later));
+            }
+        }
+    }
+    let mut lanes = 1u32;
+    for pairs in per_arc.values() {
+        // Index the distinct unicasts touching this arc.
+        let mut verts: Vec<Unicast> = Vec::new();
+        let index = |u: Unicast, verts: &mut Vec<Unicast>| -> usize {
+            match verts.iter().position(|&v| v == u) {
+                Some(i) => i,
+                None => {
+                    verts.push(u);
+                    verts.len() - 1
+                }
+            }
+        };
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in pairs {
+            let i = index(a, &mut verts);
+            let j = index(b, &mut verts);
+            edges.push((i, j));
+        }
+        if verts.len() > 64 {
+            lanes = lanes.max(verts.len() as u32);
+            continue;
+        }
+        let mut adj = vec![0u64; verts.len()];
+        for (i, j) in edges {
+            adj[i] |= 1 << j;
+            adj[j] |= 1 << i;
+        }
+        let mut best = 1;
+        max_clique(&adj, (1u64 << verts.len()) - 1, 0, &mut best);
+        lanes = lanes.max(best);
+    }
+    lanes
+}
+
+/// Lane demand of several multicasts running *concurrently* on the same
+/// network.
+///
+/// Definition 4 speaks to one tree: its reachability condition exploits
+/// the fact that a descendant cannot start sending before its ancestor's
+/// worm has drained. Trees launched by independent sources share no such
+/// ordering — whenever two unicasts from *different* trees cross the same
+/// arc they may be in flight simultaneously, so they always conflict.
+/// Same-tree pairs keep the Definition-4 test. The answer is again the
+/// maximum per-arc clique of the combined conflict graph (see
+/// [`min_lanes_for_freedom`] for the interval/Helly argument), with the
+/// same >64-occupant fallback to the trivial one-lane-per-worm bound.
+///
+/// `min_lanes_for_concurrent(&[t])` coincides with
+/// `min_lanes_for_freedom(&t)`.
+#[must_use]
+pub fn min_lanes_for_concurrent(trees: &[MulticastTree]) -> u32 {
+    // Every arc's occupants, tagged by owning tree.
+    let mut per_arc: HashMap<Channel, Vec<(usize, Unicast)>> = HashMap::new();
+    for (ti, t) in trees.iter().enumerate() {
+        for &u in &t.unicasts {
+            for arc in u.path(t.resolution).arcs() {
+                per_arc.entry(arc).or_default().push((ti, u));
+            }
+        }
+    }
+    // Same-tree conflicts are exactly the Definition-4 witnesses.
+    let witness_pairs: Vec<Vec<(Unicast, Unicast)>> = trees
+        .iter()
+        .map(|t| {
+            contention_witnesses(t)
+                .iter()
+                .map(|w| (w.earlier, w.later))
+                .collect()
+        })
+        .collect();
+    let mut lanes = 1u32;
+    for occ in per_arc.values() {
+        let n = occ.len();
+        if n <= 1 {
+            continue;
+        }
+        if n > 64 {
+            lanes = lanes.max(n as u32);
+            continue;
+        }
+        let mut adj = vec![0u64; n];
+        for i in 0..n {
+            let (ti, a) = occ[i];
+            for (j, &(tj, b)) in occ.iter().enumerate().skip(i + 1) {
+                let conflict = if ti == tj {
+                    witness_pairs[ti]
+                        .iter()
+                        .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+                } else {
+                    true
+                };
+                if conflict {
+                    adj[i] |= 1 << j;
+                    adj[j] |= 1 << i;
+                }
+            }
+        }
+        let mut best = 1;
+        max_clique(&adj, (1u64 << n) - 1, 0, &mut best);
+        lanes = lanes.max(best);
+    }
+    lanes
+}
+
+/// Branch-and-bound maximum clique over a ≤64-vertex bitmask adjacency.
+fn max_clique(adj: &[u64], cand: u64, size: u32, best: &mut u32) {
+    if size + cand.count_ones() <= *best {
+        return;
+    }
+    if cand == 0 {
+        *best = (*best).max(size);
+        return;
+    }
+    let mut rest = cand;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        // Extend the clique with `v`; only later vertices (in `rest`)
+        // remain candidates, so each clique is enumerated once.
+        max_clique(adj, rest & adj[v], size + 1, best);
+        if size + 1 + rest.count_ones() <= *best {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +344,78 @@ mod tests {
     fn arc_disjoint_same_step_is_fine() {
         let t = tree(vec![u(0, 0b0001, 1, 0), u(0b1000, 0b1001, 1, 0)]);
         assert!(is_contention_free(&t));
+    }
+
+    #[test]
+    fn contention_free_trees_need_one_lane() {
+        let t = tree(vec![u(0, 0b0001, 1, 0), u(0b1000, 0b1001, 1, 0)]);
+        assert_eq!(min_lanes_for_freedom(&t), 1);
+    }
+
+    #[test]
+    fn a_contending_pair_needs_two_lanes() {
+        // Both paths share 0000→0010 (and 0010→0011) at the same step.
+        let t = tree(vec![u(0, 0b0011, 1, 0), u(0b1000, 0b0011, 1, 0)]);
+        assert_eq!(min_lanes_for_freedom(&t), 2);
+    }
+
+    #[test]
+    fn three_pairwise_contenders_need_three_lanes() {
+        // Three same-step unicasts from unrelated senders all funnel
+        // through arc 0010→0011 (high-to-low resolution ends each path
+        // with the dim-0 hop into 0011).
+        let t = tree(vec![
+            u(0b0000, 0b0011, 1, 0),
+            u(0b1010, 0b0011, 1, 1),
+            u(0b0110, 0b0011, 1, 2),
+        ]);
+        assert!(!is_contention_free(&t));
+        assert_eq!(min_lanes_for_freedom(&t), 3);
+    }
+
+    #[test]
+    fn concurrent_of_one_tree_matches_the_single_tree_bound() {
+        for t in [
+            tree(vec![u(0, 0b0001, 1, 0), u(0b1000, 0b1001, 1, 0)]),
+            tree(vec![u(0, 0b0011, 1, 0), u(0b1000, 0b0011, 1, 0)]),
+            tree(vec![
+                u(0b0000, 0b0011, 1, 0),
+                u(0b1010, 0b0011, 1, 1),
+                u(0b0110, 0b0011, 1, 2),
+            ]),
+        ] {
+            assert_eq!(
+                min_lanes_for_concurrent(std::slice::from_ref(&t)),
+                min_lanes_for_freedom(&t)
+            );
+        }
+    }
+
+    #[test]
+    fn independent_trees_conflict_wherever_paths_cross() {
+        // Each tree alone is trivially contention-free (one unicast), but
+        // both paths ride arc 0010→0011: concurrently they need 2 lanes.
+        let a = tree(vec![u(0, 0b0011, 1, 0)]);
+        let b = MulticastTree::new(
+            Cube::of(4),
+            Resolution::HighToLow,
+            NodeId(0b1000),
+            vec![u(0b1000, 0b0011, 1, 0)],
+        );
+        assert_eq!(min_lanes_for_freedom(&a), 1);
+        assert_eq!(min_lanes_for_freedom(&b), 1);
+        assert_eq!(min_lanes_for_concurrent(&[a, b]), 2);
+    }
+
+    #[test]
+    fn arc_disjoint_trees_still_need_one_lane() {
+        let a = tree(vec![u(0, 0b0001, 1, 0)]);
+        let b = MulticastTree::new(
+            Cube::of(4),
+            Resolution::HighToLow,
+            NodeId(0b1000),
+            vec![u(0b1000, 0b1001, 1, 0)],
+        );
+        assert_eq!(min_lanes_for_concurrent(&[a, b]), 1);
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! [`run_chaos_cube`] extends [`run_cube`](crate::run_cube) with a
 //! [`ChurnSpec`] failure/repair process and a
-//! [`RetryPolicy`](hypercast::protocol::RetryPolicy):
+//! [`RetryPolicy`]:
 //!
 //! 1. the churn process is rendered into a [`FaultTimeline`] and
 //!    snapshotted into epoch-numbered [`wormsim::FaultPlan`]s — the
@@ -409,7 +409,13 @@ where
     R::Topo: Topology,
 {
     let topo = router.topology();
-    let timeline = spec.churn.timeline_on(&topo, spec.traffic.seed);
+    // Churn at the router's (link, lane) fault granularity: every lane
+    // is an independent failure element. For the dateline torus this is
+    // the same per-virtual-channel element space the old 4n-port
+    // encoding churned over (byte-identity pinned in `churn`'s tests).
+    let timeline = spec
+        .churn
+        .timeline_on_lanes(&topo, router.lanes(), spec.traffic.seed);
     let mut rng = StdRng::seed_from_u64(spec.traffic.seed);
     let schedule = spec
         .traffic

@@ -17,7 +17,7 @@
 //! the property that makes time-to-recover measurable.
 //!
 //! **Determinism.** Gaps are drawn through
-//! [`exp_gap_ns`](crate::arrivals::exp_gap_ns) (the same bit-exact
+//! [`exp_gap_ns`] (the same bit-exact
 //! exponential sampler as Poisson arrivals), victims by index into a
 //! sorted live-set, and the link and node streams use separate RNG
 //! streams derived from the run seed — so enabling churn never perturbs
@@ -75,16 +75,35 @@ impl ChurnSpec {
     }
 
     /// Renders the churn process on `topo` into a concrete event
-    /// timeline. Deterministic in `(spec, topology, seed)`; the RNG
-    /// streams are derived from `seed` but separate from (and
-    /// non-interfering with) the traffic engine's arrival/pattern
-    /// stream.
+    /// timeline, treating each link as a single failure element.
+    /// Deterministic in `(spec, topology, seed)`; the RNG streams are
+    /// derived from `seed` but separate from (and non-interfering with)
+    /// the traffic engine's arrival/pattern stream.
     #[must_use]
     pub fn timeline_on<T: Topology>(&self, topo: &T, seed: u64) -> FaultTimeline {
+        self.timeline_on_lanes(topo, 1, seed)
+    }
+
+    /// [`timeline_on`](ChurnSpec::timeline_on) at `(link, lane)` fault
+    /// granularity: every lane of every directed link is an independent
+    /// failure element, enumerated lane-minor (`(node, port, lane)`
+    /// lexicographic). For the dateline torus at its default two lanes
+    /// this is exactly the per-virtual-channel element space the old
+    /// 4n-port encoding churned over, drawn in the same RNG order — the
+    /// chaos sweep's byte-identity anchor. With `lanes = 1` the events
+    /// are whole-link `LinkDown`/`LinkUp`, identical to `timeline_on`.
+    ///
+    /// # Panics
+    /// If `lanes` is zero.
+    #[must_use]
+    pub fn timeline_on_lanes<T: Topology>(&self, topo: &T, lanes: u8, seed: u64) -> FaultTimeline {
+        assert!(lanes >= 1, "a router has at least one lane");
         let mut events: Vec<FaultEvent> = Vec::new();
         if self.link_mtbf_ms.is_finite() {
-            let links: Vec<(u32, u8)> = (0..topo.node_count() as u32)
-                .flat_map(|v| (0..topo.ports_per_node()).map(move |p| (v, p)))
+            let links: Vec<(u32, u8, u8)> = (0..topo.node_count() as u32)
+                .flat_map(|v| {
+                    (0..topo.ports_per_node()).flat_map(move |p| (0..lanes).map(move |l| (v, p, l)))
+                })
                 .collect();
             renewal_stream(
                 &mut StdRng::seed_from_u64(seed ^ LINK_STREAM),
@@ -93,8 +112,20 @@ impl ChurnSpec {
                 self.link_mttr_ms,
                 self.churn_until,
                 &mut events,
-                |&(v, p)| FaultEventKind::LinkDown(NodeId(v), Dim(p)),
-                |&(v, p)| FaultEventKind::LinkUp(NodeId(v), Dim(p)),
+                |&(v, p, l)| {
+                    if lanes == 1 {
+                        FaultEventKind::LinkDown(NodeId(v), Dim(p))
+                    } else {
+                        FaultEventKind::LaneDown(NodeId(v), Dim(p), l)
+                    }
+                },
+                |&(v, p, l)| {
+                    if lanes == 1 {
+                        FaultEventKind::LinkUp(NodeId(v), Dim(p))
+                    } else {
+                        FaultEventKind::LaneUp(NodeId(v), Dim(p), l)
+                    }
+                },
             );
         }
         if self.node_mtbf_ms.is_finite() {
@@ -236,12 +267,65 @@ mod tests {
         let tl = spec.timeline_on(&Cube::of(6), 7);
         for e in tl.events() {
             match e.kind {
-                FaultEventKind::LinkDown(..) | FaultEventKind::NodeDown(..) => {
+                FaultEventKind::LinkDown(..)
+                | FaultEventKind::NodeDown(..)
+                | FaultEventKind::LaneDown(..) => {
                     assert!(e.at < spec.churn_until, "failure at {} after cutoff", e.at);
                 }
-                FaultEventKind::LinkUp(..) | FaultEventKind::NodeUp(..) => {}
+                FaultEventKind::LinkUp(..)
+                | FaultEventKind::NodeUp(..)
+                | FaultEventKind::LaneUp(..) => {}
             }
         }
+    }
+
+    /// The lane-granular element space draws the same RNG stream as an
+    /// equally-sized single-lane port space: 2 lanes over 2n torus
+    /// ports churn exactly like 4n ports did under the old VC-in-port
+    /// encoding, element-for-element — the byte-identity anchor of the
+    /// chaos sweep's torus rows.
+    #[test]
+    fn lane_churn_matches_an_equivalent_port_space() {
+        let mut spec = churny();
+        spec.node_mtbf_ms = f64::INFINITY;
+        // 16 nodes × (4 ports × 2 lanes) vs 16 nodes × (8 ports): the
+        // element spaces have equal size and lexicographic order under
+        // the lane-minor mapping port4 = 2·port + lane.
+        let narrow = hcube::Torus::of(4, 2); // 2n = 4 ports
+        let wide = hcube::Torus::of(2, 4); // 2n = 8 ports
+        assert_eq!(narrow.node_count(), wide.node_count());
+        let lanes = spec.timeline_on_lanes(&narrow, 2, 42);
+        let ports = spec.timeline_on(&wide, 42);
+        assert!(!lanes.is_empty());
+        let rank = |kind: FaultEventKind| -> (bool, u32, usize) {
+            match kind {
+                FaultEventKind::LaneDown(v, p, l) => {
+                    (true, v.0, usize::from(p.0) * 2 + usize::from(l))
+                }
+                FaultEventKind::LaneUp(v, p, l) => {
+                    (false, v.0, usize::from(p.0) * 2 + usize::from(l))
+                }
+                FaultEventKind::LinkDown(v, p) => (true, v.0, usize::from(p.0)),
+                FaultEventKind::LinkUp(v, p) => (false, v.0, usize::from(p.0)),
+                FaultEventKind::NodeDown(..) | FaultEventKind::NodeUp(..) => unreachable!(),
+            }
+        };
+        let ev_lane: Vec<_> = lanes
+            .events()
+            .iter()
+            .map(|e| (e.at, rank(e.kind)))
+            .collect();
+        let ev_port: Vec<_> = ports
+            .events()
+            .iter()
+            .map(|e| (e.at, rank(e.kind)))
+            .collect();
+        assert_eq!(ev_lane, ev_port);
+        // And every multi-lane event is lane-granular.
+        assert!(lanes.events().iter().all(|e| matches!(
+            e.kind,
+            FaultEventKind::LaneDown(..) | FaultEventKind::LaneUp(..)
+        )));
     }
 
     #[test]

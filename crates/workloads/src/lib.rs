@@ -20,6 +20,8 @@
 //! * [`heatmap`] — measured per-dimension channel contention per
 //!   algorithm, recorded in-loop by `wormsim::EventRecorder`;
 //! * [`figure`] — the data model plus table / ASCII-plot / JSON output;
+//! * [`lanesweep`] — virtual-lane ladder: contention of naive multicast
+//!   trees vs lanes-per-link on cube, torus, and mesh networks;
 //! * [`json`] — a minimal first-party JSON tree, parser, and printer
 //!   (the build environment is offline, so no `serde_json`);
 //! * [`stats`] — summary statistics.
@@ -39,6 +41,7 @@ pub mod figure;
 pub mod figures;
 pub mod heatmap;
 pub mod json;
+pub mod lanesweep;
 pub mod stats;
 pub mod sweep;
 pub mod torussweep;

@@ -14,6 +14,7 @@
 use hcube::{Cube, NodeId, Resolution, Torus, TorusRouter};
 use hypercast::{Algorithm, PortModel};
 use workloads::chaossweep::{chaos_sweep, chaos_sweep_with_workers, ChaosSweep, ChaosSweepConfig};
+use workloads::lanesweep::{lane_sweep, LaneSweep, LaneSweepConfig};
 use workloads::sweep::{run_matrix_with_workers, MatrixResult};
 use workloads::trafficsweep::{traffic_sweep, SweepConfig, TrafficSweep};
 use wormsim::{simulate, simulate_on, DepMessage, RunResult, SimParams, SimTime};
@@ -86,6 +87,70 @@ fn torus_runs_are_byte_identical_across_repeats() {
     for _ in 0..3 {
         assert_runs_identical(&first, &simulate_on(router, &params, &w));
     }
+}
+
+/// The lane refactor's safety rail: a router explicitly configured with
+/// **one** lane per link is byte-identical to the pre-lane default — on
+/// the cube, on the torus (whose two dateline VCs are now two lane
+/// classes of the same mechanism), and under a faulted cube workload
+/// that exercises the abort/cleanup paths. A wide (4-lane) run then
+/// sanity-checks that adaptive lane selection still delivers everything.
+#[test]
+fn single_lane_routers_match_the_default_byte_for_byte() {
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let w = contentious_workload(16);
+    let cube = Cube::of(4);
+
+    for port in [PortModel::AllPort, PortModel::OnePort] {
+        let params = SimParams::ncube2(port);
+        let base = simulate_on(hcube::Ecube::new(cube, Resolution::HighToLow), &params, &w);
+        let lane1 = simulate_on(
+            hcube::Ecube::with_lanes(cube, Resolution::HighToLow, 1),
+            &params,
+            &w,
+        );
+        assert_runs_identical(&base, &lane1);
+    }
+
+    let torus = Torus::of(4, 2);
+    let base = simulate_on(TorusRouter::new(torus), &params, &w);
+    let m1 = simulate_on(TorusRouter::with_lane_multiplier(torus, 1), &params, &w);
+    assert_runs_identical(&base, &m1);
+
+    let mut plan = wormsim::FaultPlan::random_links(cube, 4, 5);
+    plan.stall(
+        NodeId(1),
+        hcube::Dim(0),
+        SimTime::ZERO,
+        SimTime::from_ns(40_000),
+    )
+    .deadline_all(SimTime::from_ns(120_000));
+    let base = wormsim::simulate_with_faults_on(
+        hcube::Ecube::new(cube, Resolution::HighToLow),
+        &params,
+        &w,
+        &plan,
+    )
+    .expect("faulted workload is well-formed");
+    let lane1 = wormsim::simulate_with_faults_on(
+        hcube::Ecube::with_lanes(cube, Resolution::HighToLow, 1),
+        &params,
+        &w,
+        &plan,
+    )
+    .expect("faulted workload is well-formed");
+    assert_runs_identical(&base, &lane1);
+
+    let wide = simulate_on(
+        hcube::Ecube::with_lanes(cube, Resolution::HighToLow, 4),
+        &params,
+        &w,
+    );
+    assert_eq!(
+        wide.delivered_count(),
+        w.len(),
+        "a 4-lane run must still deliver the whole workload"
+    );
 }
 
 /// The tentpole's safety rail: a run replayed into a reused
@@ -456,5 +521,95 @@ fn committed_chaos_sweep_artifact_regenerates_byte_identically() {
         CHAOS_SWEEP_GOLDEN.trim_end_matches('\n'),
         "results/chaos_sweep.json diverged from regeneration — rerun \
          `cargo run -p bench --release --bin chaos_sweep` and commit"
+    );
+}
+
+/// The committed lane-sweep artifact, validated with the first-party
+/// parser — the same check `lane_sweep --check` runs in CI.
+const LANE_SWEEP_GOLDEN: &str = include_str!("../../../results/lane_sweep.json");
+
+/// The committed `results/lane_sweep.json` must parse under the schema,
+/// carry the full configuration, and satisfy the acceptance properties:
+/// 16 series (4 networks x 4 algorithms), the configured lane ladder on
+/// cube and mesh (even rungs only on the torus), an analytic
+/// [`min_lanes_for_concurrent`] bound above one lane on every cube
+/// series, per-lane utilization vectors sized to their rung, and a
+/// cube6 zero-contention rung for every algorithm.
+///
+/// [`min_lanes_for_concurrent`]: hypercast::contention::min_lanes_for_concurrent
+#[test]
+fn committed_lane_sweep_artifact_is_valid_and_complete() {
+    let sweep = LaneSweep::from_json(LANE_SWEEP_GOLDEN)
+        .expect("committed lane_sweep.json violates its own schema");
+    assert_eq!(
+        sweep.config,
+        LaneSweepConfig::full(),
+        "committed artifact was not produced by LaneSweepConfig::full()"
+    );
+    assert_eq!(sweep.series.len(), 16, "4 networks x 4 algorithms");
+    let even: Vec<u8> = sweep
+        .config
+        .lane_ladder
+        .iter()
+        .copied()
+        .filter(|l| l % 2 == 0)
+        .collect();
+    for s in &sweep.series {
+        let rungs: Vec<u8> = s.points.iter().map(|p| p.lanes).collect();
+        let expect = if s.network == "torus4x3" {
+            &even
+        } else {
+            &sweep.config.lane_ladder
+        };
+        assert_eq!(&rungs, expect, "{} {}: lane ladder", s.network, s.algorithm);
+        for p in &s.points {
+            assert_eq!(
+                p.lane_utilization.len(),
+                p.lanes as usize,
+                "{} {}: utilization vector must have one entry per lane",
+                s.network,
+                s.algorithm
+            );
+        }
+        if s.network == "cube6" {
+            let analytic = s
+                .analytic_min_lanes
+                .expect("cube series must carry the analytic bound");
+            assert!(
+                analytic > 1.0,
+                "{}: concurrent sessions must raise the analytic bound",
+                s.algorithm
+            );
+            assert!(
+                s.lanes_to_zero_contention.is_some(),
+                "{}: the cube ladder must reach zero contention",
+                s.algorithm
+            );
+        } else {
+            assert!(s.analytic_min_lanes.is_none());
+        }
+    }
+    // Serialization is canonical: re-emitting the parsed artifact must
+    // reproduce the committed bytes exactly.
+    assert_eq!(
+        sweep.to_json(),
+        LANE_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "to_json is not canonical for the committed artifact"
+    );
+}
+
+/// Full-artifact byte-reproducibility: regenerating the lane sweep with
+/// the committed configuration reproduces `results/lane_sweep.json`
+/// exactly. Expensive, so ignored by default; CI runs it in release via
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full sweep regeneration; run in release builds"]
+fn committed_lane_sweep_artifact_regenerates_byte_identically() {
+    let regenerated = lane_sweep(&LaneSweepConfig::full());
+    assert_eq!(
+        regenerated.to_json(),
+        LANE_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "results/lane_sweep.json diverged from regeneration — rerun \
+         `cargo run -p bench --release --bin lane_sweep` and commit"
     );
 }

@@ -98,15 +98,36 @@ impl Channels {
     /// head waiter — if any — at `grant_t`. Returns `(held_since,
     /// waiter)`; when a waiter is returned it **already holds** the
     /// channel, so no interleaved acquisition attempt can take it.
+    /// (The engine always goes through
+    /// [`handoff_from`](Channels::handoff_from), which this delegates
+    /// to; kept for the arbitration-level tests.)
+    #[cfg(test)]
     pub fn handoff(
         &mut self,
         ch: usize,
         m: usize,
         grant_t: SimTime,
     ) -> (SimTime, Option<(usize, usize)>) {
+        self.handoff_from(ch, ch, m, grant_t)
+    }
+
+    /// [`handoff`](Channels::handoff) with a separate wait queue: `ch`
+    /// (held by `m`) is released, and the FIFO head of `rep`'s queue —
+    /// the lane class's *representative* channel, where blocked worms
+    /// park under adaptive lane selection — is installed as `ch`'s new
+    /// holder. With `rep == ch` this is exactly `handoff`; the direct
+    /// hand-off guarantee (never observably free in between) holds
+    /// either way.
+    pub fn handoff_from(
+        &mut self,
+        ch: usize,
+        rep: usize,
+        m: usize,
+        grant_t: SimTime,
+    ) -> (SimTime, Option<(usize, usize)>) {
         debug_assert_eq!(self.states[ch].holder, Some(m));
         let since = self.states[ch].acquired_at;
-        match self.states[ch].queue.pop_front() {
+        match self.states[rep].queue.pop_front() {
             Some((w, whop)) => {
                 self.states[ch].holder = Some(w);
                 self.states[ch].acquired_at = grant_t;
@@ -175,6 +196,29 @@ mod tests {
         let (_, none) = c.handoff(0, 9, SimTime::from_ns(30));
         assert_eq!(none, None);
         assert!(c.is_free(0));
+    }
+
+    #[test]
+    fn handoff_from_grants_the_representatives_fifo_head() {
+        let mut c = Channels::new(3);
+        // Lane class {0, 1} with representative 0: waiters park on 0,
+        // but the grant rides whichever lane actually frees up.
+        c.acquire(0, 1, SimTime::ZERO);
+        c.acquire(1, 2, SimTime::from_ns(2));
+        c.enqueue(0, 3, 1);
+        c.enqueue(0, 4, 2);
+        // Lane 1 releases first: its new holder comes from 0's queue.
+        let (since, w) = c.handoff_from(1, 0, 2, SimTime::from_ns(10));
+        assert_eq!(since, SimTime::from_ns(2));
+        assert_eq!(w, Some((3, 1)));
+        assert!(!c.is_free(1));
+        // The representative itself still hands off its own queue.
+        let (_, w) = c.handoff_from(0, 0, 1, SimTime::from_ns(11));
+        assert_eq!(w, Some((4, 2)));
+        // Empty queue: the lane becomes free.
+        let (_, w) = c.handoff_from(1, 0, 3, SimTime::from_ns(12));
+        assert_eq!(w, None);
+        assert!(c.is_free(1));
     }
 
     #[test]

@@ -94,10 +94,11 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
             for (ch, slot) in scratch.dead.iter_mut().enumerate().take(map.externals()) {
                 let (v, p) = map.external_coords(ch);
                 // A directed channel is unusable when the link itself is
-                // dead or either endpoint node is down — decided through
-                // the topology's neighbor function, never by address
-                // arithmetic.
+                // dead, its own lane is dead, or either endpoint node is
+                // down — decided through the topology's neighbor
+                // function, never by address arithmetic.
                 *slot = plan.link_dead(v, p)
+                    || plan.lane_dead(v, p, map.lane_of(ch))
                     || plan.node_dead(v)
                     || plan.node_dead(topo.neighbor(v, p));
                 if plan.channel_stuck(v, p) {
@@ -136,6 +137,8 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
         let stats = NetStats {
             dim_busy: vec![SimTime::ZERO; topo.dimensions() as usize],
             dim_channels: scratch.dim_channels.clone(),
+            lane_busy: vec![SimTime::ZERO; map.lanes()],
+            lane_links: map.links() as u32,
             ..NetStats::default()
         };
 
@@ -152,12 +155,27 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
         })
     }
 
-    /// The dense channel index of hop `hop` of message `m`'s route.
+    /// The dense channel index of hop `hop` of message `m`'s route —
+    /// the *nominal* channel, always a lane-class representative.
     #[inline]
     fn route_channel(&self, m: usize, hop: usize) -> usize {
         self.scratch
             .memo
             .channel_at(self.scratch.msgs[m].route_start, hop)
+    }
+
+    /// The channel hop `hop` of `m` actually holds. Under adaptive lane
+    /// selection (`class_size > 1`) the granted lane may differ from
+    /// the route's nominal class floor, so the truth lives in the
+    /// per-message `taken` log; otherwise the route memo is exact and
+    /// the log stays empty.
+    #[inline]
+    fn actual_channel(&self, m: usize, hop: usize) -> usize {
+        if self.map.class_size() > 1 {
+            self.scratch.msgs[m].taken[hop]
+        } else {
+            self.route_channel(m, hop)
+        }
     }
 
     /// If `ch` is inside a stall window at `t`, when it reopens.
@@ -229,18 +247,29 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
     /// way.
     fn release_channels(&mut self, m: usize, count: usize, t: SimTime) {
         for hop in 0..count {
-            let ch = self.route_channel(m, hop);
+            let ch = self.actual_channel(m, hop);
+            // Blocked worms park on the lane class's *representative*
+            // channel (the nominal route channel); whichever lane of
+            // the class frees up serves that queue. With one lane per
+            // class the representative is the channel itself.
+            let rep = if self.map.is_virtual(ch) {
+                ch
+            } else {
+                self.map.class_rep(ch)
+            };
             // A stall window covering the release instant defers the
             // *grant* to the window's reopen; the reservation itself is
             // made now, so nothing else can slip in.
             let grant_t = self.stalled_until(ch, t).unwrap_or(t);
-            let (held_since, waiter) = self.scratch.channels.handoff(ch, m, grant_t);
+            let (held_since, waiter) = self.scratch.channels.handoff_from(ch, rep, m, grant_t);
             self.probe.on_channel_released(t, m, ch, held_since);
             if !self.map.is_virtual(ch) {
                 // Cached per-channel dimension: the topology's
                 // coordinate decode is too slow for the release path.
                 let d = self.scratch.dim_table[ch] as usize;
-                self.stats.dim_busy[d] += t.saturating_sub(held_since);
+                let held = t.saturating_sub(held_since);
+                self.stats.dim_busy[d] += held;
+                self.stats.lane_busy[self.map.lane_of(ch) as usize] += held;
             }
             if let Some((w, whop)) = waiter {
                 debug_assert!(self.scratch.msgs[w].outcome.is_none());
@@ -252,11 +281,16 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
                 } else {
                     self.stats.blocked_time += waited;
                 }
+                if self.map.class_size() > 1 {
+                    debug_assert_eq!(self.scratch.msgs[w].taken.len(), whop);
+                    self.scratch.msgs[w].taken.push(ch);
+                }
                 self.probe.on_channel_granted(grant_t, w, ch, whop);
                 self.advance_after_grant(w, whop, ch, grant_t);
             }
         }
         self.scratch.msgs[m].acquired = 0;
+        self.scratch.msgs[m].taken.clear();
     }
 
     /// Aborts an in-flight (or not-yet-started) message: releases held
@@ -404,20 +438,41 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
         // A stall-window park ends here (this is its reopen retry):
         // charge the window now that it actually elapsed.
         self.settle_stall(m, t);
-        let ch = self.route_channel(m, hop);
-        self.probe.on_channel_requested(t, m, ch, hop);
-        if self.scratch.dead[ch] {
-            // The header hit a dead channel: abort-and-discard.
+        let rep = self.route_channel(m, hop);
+        self.probe.on_channel_requested(t, m, rep, hop);
+        // Under adaptive lane selection the worm may take any lane of
+        // the nominal channel's class window, lowest index first; a
+        // single-lane class (every deterministic router) degenerates to
+        // the original one-channel protocol with no extra work.
+        let window = if self.map.is_virtual(rep) {
+            1
+        } else {
+            self.map.class_size()
+        };
+        let mut chosen = None;
+        let mut any_alive = false;
+        for c in rep..rep + window {
+            if self.scratch.dead[c] {
+                continue;
+            }
+            any_alive = true;
+            if chosen.is_none() && self.scratch.channels.is_free(c) {
+                chosen = Some(c);
+            }
+        }
+        if !any_alive {
+            // The header hit a dead link — every lane of the class is
+            // down: abort-and-discard.
             self.scratch.msgs[m].acquired = hop;
             self.abort(m, t, Outcome::Failed(FaultCause::DeadChannel));
             return;
         }
-        if let Some(reopen) = self.stalled_until(ch, t) {
-            // Transient stall: the channel refuses acquisition until the
+        if let Some(reopen) = self.stalled_until(rep, t) {
+            // Transient stall: the link refuses acquisition until the
             // window closes. Counts as contention blocking; the blocked
             // time is charged when the park ends (reopen or abort), not
             // upfront — see `settle_stall`.
-            let port = self.map.is_virtual(ch) || hop == 0;
+            let port = self.map.is_virtual(rep) || hop == 0;
             if port {
                 self.scratch.msgs[m].port_waits += 1;
                 self.stats.port_waits += 1;
@@ -426,32 +481,37 @@ impl<'a, R: Router, P: Probe> Engine<'a, R, P> {
                 self.stats.blocks += 1;
             }
             self.scratch.msgs[m].stall = Some((t, port));
-            let depth = self.scratch.channels.queue_len(ch);
-            self.probe.on_channel_blocked(t, m, ch, hop, depth);
+            let depth = self.scratch.channels.queue_len(rep);
+            self.probe.on_channel_blocked(t, m, rep, hop, depth);
             self.scratch.queue.push(reopen, Event::TryAcquire(m, hop));
             return;
         }
-        if self.scratch.channels.is_free(ch) {
+        if let Some(ch) = chosen {
             self.scratch.channels.acquire(ch, m, t);
+            if self.map.class_size() > 1 {
+                debug_assert_eq!(self.scratch.msgs[m].taken.len(), hop);
+                self.scratch.msgs[m].taken.push(ch);
+            }
             self.probe.on_channel_granted(t, m, ch, hop);
             self.advance_after_grant(m, hop, ch, t);
         } else {
-            // Block in place: keep held channels, queue FIFO.
+            // Every live lane is busy: block in place holding acquired
+            // channels, queue FIFO on the class representative.
             // A block at hop 0 holds nothing upstream — it is
             // source-side port serialization (Theorem 3's benign
             // case), not network contention.
             self.scratch.msgs[m].wait_since = t;
-            self.scratch.msgs[m].waiting_on = Some(ch);
-            if self.map.is_virtual(ch) || hop == 0 {
+            self.scratch.msgs[m].waiting_on = Some(rep);
+            if self.map.is_virtual(rep) || hop == 0 {
                 self.scratch.msgs[m].port_waits += 1;
                 self.stats.port_waits += 1;
             } else {
                 self.scratch.msgs[m].blocks += 1;
                 self.stats.blocks += 1;
             }
-            let depth = self.scratch.channels.enqueue(ch, m, hop);
+            let depth = self.scratch.channels.enqueue(rep, m, hop);
             self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u32);
-            self.probe.on_channel_blocked(t, m, ch, hop, depth);
+            self.probe.on_channel_blocked(t, m, rep, hop, depth);
         }
     }
 

@@ -32,6 +32,13 @@ pub struct NetStats {
     /// or virtual) — an instantaneous congestion measure the aggregate
     /// blocked-time totals smear out.
     pub max_queue_depth: u32,
+    /// Per-lane total busy (held) time of external channels, indexed by
+    /// lane (`0..router.lanes()`). Length 1 for single-lane routers,
+    /// where it duplicates the sum of `dim_busy`.
+    pub lane_busy: Vec<SimTime>,
+    /// Number of physical links — the per-lane external channel count,
+    /// the denominator of [`lane_utilization`](NetStats::lane_utilization).
+    pub lane_links: u32,
 }
 
 impl NetStats {
@@ -62,6 +69,30 @@ impl NetStats {
             *mine = (*mine).max(*theirs);
         }
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        if self.lane_busy.len() < other.lane_busy.len() {
+            self.lane_busy.resize(other.lane_busy.len(), SimTime::ZERO);
+        }
+        for (mine, theirs) in self.lane_busy.iter_mut().zip(&other.lane_busy) {
+            *mine += *theirs;
+        }
+        self.lane_links = self.lane_links.max(other.lane_links);
+    }
+
+    /// Mean utilization of each lane across every physical link: held
+    /// time divided by `makespan · links`, in lane order. All zeros for
+    /// a run with zero makespan. The lane-sweep tables read the spread
+    /// of this vector as the "how evenly did adaptive selection load
+    /// the lanes" signal.
+    #[must_use]
+    pub fn lane_utilization(&self) -> Vec<f64> {
+        if self.makespan == SimTime::ZERO || self.lane_links == 0 {
+            return vec![0.0; self.lane_busy.len()];
+        }
+        let denom = self.makespan.as_ns() as f64 * f64::from(self.lane_links);
+        self.lane_busy
+            .iter()
+            .map(|busy| busy.as_ns() as f64 / denom)
+            .collect()
     }
 
     /// Mean utilization of the external channels of each coordinate
@@ -240,6 +271,8 @@ mod tests {
             dim_busy: vec![SimTime::from_ns(4)],
             dim_channels: vec![2],
             max_queue_depth: 3,
+            lane_busy: vec![SimTime::from_ns(4)],
+            lane_links: 2,
         };
         let b = NetStats {
             blocked_time: SimTime::from_ns(7),
@@ -252,6 +285,8 @@ mod tests {
             dim_busy: vec![SimTime::from_ns(1), SimTime::from_ns(9)],
             dim_channels: vec![2, 8],
             max_queue_depth: 5,
+            lane_busy: vec![SimTime::from_ns(6), SimTime::from_ns(2)],
+            lane_links: 4,
         };
         a.absorb(&b);
         assert_eq!(a.blocked_time, SimTime::from_ns(17));
@@ -264,6 +299,28 @@ mod tests {
         assert_eq!(a.dim_busy, vec![SimTime::from_ns(5), SimTime::from_ns(9)]);
         assert_eq!(a.dim_channels, vec![2, 8]);
         assert_eq!(a.max_queue_depth, 5);
+        assert_eq!(a.lane_busy, vec![SimTime::from_ns(10), SimTime::from_ns(2)]);
+        assert_eq!(a.lane_links, 4);
+    }
+
+    #[test]
+    fn lane_utilization_divides_by_links_and_makespan() {
+        let stats = NetStats {
+            makespan: SimTime::from_ns(100),
+            lane_busy: vec![SimTime::from_ns(200), SimTime::from_ns(50)],
+            lane_links: 4,
+            ..NetStats::default()
+        };
+        let u = stats.lane_utilization();
+        assert_eq!(u.len(), 2);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.125).abs() < 1e-12);
+        // Zero makespan or zero links: all zeros, never a division.
+        let empty = NetStats {
+            lane_busy: vec![SimTime::from_ns(7)],
+            ..NetStats::default()
+        };
+        assert_eq!(empty.lane_utilization(), vec![0.0]);
     }
 
     #[test]

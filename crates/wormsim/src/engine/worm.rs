@@ -124,6 +124,12 @@ pub(crate) struct MsgState {
     pub port_waits: u32,
     /// Number of route channels currently held.
     pub acquired: usize,
+    /// The channels actually granted so far, hop by hop. Populated only
+    /// under adaptive lane selection (`class_size > 1`), where the
+    /// granted lane may differ from the route's nominal class floor;
+    /// with a single lane per class the route memo *is* the truth and
+    /// this stays empty (the allocation-free hot path).
+    pub taken: Vec<usize>,
     /// Channel whose queue this message currently sits in, if blocked.
     pub waiting_on: Option<usize>,
     /// An open stall-window park: `(since, port_classified)`. The
@@ -152,6 +158,7 @@ impl MsgState {
             blocks: 0,
             port_waits: 0,
             acquired: 0,
+            taken: Vec::new(),
             waiting_on: None,
             stall: None,
             outcome: None,
@@ -174,6 +181,7 @@ impl MsgState {
         self.blocks = 0;
         self.port_waits = 0;
         self.acquired = 0;
+        self.taken.clear();
         self.waiting_on = None;
         self.stall = None;
         self.outcome = None;

@@ -36,8 +36,12 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Directed external channels that are permanently dead, as
-    /// `(from, dim)` pairs.
+    /// `(from, dim)` pairs. A dead link kills every lane of the channel.
     dead_links: BTreeSet<(u32, u8)>,
+    /// Single dead lanes of otherwise-live links, as `(from, dim, lane)`
+    /// triples — the `(link, lane)` fault granularity of multi-lane
+    /// channels. On a single-lane router, lane 0 is the whole link.
+    dead_lanes: BTreeSet<(u32, u8, u8)>,
     /// Nodes that are down entirely.
     dead_nodes: BTreeSet<u32>,
     /// Transient unavailability windows `[from, until)` per channel,
@@ -72,6 +76,7 @@ impl FaultPlan {
     #[must_use]
     pub fn has_network_faults(&self) -> bool {
         !self.dead_links.is_empty()
+            || !self.dead_lanes.is_empty()
             || !self.dead_nodes.is_empty()
             || !self.stuck.is_empty()
             || !self.stalls.is_empty()
@@ -113,6 +118,24 @@ impl FaultPlan {
     /// Kills the directed external channel leaving `from` in `dim`.
     pub fn fail_link(&mut self, from: NodeId, dim: Dim) -> &mut Self {
         self.dead_links.insert((from.0, dim.0));
+        self
+    }
+
+    /// Kills a single lane of the directed channel leaving `from` on
+    /// `port` — the other lanes of the link stay usable, and an
+    /// adaptive engine routes worms around the dead lane inside the
+    /// lane class. [`fail_link`](FaultPlan::fail_link) kills every lane
+    /// at once.
+    pub fn fail_lane(&mut self, from: NodeId, port: Dim, lane: u8) -> &mut Self {
+        self.dead_lanes.insert((from.0, port.0, lane));
+        self
+    }
+
+    /// Repairs a single lane (the inverse of
+    /// [`fail_lane`](FaultPlan::fail_lane)); a no-op if the lane was
+    /// not dead.
+    pub fn revive_lane(&mut self, from: NodeId, port: Dim, lane: u8) -> &mut Self {
+        self.dead_lanes.remove(&(from.0, port.0, lane));
         self
     }
 
@@ -273,6 +296,16 @@ impl FaultPlan {
         self.dead_links.contains(&(from.0, port.0))
     }
 
+    /// Whether the single lane `lane` of the channel leaving `from` on
+    /// `port` was killed with [`fail_lane`](FaultPlan::fail_lane). Like
+    /// [`link_dead`](FaultPlan::link_dead) this looks only at the lane
+    /// set; the engine combines it with the link- and node-level
+    /// queries per `(link, lane)` channel.
+    #[must_use]
+    pub fn lane_dead(&self, from: NodeId, port: Dim, lane: u8) -> bool {
+        !self.dead_lanes.is_empty() && self.dead_lanes.contains(&(from.0, port.0, lane))
+    }
+
     /// Whether the directed **hypercube** channel leaving `from` in
     /// `dim` is unusable: the link itself is dead, or either endpoint
     /// node is down. The neighbor is computed by the cube's XOR rule;
@@ -331,6 +364,13 @@ impl FaultPlan {
         self.dead_links.iter().map(|&(v, d)| (NodeId(v), Dim(d)))
     }
 
+    /// The dead single lanes, as `(from, port, lane)`.
+    pub fn dead_lanes(&self) -> impl Iterator<Item = (NodeId, Dim, u8)> + '_ {
+        self.dead_lanes
+            .iter()
+            .map(|&(v, d, l)| (NodeId(v), Dim(d), l))
+    }
+
     /// The dead nodes.
     pub fn dead_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.dead_nodes.iter().map(|&v| NodeId(v))
@@ -365,6 +405,11 @@ pub enum FaultEventKind {
     NodeDown(NodeId),
     /// The node comes back up.
     NodeUp(NodeId),
+    /// A single lane of the directed channel dies (multi-lane links;
+    /// [`LinkDown`](FaultEventKind::LinkDown) kills every lane at once).
+    LaneDown(NodeId, Dim, u8),
+    /// The lane is repaired.
+    LaneUp(NodeId, Dim, u8),
 }
 
 /// One timestamped failure or repair.
@@ -512,6 +557,12 @@ fn apply(plan: &mut FaultPlan, kind: FaultEventKind) {
         FaultEventKind::NodeUp(v) => {
             plan.revive_node(v);
         }
+        FaultEventKind::LaneDown(v, d, l) => {
+            plan.fail_lane(v, d, l);
+        }
+        FaultEventKind::LaneUp(v, d, l) => {
+            plan.revive_lane(v, d, l);
+        }
     }
 }
 
@@ -525,6 +576,12 @@ impl From<&FaultPlan> for hypercast::repair::NetworkFaults {
     fn from(plan: &FaultPlan) -> hypercast::repair::NetworkFaults {
         let mut f = hypercast::repair::NetworkFaults::new();
         for (v, d) in plan.dead_links() {
+            f.fail_link(v, d);
+        }
+        // A dead lane degrades the link but the tree-repair machinery
+        // has no lane notion: map it conservatively to the whole link,
+        // so repaired trees route around the damage entirely.
+        for (v, d, _lane) in plan.dead_lanes() {
             f.fail_link(v, d);
         }
         for v in plan.dead_nodes() {
@@ -745,5 +802,59 @@ mod tests {
         // Reviving something never failed is a no-op.
         plan.revive_link(NodeId(9), Dim(0)).revive_node(NodeId(9));
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn lane_faults_are_lane_granular() {
+        let mut p = FaultPlan::none();
+        p.fail_lane(NodeId(3), Dim(1), 2);
+        assert!(p.has_network_faults());
+        assert!(p.lane_dead(NodeId(3), Dim(1), 2));
+        // Sibling lanes and the link itself stay alive.
+        assert!(!p.lane_dead(NodeId(3), Dim(1), 0));
+        assert!(!p.link_dead(NodeId(3), Dim(1)));
+        assert_eq!(
+            p.dead_lanes().collect::<Vec<_>>(),
+            vec![(NodeId(3), Dim(1), 2)]
+        );
+        // revive_lane inverts fail_lane exactly.
+        p.revive_lane(NodeId(3), Dim(1), 2);
+        assert!(p.is_empty());
+        p.revive_lane(NodeId(9), Dim(0), 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn lane_events_flow_through_timelines() {
+        let tl = FaultTimeline::new(vec![
+            FaultEvent {
+                at: SimTime::from_ns(100),
+                kind: FaultEventKind::LaneDown(NodeId(1), Dim(0), 1),
+            },
+            FaultEvent {
+                at: SimTime::from_ns(200),
+                kind: FaultEventKind::LaneUp(NodeId(1), Dim(0), 1),
+            },
+        ]);
+        let epochs = tl.epochs();
+        assert_eq!(epochs.len(), 3);
+        assert!(!epochs[0].plan.lane_dead(NodeId(1), Dim(0), 1));
+        assert!(epochs[1].plan.lane_dead(NodeId(1), Dim(0), 1));
+        assert!(epochs[2].plan.is_empty());
+        // Same timestamp: Down sorts (and applies) before Up, so a
+        // down/up pair at one instant nets to "up" — exactly the
+        // LinkDown/LinkUp convention.
+        assert!(
+            FaultEventKind::LaneDown(NodeId(0), Dim(0), 0)
+                < FaultEventKind::LaneUp(NodeId(0), Dim(0), 0)
+        );
+    }
+
+    #[test]
+    fn dead_lanes_degrade_to_dead_links_for_tree_repair() {
+        let mut p = FaultPlan::none();
+        p.fail_lane(NodeId(2), Dim(1), 0);
+        let f = hypercast::repair::NetworkFaults::from(&p);
+        assert!(f.channel_dead(NodeId(2), Dim(1)));
     }
 }

@@ -9,8 +9,8 @@
 //! self-timed execution never blocks.
 
 use crate::engine::{
-    simulate, simulate_observed, simulate_on_with_scratch, simulate_with_faults, DepMessage,
-    NetStats, RunResult, SimError,
+    simulate, simulate_observed, simulate_on, simulate_on_with_scratch, simulate_with_faults,
+    DepMessage, NetStats, RunResult, SimError,
 };
 use crate::faults::FaultPlan;
 use crate::params::SimParams;
@@ -189,6 +189,30 @@ pub fn simulate_multicast_with_scratch(
     let workload = multicast_workload(tree, bytes);
     let router = hcube::Ecube::new(tree.cube, tree.resolution);
     let run = simulate_on_with_scratch(router, params, &workload, scratch);
+    let deliveries = tree
+        .unicasts
+        .iter()
+        .zip(&run.messages)
+        .map(|(u, r)| (u.dst, r.delivered))
+        .collect();
+    SimReport::from_run(deliveries, &run)
+}
+
+/// [`simulate_multicast`] on an E-cube router carrying `lanes` virtual
+/// lanes per physical link — the CLI's `--lanes` path. With `lanes == 1`
+/// the report is byte-identical to [`simulate_multicast`]; extra lanes
+/// let same-class worms sidestep each other, trading buffer space for
+/// contention blocking.
+#[must_use]
+pub fn simulate_multicast_lanes(
+    tree: &MulticastTree,
+    params: &SimParams,
+    bytes: u32,
+    lanes: u8,
+) -> SimReport {
+    let workload = multicast_workload(tree, bytes);
+    let router = hcube::Ecube::with_lanes(tree.cube, tree.resolution, lanes);
+    let run = simulate_on(router, params, &workload);
     let deliveries = tree
         .unicasts
         .iter()

@@ -1,20 +1,23 @@
 //! Channel-level view of a routed topology for the simulator.
 //!
-//! Every directed external channel gets a dense index (the topology's own
-//! `channel_index` bijection); under the one-port model two *virtual*
-//! channels per node are appended — an injection channel (a node
-//! transmits at most one message at a time) and a consumption channel (it
-//! receives at most one at a time). A message's path is the optional
-//! injection channel, the router's external channels, and the optional
-//! consumption channel; the worm holds all of them from head acquisition
-//! to tail drain, so one-port serialization falls out of the ordinary
+//! Every directed external channel gets a dense index: the router runs
+//! [`Router::lanes`] virtual lanes per physical link, and lane `l` of
+//! the link with topology index `k` sits at external index `k·L + l`
+//! (at `L = 1` this *is* the topology's own `channel_index` bijection).
+//! Under the one-port model two *virtual* channels per node are
+//! appended — an injection channel (a node transmits at most one
+//! message at a time) and a consumption channel (it receives at most
+//! one at a time). A message's path is the optional injection channel,
+//! the router's external channels, and the optional consumption
+//! channel; the worm holds all of them from head acquisition to tail
+//! drain, so one-port serialization falls out of the ordinary
 //! channel-contention machinery.
 //!
 //! The map is generic over any [`Router`]: the engine, trace
 //! reconstruction, and the flit-level validator all index channels
 //! through it and never assume hypercube address arithmetic.
 
-use hcube::{Dim, NodeId, Router, Topology};
+use hcube::{Dim, Hop, NodeId, Router, Topology};
 use hypercast::PortModel;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -75,7 +78,7 @@ pub struct RouteMemo {
     /// Flat storage of every memoized route, concatenated.
     channels: Vec<usize>,
     /// Scratch hop buffer for route computation on a miss.
-    hops: Vec<(NodeId, Dim)>,
+    hops: Vec<Hop>,
     /// Lookups served without recomputing a route.
     hits: u64,
     /// Lookups that had to compute (and store) a route.
@@ -138,17 +141,22 @@ impl RouteMemo {
 }
 
 /// Dense indexing for the external and virtual channels of a routed
-/// topology.
+/// topology running `L = router.lanes()` virtual lanes per link.
 ///
-/// Layout: externals occupy `0..externals()` exactly as the topology's
-/// `channel_index` defines; consumption channels follow at
-/// `externals() + v`; injection channels at `externals() + nodes + v`.
+/// Layout: externals occupy `0..externals()` with lane `l` of link `k`
+/// (topology `channel_index`) at `k·L + l`; consumption channels follow
+/// at `externals() + v`; injection channels at `externals() + nodes + v`.
 #[derive(Clone, Copy, Debug)]
 pub struct ChannelMap<R: Router> {
     router: R,
     topo: R::Topo,
     externals: usize,
     nodes: usize,
+    /// Virtual lanes per physical link (`router.lanes()`).
+    lanes: usize,
+    /// Lanes per lane class (`lanes / router.lane_classes()`); the
+    /// engine may swap a nominal lane for any free lane of its class.
+    class_size: usize,
     /// Fingerprint of the router (type and value), computed once here —
     /// [`route_into`](Self::route_into) validates the memo against it on
     /// every lookup, so it must not cost a hash of the type name each
@@ -158,9 +166,19 @@ pub struct ChannelMap<R: Router> {
 
 impl<R: Router> ChannelMap<R> {
     /// Builds the channel map for `router`'s topology.
+    ///
+    /// # Panics
+    /// If the router's lane configuration violates the [`Router`]
+    /// contract (`lanes()` not a positive multiple of `lane_classes()`).
     #[must_use]
     pub fn new(router: R) -> ChannelMap<R> {
         let topo = router.topology();
+        let lanes = router.lanes() as usize;
+        let classes = router.lane_classes() as usize;
+        assert!(
+            lanes >= 1 && classes >= 1 && lanes.is_multiple_of(classes),
+            "lanes() must be a positive multiple of lane_classes()"
+        );
         let stamp = {
             let mut h = std::collections::hash_map::DefaultHasher::new();
             std::any::type_name::<R>().hash(&mut h);
@@ -170,8 +188,10 @@ impl<R: Router> ChannelMap<R> {
         ChannelMap {
             router,
             topo,
-            externals: topo.channel_count(),
+            externals: topo.channel_count() * lanes,
             nodes: topo.node_count(),
+            lanes,
+            class_size: lanes / classes,
             stamp,
         }
     }
@@ -200,7 +220,8 @@ impl<R: Router> ChannelMap<R> {
         self.len() == 0
     }
 
-    /// Number of directed external channels (the topology's own count).
+    /// Number of directed external channels
+    /// (`topology channel count · lanes`).
     #[must_use]
     pub fn externals(&self) -> usize {
         self.externals
@@ -212,14 +233,46 @@ impl<R: Router> ChannelMap<R> {
         self.nodes
     }
 
-    /// Index of the directed external channel leaving `from` on `port`.
+    /// Virtual lanes per physical link.
+    #[inline]
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lanes per lane class: the width of the window of interchangeable
+    /// lanes the engine may scan when the nominal lane is busy.
+    #[inline]
+    #[must_use]
+    pub fn class_size(&self) -> usize {
+        self.class_size
+    }
+
+    /// Number of physical links (`externals() / lanes()`).
+    #[inline]
+    #[must_use]
+    pub fn links(&self) -> usize {
+        self.externals / self.lanes
+    }
+
+    /// Index of lane 0 of the directed link leaving `from` on `port`.
     #[inline]
     #[must_use]
     pub fn external(&self, from: NodeId, port: Dim) -> usize {
-        self.topo.channel_index(from, port)
+        self.topo.channel_index(from, port) * self.lanes
     }
 
-    /// Decodes an external channel index back to `(from, port)`.
+    /// Index of lane `lane` of the directed link leaving `from` on
+    /// `port`.
+    #[inline]
+    #[must_use]
+    pub fn external_lane(&self, from: NodeId, port: Dim, lane: u8) -> usize {
+        debug_assert!((lane as usize) < self.lanes);
+        self.topo.channel_index(from, port) * self.lanes + lane as usize
+    }
+
+    /// Decodes an external channel index back to the `(from, port)` of
+    /// its physical link (the lane is [`lane_of`](Self::lane_of)).
     ///
     /// # Panics
     /// May panic (or return garbage coordinates) if `ch` is a virtual
@@ -228,14 +281,33 @@ impl<R: Router> ChannelMap<R> {
     #[must_use]
     pub fn external_coords(&self, ch: usize) -> (NodeId, Dim) {
         debug_assert!(ch < self.externals);
-        self.topo.channel_coords(ch)
+        self.topo.channel_coords(ch / self.lanes)
+    }
+
+    /// The lane of an external channel index.
+    #[inline]
+    #[must_use]
+    pub fn lane_of(&self, ch: usize) -> u8 {
+        debug_assert!(ch < self.externals);
+        (ch % self.lanes) as u8
+    }
+
+    /// The representative channel of an external channel's lane class:
+    /// the class's lowest lane on the same link. Routes always nominate
+    /// the representative; the engine queues blocked worms on it and
+    /// scans the window `rep..rep + class_size()` for a free lane.
+    #[inline]
+    #[must_use]
+    pub fn class_rep(&self, ch: usize) -> usize {
+        debug_assert!(ch < self.externals);
+        ch - (ch % self.lanes) % self.class_size
     }
 
     /// The coordinate dimension an external channel travels in.
     #[inline]
     #[must_use]
     pub fn dim_of(&self, ch: usize) -> u8 {
-        let (_, port) = self.topo.channel_coords(ch);
+        let (_, port) = self.topo.channel_coords(ch / self.lanes);
         self.topo.port_dim(port)
     }
 
@@ -274,12 +346,19 @@ impl<R: Router> ChannelMap<R> {
         idx >= self.externals
     }
 
-    /// Human-readable label of a channel index: the topology's own label
-    /// for externals, `inj(v)` / `cons(v)` for virtuals.
+    /// Human-readable label of a channel index: the topology's own
+    /// link label for externals (the lane-qualified variant when the
+    /// router runs more than one lane), `inj(v)` / `cons(v)` for
+    /// virtuals.
     #[must_use]
     pub fn label(&self, ch: usize) -> String {
         if ch < self.externals {
-            self.topo.channel_label(ch)
+            if self.lanes == 1 {
+                self.topo.channel_label(ch)
+            } else {
+                self.topo
+                    .lane_label(ch / self.lanes, (ch % self.lanes) as u8)
+            }
         } else if ch < self.externals + self.nodes {
             let v = NodeId((ch - self.externals) as u32);
             format!("cons({})", self.topo.node_label(v))
@@ -301,8 +380,8 @@ impl<R: Router> ChannelMap<R> {
         if port_model == PortModel::OnePort {
             channels.push(self.injection(src));
         }
-        for (v, p) in hops {
-            channels.push(self.external(v, p));
+        for h in hops {
+            channels.push(self.external_lane(h.from, h.port, h.lane));
         }
         if port_model == PortModel::OnePort {
             channels.push(self.consumption(dst));
@@ -349,8 +428,9 @@ impl<R: Router> ChannelMap<R> {
         let mut hops = std::mem::take(&mut memo.hops);
         hops.clear();
         self.router.route_hops(src, dst, &mut hops);
-        for &(v, p) in &hops {
-            memo.channels.push(self.external(v, p));
+        for h in &hops {
+            memo.channels
+                .push(self.external_lane(h.from, h.port, h.lane));
         }
         memo.hops = hops;
         if port_model == PortModel::OnePort {
@@ -500,5 +580,73 @@ mod tests {
         assert_eq!(map.label(map.external(NodeId(0b010), Dim(0))), "010--0→");
         assert_eq!(map.label(map.consumption(NodeId(3))), "cons(011)");
         assert_eq!(map.label(map.injection(NodeId(3))), "inj(011)");
+    }
+
+    #[test]
+    fn multi_lane_indices_are_dense_and_decode() {
+        let cube = Cube::of(3);
+        let map = ChannelMap::new(Ecube::with_lanes(cube, Resolution::HighToLow, 4));
+        assert_eq!(map.lanes(), 4);
+        assert_eq!(map.class_size(), 4, "Ecube lanes form one class");
+        assert_eq!(map.links(), 3 * 8);
+        assert_eq!(map.externals(), 3 * 8 * 4);
+        assert_eq!(map.len(), 3 * 8 * 4 + 2 * 8);
+        let mut seen = vec![false; map.externals()];
+        for v in cube.nodes() {
+            for d in cube.dims() {
+                for lane in 0..4u8 {
+                    let ch = map.external_lane(v, d, lane);
+                    assert!(!seen[ch]);
+                    seen[ch] = true;
+                    assert_eq!(map.external_coords(ch), (v, d));
+                    assert_eq!(map.lane_of(ch), lane);
+                    // One class: every lane's representative is lane 0.
+                    assert_eq!(map.class_rep(ch), map.external(v, d));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn torus_lane_classes_split_at_the_multiplier() {
+        let t = Torus::of(4, 2);
+        let map = ChannelMap::new(TorusRouter::with_lane_multiplier(t, 2));
+        assert_eq!(map.lanes(), 4);
+        assert_eq!(map.class_size(), 2, "two dateline classes of two lanes");
+        let v = t.node_at(&[0, 0]);
+        let p = Dim(0);
+        let base = map.external(v, p);
+        // Lanes {0, 1} share representative lane 0; lanes {2, 3} share
+        // representative lane 2 — classes never bleed into each other.
+        assert_eq!(map.class_rep(base), base);
+        assert_eq!(map.class_rep(base + 1), base);
+        assert_eq!(map.class_rep(base + 2), base + 2);
+        assert_eq!(map.class_rep(base + 3), base + 2);
+    }
+
+    #[test]
+    fn multi_lane_labels_are_lane_qualified() {
+        let cube = Cube::of(3);
+        let map = ChannelMap::new(Ecube::with_lanes(cube, Resolution::HighToLow, 2));
+        let ch = map.external_lane(NodeId(0b010), Dim(0), 1);
+        assert_eq!(map.label(ch), "010--0v1→");
+        assert_eq!(map.label(map.consumption(NodeId(3))), "cons(011)");
+    }
+
+    #[test]
+    fn dateline_routes_nominate_the_high_class_representative() {
+        let t = Torus::of(5, 1);
+        let map = ChannelMap::new(TorusRouter::with_lane_multiplier(t, 2));
+        // 4 → 1 along +x crosses the dateline on its first hop: hops
+        // after the wrap ride the high lane class, whose representative
+        // is lane m = 2 of the 4 lanes.
+        let route = map.route(PortModel::AllPort, t.node_at(&[4]), t.node_at(&[1]));
+        assert_eq!(route.len(), 2);
+        let lanes: Vec<u8> = route.iter().map(|&c| map.lane_of(c)).collect();
+        assert_eq!(lanes, vec![0, 2]);
+        // A non-wrapping route stays on the low class representative.
+        let route = map.route(PortModel::AllPort, t.node_at(&[0]), t.node_at(&[2]));
+        assert!(route.iter().all(|&c| map.lane_of(c) == 0));
     }
 }

@@ -317,6 +317,89 @@ fn netstats_matches_recorder_under_multicast_contention() {
 }
 
 // ---------------------------------------------------------------------
+// Multi-lane reconciliation: NetStats' per-lane busy/blocked accounting
+// equals the recorder's exact per-channel sums when the router runs
+// several lanes per link and the engine picks lanes adaptively.
+// ---------------------------------------------------------------------
+
+/// Per-lane exactness: `lane_busy[l]` is the sum of exact hold time over
+/// the external channels of lane `l`, blocked time parks only on class
+/// representatives, and the totals still reconcile.
+fn assert_lane_stats_match_recorder(
+    map: &ChannelMap<impl hcube::Router>,
+    stats: &wormsim::NetStats,
+    rec: &EventRecorder,
+) {
+    assert_eq!(stats.lane_busy.len(), map.lanes());
+    assert_eq!(stats.lane_links as usize, map.links());
+    for l in 0..map.lanes() {
+        let expect: u64 = (0..map.externals())
+            .filter(|&ch| map.lane_of(ch) as usize == l)
+            .map(|ch| rec.busy_ns(ch))
+            .sum();
+        assert_eq!(
+            stats.lane_busy[l].as_ns(),
+            expect,
+            "NetStats.lane_busy[{l}] drifts from exact per-channel holds"
+        );
+    }
+    // Worms queue on the class representative, so non-representative
+    // lanes never accrue blocked time.
+    for ch in 0..map.externals() {
+        if map.class_rep(ch) != ch {
+            assert_eq!(
+                rec.blocked_ns(ch),
+                0,
+                "blocked time must park on class representatives (ch {ch})"
+            );
+        }
+    }
+    // Busy time is conserved across the two decompositions.
+    let by_lane: u64 = stats.lane_busy.iter().map(|t| t.as_ns()).sum();
+    let by_dim: u64 = stats.dim_busy.iter().map(|t| t.as_ns()).sum();
+    assert_eq!(
+        by_lane, by_dim,
+        "lane and dimension busy must both sum to total"
+    );
+}
+
+#[test]
+fn netstats_matches_recorder_multi_lane_cube() {
+    let cube = Cube::of(4);
+    let router = Ecube::with_lanes(cube, Resolution::HighToLow, 4);
+    let map = ChannelMap::new(router);
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let mut rec = EventRecorder::new();
+    let run = simulate_observed_on(router, &params, &hot_spot(16, 2048), &mut rec);
+    assert_eq!(run.delivered_count(), 15);
+    assert_stats_match_recorder(&map, &run.stats, &rec);
+    assert_lane_stats_match_recorder(&map, &run.stats, &rec);
+    // The hot-spot actually spreads onto the extra lanes: some hold time
+    // lands outside lane 0.
+    assert!(
+        run.stats.lane_busy[1..].iter().any(|t| t.as_ns() > 0),
+        "adaptive selection must use a lane other than 0 under a hot-spot"
+    );
+    let util = run.stats.lane_utilization();
+    assert_eq!(util.len(), 4);
+    assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    assert!(util[0] >= util[3], "lowest lane is scanned first");
+}
+
+#[test]
+fn netstats_matches_recorder_multi_lane_torus() {
+    let torus = Torus::of(4, 2);
+    let router = TorusRouter::with_lane_multiplier(torus, 2);
+    let map = ChannelMap::new(router);
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let mut rec = EventRecorder::new();
+    let run = simulate_observed_on(router, &params, &hot_spot(16, 2048), &mut rec);
+    assert_eq!(run.delivered_count(), 15);
+    assert_stats_match_recorder(&map, &run.stats, &rec);
+    assert_lane_stats_match_recorder(&map, &run.stats, &rec);
+}
+
+// ---------------------------------------------------------------------
 // Watchdog / deadlock paths: the probe sees the same wedge the typed
 // error reports.
 // ---------------------------------------------------------------------
