@@ -7,11 +7,19 @@
 //!   (must monomorphize away: within noise of baseline, the tentpole's
 //!   acceptance bar),
 //! - `event_recorder` — full ring-buffer + occupancy accounting,
-//! - `metrics` — counter/histogram registry.
+//! - `metrics` — counter/histogram registry,
+//! - `telemetry_probe` — the traffic flight recorder's blocking-interval
+//!   sink ([`traffic::TelemetryProbe`]),
+//! - `telemetry_full` — an entire observed traffic run with span +
+//!   time-series assembly vs `traffic_plain`, the same run unobserved
+//!   (the telemetry layer's end-to-end cost).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hcube::{Cube, NodeId, Resolution};
 use hypercast::{Algorithm, PortModel};
+use traffic::{
+    ArrivalProcess, Arrivals, DestPattern, TelemetryConfig, TelemetryProbe, TrafficSpec,
+};
 use wormsim::{
     multicast_workload, simulate, simulate_observed, DepMessage, EventRecorder, Metrics, NoopProbe,
     SimParams,
@@ -61,8 +69,59 @@ fn bench_probe_overhead(c: &mut Criterion) {
             ))
         })
     });
+    g.bench_function("telemetry_probe", |b| {
+        b.iter(|| {
+            let mut probe = TelemetryProbe::new();
+            let run = simulate_observed(cube, resolution, &params, &workload, &mut probe);
+            std::hint::black_box((run, probe.take_intervals()))
+        })
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_probe_overhead);
+/// Open-loop operating point for the end-to-end comparison: a loaded
+/// 5-cube pool run, small enough for criterion, contended enough that
+/// the blocking-interval sink sees real traffic.
+fn traffic_spec() -> TrafficSpec {
+    let mut rng = workloads::destsets::trial_rng("probe_overhead", 1, 0);
+    let pool = DestPattern::uniform_pool(&mut rng, &Cube::of(5), 4, 6);
+    let mut spec = TrafficSpec::new(Arrivals::new(ArrivalProcess::Poisson, 20.0), pool, 40, 7);
+    spec.cache_capacity = 8;
+    spec
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let cube = Cube::of(5);
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let spec = traffic_spec();
+    let cfg = TelemetryConfig::default();
+    let mut g = c.benchmark_group("telemetry_overhead");
+
+    g.bench_function("traffic_plain", |b| {
+        b.iter(|| {
+            std::hint::black_box(traffic::run_cube(
+                &spec,
+                cube,
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+            ))
+        })
+    });
+    g.bench_function("telemetry_full", |b| {
+        b.iter(|| {
+            std::hint::black_box(traffic::run_cube_with_telemetry(
+                &spec,
+                cube,
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+                &cfg,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead, bench_telemetry_overhead);
 criterion_main!(benches);

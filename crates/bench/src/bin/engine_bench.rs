@@ -42,7 +42,12 @@
 //!
 //! Flags:
 //! * `--quick` — fewer repetitions (CI smoke; noisier ratios);
-//! * `--out FILE` — write somewhere other than `BENCH_engine.json`.
+//! * `--out FILE` — write somewhere other than `BENCH_engine.json`;
+//! * `--check [FILE]` — the perf-regression gate: re-run every case at
+//!   quick repetitions and fail (exit 1) if any measured warm/cold
+//!   ratio drops below [`CHECK_FLOOR_FRACTION`] of the committed
+//!   baseline's ratio (default baseline: `BENCH_engine.json`). Writes
+//!   nothing.
 
 use hcube::{Cube, NodeId, Resolution, Router, Torus, TorusRouter};
 use hypercast::{Algorithm, PortModel};
@@ -291,16 +296,14 @@ fn replay_case<R: Router + Copy>(
     ])
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| w[1].clone());
-    let reps = if quick { 40 } else { 800 };
-    let replay_reps = if quick { 400 } else { 4000 };
+/// How much of the committed baseline ratio a quick re-measurement must
+/// retain to pass `--check`. Quick repetitions are noisy, so the gate
+/// flags sustained regressions (a lost optimization, an accidental
+/// per-run allocation), not run-to-run jitter.
+const CHECK_FLOOR_FRACTION: f64 = 0.7;
 
+/// Runs every benchmark case and returns the artifact's `cases` array.
+fn run_cases(reps: usize, replay_reps: usize) -> Vec<Value> {
     let params = SimParams::ncube2(PortModel::AllPort);
     let mut cases = Vec::new();
 
@@ -383,6 +386,98 @@ fn main() {
             replay_reps,
         ));
     }
+    cases
+}
+
+/// The ratio field a case is tracked by: `warm_over_cold` for traffic
+/// cases, `cold_over_warm` for replay cases — both read "how much
+/// scratch reuse pays", larger is better.
+fn tracked_ratio(case: &Value) -> Option<(String, f64)> {
+    let name = case.get("name").and_then(Value::as_str)?.to_string();
+    let key = match case.get("kind").and_then(Value::as_str)? {
+        "traffic" => "warm_over_cold",
+        _ => "cold_over_warm",
+    };
+    Some((name, case.get(key).and_then(Value::as_f64)?))
+}
+
+/// `--check`: re-measures every case at quick repetitions and compares
+/// against the committed baseline's ratios. Exits 1 on regression.
+fn run_check(baseline_path: &str) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let baseline = workloads::json::parse(&text)
+        .unwrap_or_else(|e| panic!("{baseline_path}: invalid JSON: {e}"));
+    let schema = baseline.get("schema").and_then(Value::as_str);
+    assert_eq!(
+        schema,
+        Some("engine-bench/v1"),
+        "{baseline_path}: unexpected schema {schema:?}"
+    );
+    let committed: Vec<(String, f64)> = baseline
+        .get("cases")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{baseline_path}: missing cases array"))
+        .iter()
+        .filter_map(tracked_ratio)
+        .collect();
+    assert!(!committed.is_empty(), "{baseline_path}: no tracked cases");
+
+    eprintln!(
+        "[check] re-measuring {} cases at quick repetitions (floor = {CHECK_FLOOR_FRACTION} x baseline)",
+        committed.len()
+    );
+    let measured: Vec<(String, f64)> = run_cases(40, 400)
+        .iter()
+        .filter_map(tracked_ratio)
+        .collect();
+
+    let mut failed = false;
+    for (name, base) in &committed {
+        let Some((_, now)) = measured.iter().find(|(n, _)| n == name) else {
+            eprintln!("[check] FAIL {name}: case missing from this build");
+            failed = true;
+            continue;
+        };
+        let floor = base * CHECK_FLOOR_FRACTION;
+        let verdict = if *now < floor { "FAIL" } else { "ok" };
+        eprintln!(
+            "[check] {verdict:>4} {name}: ratio {now:.3} vs baseline {base:.3} (floor {floor:.3})"
+        );
+        failed |= *now < floor;
+    }
+    if failed {
+        eprintln!("[check] perf-regression gate FAILED: scratch reuse pays less than {CHECK_FLOOR_FRACTION}x the committed baseline");
+        std::process::exit(1);
+    }
+    eprintln!("[check] perf-regression gate passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let default = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_engine.json")
+            .to_string_lossy()
+            .into_owned();
+        let baseline = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or(default);
+        run_check(&baseline);
+        return;
+    }
+
+    let reps = if quick { 40 } else { 800 };
+    let replay_reps = if quick { 400 } else { 4000 };
+    let cases = run_cases(reps, replay_reps);
 
     let doc = Value::Object(vec![
         ("schema".into(), Value::String("engine-bench/v1".into())),

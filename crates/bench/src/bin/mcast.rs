@@ -30,8 +30,8 @@ use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
 use hypercast::{Algorithm, PortModel, RetryPolicy};
 use traffic::{
-    ArrivalProcess, Arrivals, ChaosReport, ChaosSpec, ChurnSpec, DestPattern, TrafficReport,
-    TrafficSpec,
+    ArrivalProcess, Arrivals, ChaosReport, ChaosSpec, ChurnSpec, DestPattern, Telemetry,
+    TelemetryConfig, TrafficReport, TrafficSpec,
 };
 use wormsim::network::ChannelMap;
 use wormsim::{
@@ -73,6 +73,8 @@ struct Args {
     json: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    spans_out: Option<String>,
+    timeseries_out: Option<String>,
     faults: usize,
     fail_links: Vec<(u32, u8)>,
     fail_nodes: Vec<u32>,
@@ -104,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         trace_out: None,
         metrics_out: None,
+        spans_out: None,
+        timeseries_out: None,
         faults: 0,
         fail_links: Vec::new(),
         fail_nodes: Vec::new(),
@@ -202,6 +206,8 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--trace-out" => args.trace_out = Some(take(&mut i)?.to_string()),
             "--metrics-out" => args.metrics_out = Some(take(&mut i)?.to_string()),
+            "--spans-out" => args.spans_out = Some(take(&mut i)?.to_string()),
+            "--timeseries-out" => args.timeseries_out = Some(take(&mut i)?.to_string()),
             "--faults" => {
                 args.faults = take(&mut i)?
                     .parse()
@@ -282,6 +288,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
                      \x20             [--bytes B] [--trace] [--json]\n\
                      \x20             [--trace-out FILE.json] [--metrics-out FILE.prom|FILE.json]\n\
+                     \x20             [--spans-out FILE.json] [--timeseries-out FILE.json]\n\
                      \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
                      \x20             [--load R [--arrivals det|poisson|bursty[:B]] [--sessions N]]\n\
                      \x20             [--chaos MTBF:MTTR [--retries N] [--backoff B]]\n\
@@ -293,7 +300,8 @@ fn parse_args() -> Result<Args, String> {
                      \x20             --lanes N (virtual lanes per link; torus needs an even N)\n\
                      \x20 multicast   --algo ..., --port one|all, --source A,\n\
                      \x20             --dests a,b,c | --random M, --seed S, --bytes B\n\
-                     \x20 output      --json, --trace, --trace-out FILE, --metrics-out FILE\n\
+                     \x20 output      --json, --trace, --trace-out FILE, --metrics-out FILE,\n\
+                     \x20             --spans-out FILE, --timeseries-out FILE (need --load)\n\
                      \x20 faults      --faults K, --fail-link V:D, --fail-node V\n\
                      \x20 open loop   --load R (sessions/ms), --arrivals det|poisson|bursty[:B],\n\
                      \x20             --sessions N\n\
@@ -303,7 +311,15 @@ fn parse_args() -> Result<Args, String> {
                      exact channel holds and blocking episodes (open in ui.perfetto.dev);\n\
                      --metrics-out writes the in-loop metrics registry, Prometheus text\n\
                      exposition if the file ends in .prom, JSON otherwise. On the cube both\n\
-                     require a single --algo.\n\
+                     require a single --algo. --spans-out and --timeseries-out attach the\n\
+                     session-level flight recorder to an open-loop run (they require\n\
+                     --load, and a single --algo on the cube): spans-out writes one trace\n\
+                     per session — every attempt with its exact queueing/blocked/transit\n\
+                     decomposition, chained through retries — and timeseries-out writes the\n\
+                     windowed series (goodput, latency quantiles, cache hit rate, live\n\
+                     faults, per-dimension blocked time per bucket). Both compose with\n\
+                     --chaos; the reported numbers are byte-identical with or without the\n\
+                     recorder attached.\n\
                      \n\
                      fault injection: --faults K kills K random directed links (seeded by --seed);\n\
                      --fail-link V:D kills the channel leaving node V in dimension D;\n\
@@ -399,6 +415,28 @@ fn write_observability<R: Router + Copy>(
         };
         write_artifact(path, &text, "--metrics-out");
         eprintln!("[saved {path}]");
+    }
+}
+
+/// Writes the flight-recorder artifacts of an open-loop run: session
+/// spans (`--spans-out`) and/or the windowed time-series
+/// (`--timeseries-out`).
+fn write_telemetry(args: &Args, tel: &Telemetry) {
+    if let Some(path) = args.spans_out.as_deref() {
+        write_artifact(path, &tel.spans_to_json_string(), "--spans-out");
+        eprintln!(
+            "[saved {path}: {} session traces across {} waves]",
+            tel.sessions.len(),
+            tel.waves
+        );
+    }
+    if let Some(path) = args.timeseries_out.as_deref() {
+        write_artifact(path, &tel.series.to_json_string(), "--timeseries-out");
+        eprintln!(
+            "[saved {path}: {} buckets of {:.3} ms]",
+            tel.series.buckets.len(),
+            tel.series.bucket_ns as f64 / 1e6
+        );
     }
 }
 
@@ -809,6 +847,8 @@ fn run_traffic(args: &Args, rate: f64) {
         eprintln!("error: --lanes applies to single-shot runs (drop --load)");
         std::process::exit(2);
     }
+    let telemetry = args.spans_out.is_some() || args.timeseries_out.is_some();
+    let tcfg = TelemetryConfig::default();
     let params = SimParams::ncube2(args.port);
     match args.topology {
         TopologyKind::Mesh => {
@@ -835,8 +875,28 @@ fn run_traffic(args: &Args, rate: f64) {
             );
             if let Some((mtbf, mttr)) = args.chaos {
                 let spec = chaos_spec(args, spec, mtbf, mttr);
-                let r = traffic::run_chaos_separate_on(&spec, TorusRouter::new(torus), &params);
-                print_chaos_report("Separate", &r, args.json);
+                if telemetry {
+                    let (r, tel) = traffic::run_chaos_separate_with_telemetry_on(
+                        &spec,
+                        TorusRouter::new(torus),
+                        &params,
+                        &tcfg,
+                    );
+                    print_chaos_report("Separate", &r, args.json);
+                    write_telemetry(args, &tel);
+                } else {
+                    let r = traffic::run_chaos_separate_on(&spec, TorusRouter::new(torus), &params);
+                    print_chaos_report("Separate", &r, args.json);
+                }
+            } else if telemetry {
+                let (r, tel) = traffic::run_separate_with_telemetry_on(
+                    &spec,
+                    TorusRouter::new(torus),
+                    &params,
+                    &tcfg,
+                );
+                print_traffic_report("Separate", &r, args.json);
+                write_telemetry(args, &tel);
             } else {
                 let r = traffic::run_separate_on(&spec, TorusRouter::new(torus), &params);
                 print_traffic_report("Separate", &r, args.json);
@@ -850,6 +910,10 @@ fn run_traffic(args: &Args, rate: f64) {
                     std::process::exit(2);
                 }
             };
+            if telemetry && args.algo.is_none() {
+                eprintln!("error: --spans-out/--timeseries-out need a single --algo (not `all`)");
+                std::process::exit(2);
+            }
             let algos: Vec<Algorithm> = match args.algo {
                 Some(a) => vec![a],
                 None => Algorithm::PAPER.to_vec(),
@@ -867,9 +931,38 @@ fn run_traffic(args: &Args, rate: f64) {
                 let spec = traffic_spec(args, rate, pattern.clone());
                 if let Some((mtbf, mttr)) = args.chaos {
                     let spec = chaos_spec(args, spec, mtbf, mttr);
-                    let r =
-                        traffic::run_chaos_cube(&spec, cube, Resolution::HighToLow, algo, &params);
-                    print_chaos_report(algo.name(), &r, args.json);
+                    if telemetry {
+                        let (r, tel) = traffic::run_chaos_cube_with_telemetry(
+                            &spec,
+                            cube,
+                            Resolution::HighToLow,
+                            algo,
+                            &params,
+                            &tcfg,
+                        );
+                        print_chaos_report(algo.name(), &r, args.json);
+                        write_telemetry(args, &tel);
+                    } else {
+                        let r = traffic::run_chaos_cube(
+                            &spec,
+                            cube,
+                            Resolution::HighToLow,
+                            algo,
+                            &params,
+                        );
+                        print_chaos_report(algo.name(), &r, args.json);
+                    }
+                } else if telemetry {
+                    let (r, tel) = traffic::run_cube_with_telemetry(
+                        &spec,
+                        cube,
+                        Resolution::HighToLow,
+                        algo,
+                        &params,
+                        &tcfg,
+                    );
+                    print_traffic_report(algo.name(), &r, args.json);
+                    write_telemetry(args, &tel);
                 } else {
                     let r = traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params);
                     print_traffic_report(algo.name(), &r, args.json);
@@ -893,6 +986,12 @@ fn main() {
     }
     if args.chaos.is_some() {
         eprintln!("error: --chaos requires --load (churn acts on open-loop traffic)");
+        std::process::exit(2);
+    }
+    if args.spans_out.is_some() || args.timeseries_out.is_some() {
+        eprintln!(
+            "error: --spans-out/--timeseries-out require --load (the flight recorder is session-level)"
+        );
         std::process::exit(2);
     }
     if args.topology == TopologyKind::Torus {

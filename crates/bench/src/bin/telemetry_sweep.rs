@@ -1,0 +1,77 @@
+//! Regenerates the telemetry sweep: the flight recorder's windowed
+//! time-series for all four tree algorithms on a 64-node 6-cube (plus
+//! separate addressing on a 64-node 4-ary 3-cube torus) across a
+//! churn-and-recover window — goodput dips while faults are live and
+//! refills as the retry tail drains. Archives
+//! `results/telemetry_sweep.{txt,json}`.
+//!
+//! Flags:
+//! * `--smoke` — the short CI configuration (same schema, less work);
+//! * `--sessions N` — override sessions per series;
+//! * `--seed S` — override the master seed;
+//! * `--workers W` — worker threads (default 4; byte-identical output
+//!   for any count);
+//! * `--check FILE` — no simulation: parse and schema-validate an
+//!   existing artifact with the first-party parser **and** re-verify
+//!   the recovery shape (goodput dip below the post-churn refill in
+//!   every series), exit non-zero on violation.
+
+use workloads::telemetrysweep::{
+    telemetry_sweep_with_workers, TelemetrySweep, TelemetrySweepConfig,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let sweep = match TelemetrySweep::from_json(&text) {
+            Ok(sweep) => sweep,
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = sweep.check_recovery() {
+            eprintln!("{path}: recovery shape violation: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "{path}: valid telemetry sweep ({} series, {} buckets each, dip-and-refill holds)",
+            sweep.series.len(),
+            sweep.config.buckets
+        );
+        return;
+    }
+
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        TelemetrySweepConfig::smoke()
+    } else {
+        TelemetrySweepConfig::full()
+    };
+    if let Some(n) = arg_value(&args, "--sessions").and_then(|v| v.parse().ok()) {
+        cfg.sessions = n;
+    }
+    if let Some(s) = arg_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let sweep = telemetry_sweep_with_workers(&cfg, workers);
+    if let Err(e) = sweep.check_recovery() {
+        eprintln!("warning: recovery shape not visible at this config: {e}");
+    }
+    let table = sweep.to_table();
+    println!("{table}");
+    let dir = bench::results_dir();
+    std::fs::write(dir.join("telemetry_sweep.txt"), &table).expect("write txt");
+    std::fs::write(dir.join("telemetry_sweep.json"), sweep.to_json()).expect("write json");
+    eprintln!("[saved results/telemetry_sweep.txt results/telemetry_sweep.json]");
+}

@@ -109,6 +109,21 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counter deltas accumulated since an `earlier` snapshot of the
+    /// same cache: `cache.stats().since(before)` isolates the lookups a
+    /// single session (or retry attempt) performed. Counters are
+    /// monotone, so the subtraction never wraps on well-ordered
+    /// snapshots; `saturating_sub` guards a misordered pair.
+    #[must_use]
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+        }
+    }
 }
 
 /// A bounded LRU cache of built multicast trees.

@@ -49,8 +49,8 @@ use rand::SeedableRng;
 use std::collections::BTreeSet;
 use std::fmt;
 use wormsim::{
-    simulate_with_faults_on_with_scratch, DepMessage, EngineScratch, FaultCause, FaultEpoch,
-    FaultTimeline, NetStats, Outcome, SimTime,
+    simulate_observed_with_faults_on_with_scratch, DepMessage, EngineScratch, FaultCause,
+    FaultEpoch, FaultTimeline, NetStats, NoopProbe, Outcome, Probe, SimTime,
 };
 
 /// Configuration of one chaos run: plain open-loop traffic plus a churn
@@ -231,18 +231,67 @@ pub struct ChaosReport {
 
 /// One pending session attempt.
 #[derive(Clone, Debug)]
-struct Attempt {
-    session: usize,
-    number: u32,
-    launch: SimTime,
-    first_failure: Option<SessionFailure>,
+pub(crate) struct Attempt {
+    pub(crate) session: usize,
+    pub(crate) number: u32,
+    pub(crate) launch: SimTime,
+    pub(crate) first_failure: Option<SessionFailure>,
 }
 
 /// How one simulated attempt ended.
-enum AttemptOutcome {
+pub(crate) enum AttemptOutcome {
     Delivered,
     Failed(SessionFailure),
     WindowCut,
+}
+
+/// One attempt's slice of a wave workload: the message range it
+/// occupies, how many requested destinations its tree could not cover,
+/// and whether its tree came out of the cache.
+pub(crate) struct WaveSpan {
+    pub(crate) range: std::ops::Range<usize>,
+    pub(crate) missing: usize,
+    pub(crate) cache_hit: bool,
+}
+
+/// A flight recorder threaded through the epoch-wave loop. The plain
+/// chaos entry points use [`NoTelemetry`], which monomorphizes to the
+/// unobserved engine and records nothing — byte-identity of the plain
+/// path is pinned by the zero-churn equivalence tests.
+pub(crate) trait WaveTelemetry {
+    /// The engine probe simulated waves run under.
+    type P: Probe;
+    /// The probe to observe the next wave with.
+    fn probe(&mut self) -> &mut Self::P;
+    /// Called once per simulated wave, after the engine run, with the
+    /// wave's attempts (in launch order), their workload spans, the raw
+    /// run result, and the epoch's fault plan (deadline included).
+    fn record_wave(
+        &mut self,
+        attempts: &[Attempt],
+        spans: &[WaveSpan],
+        run: &wormsim::RunResult,
+        plan: &wormsim::FaultPlan,
+    );
+}
+
+/// The no-op recorder: a [`NoopProbe`] and empty hooks.
+#[derive(Default)]
+pub(crate) struct NoTelemetry(NoopProbe);
+
+impl WaveTelemetry for NoTelemetry {
+    type P = NoopProbe;
+    fn probe(&mut self) -> &mut NoopProbe {
+        &mut self.0
+    }
+    fn record_wave(
+        &mut self,
+        _attempts: &[Attempt],
+        _spans: &[WaveSpan],
+        _run: &wormsim::RunResult,
+        _plan: &wormsim::FaultPlan,
+    ) {
+    }
 }
 
 /// Runs open-loop multicast traffic on a hypercube under online fault
@@ -296,6 +345,32 @@ pub fn run_chaos_cube_on_timeline(
     timeline: &FaultTimeline,
     scratch: &mut EngineScratch,
 ) -> ChaosReport {
+    run_chaos_cube_on_timeline_telemetry(
+        spec,
+        cube,
+        resolution,
+        algo,
+        params,
+        timeline,
+        scratch,
+        &mut NoTelemetry::default(),
+    )
+}
+
+/// [`run_chaos_cube_on_timeline`] with a [`WaveTelemetry`] recorder
+/// observing every wave. The report is byte-identical regardless of the
+/// recorder (probes never perturb the engine).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_chaos_cube_on_timeline_telemetry<T: WaveTelemetry>(
+    spec: &ChaosSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &wormsim::SimParams,
+    timeline: &FaultTimeline,
+    scratch: &mut EngineScratch,
+    tel: &mut T,
+) -> ChaosReport {
     // Draw the arrival schedule and every destination pattern up front,
     // in exactly the plain engine's RNG order — churn must not perturb
     // the traffic stream.
@@ -347,7 +422,9 @@ pub fn run_chaos_cube_on_timeline(
             let mut workload: Vec<DepMessage> = Vec::new();
             let mut spans = Vec::with_capacity(attempts.len());
             for attempt in attempts {
+                let before = cache.stats();
                 let tree = build(cache, attempt, faults);
+                let cache_hit = cache.stats().since(before).hits > 0;
                 let range =
                     push_tree_session(&mut workload, &tree, spec.traffic.bytes, attempt.launch);
                 // Coverage check: which requested destinations does the
@@ -358,16 +435,22 @@ pub fn run_chaos_cube_on_timeline(
                     .iter()
                     .filter(|d| !covered.contains(d))
                     .count();
-                spans.push((range, missing));
+                spans.push(WaveSpan {
+                    range,
+                    missing,
+                    cache_hit,
+                });
             }
-            let run = simulate_with_faults_on_with_scratch(
+            let run = simulate_observed_with_faults_on_with_scratch(
                 Ecube::new(cube, resolution),
                 params,
                 &workload,
                 plan,
+                tel.probe(),
                 scratch,
             )
             .expect("windowed chaos runs cannot deadlock");
+            tel.record_wave(attempts, &spans, &run, plan);
             (run, spans)
         },
     )
@@ -404,6 +487,23 @@ pub fn run_chaos_separate_on_with_scratch<R: Router + Copy>(
     router: R,
     params: &wormsim::SimParams,
     scratch: &mut EngineScratch,
+) -> ChaosReport
+where
+    R::Topo: Topology,
+{
+    run_chaos_separate_telemetry_on_with_scratch(spec, router, params, scratch, &mut {
+        NoTelemetry::default()
+    })
+}
+
+/// [`run_chaos_separate_on_with_scratch`] with a [`WaveTelemetry`]
+/// recorder observing every wave; byte-identical reports.
+pub(crate) fn run_chaos_separate_telemetry_on_with_scratch<R: Router + Copy, T: WaveTelemetry>(
+    spec: &ChaosSpec,
+    router: R,
+    params: &wormsim::SimParams,
+    scratch: &mut EngineScratch,
+    tel: &mut T,
 ) -> ChaosReport
 where
     R::Topo: Topology,
@@ -448,11 +548,22 @@ where
                         min_start: attempt.launch,
                     });
                 }
-                spans.push((base..workload.len(), 0));
+                spans.push(WaveSpan {
+                    range: base..workload.len(),
+                    missing: 0,
+                    cache_hit: false,
+                });
             }
-            let run =
-                simulate_with_faults_on_with_scratch(router, params, &workload, plan, scratch)
-                    .expect("windowed chaos runs cannot deadlock");
+            let run = simulate_observed_with_faults_on_with_scratch(
+                router,
+                params,
+                &workload,
+                plan,
+                tel.probe(),
+                scratch,
+            )
+            .expect("windowed chaos runs cannot deadlock");
+            tel.record_wave(attempts, &spans, &run, plan);
             (run, spans)
         },
     )
@@ -478,7 +589,7 @@ where
         &NetworkFaults,
         &wormsim::FaultPlan,
         &mut EngineScratch,
-    ) -> (wormsim::RunResult, Vec<(std::ops::Range<usize>, usize)>),
+    ) -> (wormsim::RunResult, Vec<WaveSpan>),
 {
     let horizon = spec.traffic.horizon;
     let epochs: Vec<FaultEpoch> = timeline.epochs();
@@ -517,14 +628,14 @@ where
             wave.sort_by_key(|a| (a.launch, a.session, a.number));
             let (run, spans) = simulate_wave(cache, &wave, &faults, &plan, scratch);
             net.absorb(&run.stats);
-            for (attempt, (range, missing)) in wave.into_iter().zip(spans) {
-                let msgs = &run.messages[range];
+            for (attempt, span) in wave.into_iter().zip(spans) {
+                let msgs = &run.messages[span.range];
                 let resolution = msgs
                     .iter()
                     .map(|m| m.delivered)
                     .max()
                     .unwrap_or(attempt.launch);
-                let outcome = classify(msgs, missing);
+                let outcome = classify(msgs, span.missing);
                 let arrival = schedule[attempt.session];
                 match outcome {
                     AttemptOutcome::Delivered => {
@@ -585,7 +696,7 @@ where
 
 /// Classifies one attempt from its per-message outcomes plus the
 /// count of requested destinations its tree could not cover.
-fn classify(msgs: &[wormsim::MessageResult], missing: usize) -> AttemptOutcome {
+pub(crate) fn classify(msgs: &[wormsim::MessageResult], missing: usize) -> AttemptOutcome {
     if let Some(cause) = msgs.iter().find_map(|m| match m.outcome {
         Outcome::Failed(cause) => Some(cause),
         _ => None,

@@ -139,12 +139,17 @@ impl TrafficReport {
     }
 }
 
-/// A session's messages laid out in the shared workload.
+/// A session's messages laid out in the shared workload. `pub(crate)`
+/// so the telemetry layer can attribute engine results back to
+/// sessions without re-deriving the layout.
 #[derive(Clone, Debug)]
-struct SessionSpan {
-    arrival: SimTime,
-    range: std::ops::Range<usize>,
-    dests: Vec<NodeId>,
+pub(crate) struct SessionSpan {
+    pub(crate) arrival: SimTime,
+    pub(crate) range: std::ops::Range<usize>,
+    pub(crate) dests: Vec<NodeId>,
+    /// Whether this session's tree came out of the [`TreeCache`]
+    /// (always `false` for separate addressing, which builds no trees).
+    pub(crate) cache_hit: bool,
 }
 
 /// A fully assembled traffic run, ready to simulate: the windowed
@@ -160,7 +165,7 @@ struct SessionSpan {
 #[derive(Clone, Debug)]
 pub struct SessionWorkload {
     workload: Vec<DepMessage>,
-    spans: Vec<SessionSpan>,
+    pub(crate) spans: Vec<SessionSpan>,
     cache: CacheStats,
 }
 
@@ -239,8 +244,9 @@ pub(crate) fn push_tree_session(
 }
 
 /// Attributes a finished run back to its sessions and assembles the
-/// report.
-fn assemble(
+/// report. `pub(crate)` so the telemetry entry points can assemble the
+/// identical report from an *observed* run of the same workload.
+pub(crate) fn assemble(
     spec: &TrafficSpec,
     run: &RunResult,
     spans: &[SessionSpan],
@@ -387,9 +393,11 @@ pub fn assemble_cube_sessions(
     let mut spans = Vec::with_capacity(schedule.len());
     for &arrival in &schedule {
         let (source, dests) = spec.pattern.draw_cube(&mut rng, cube);
+        let before = cache.stats();
         let tree = cache
             .get_or_build(algo, cube, resolution, params.port_model, source, &dests)
             .expect("traffic destination draw produced an invalid multicast");
+        let cache_hit = cache.stats().since(before).hits > 0;
         let range = push_tree_session(&mut workload, &tree, spec.bytes, arrival);
         // Deliveries are attributed in tree (unicast) order.
         let dests_in_tree_order: Vec<NodeId> = tree.unicasts.iter().map(|u| u.dst).collect();
@@ -397,6 +405,7 @@ pub fn assemble_cube_sessions(
             arrival,
             range,
             dests: dests_in_tree_order,
+            cache_hit,
         });
     }
     SessionWorkload {
@@ -503,6 +512,7 @@ where
             arrival,
             range: base..workload.len(),
             dests,
+            cache_hit: false,
         });
     }
     SessionWorkload {

@@ -32,7 +32,15 @@
 //!   retried under exponential backoff through
 //!   [`hypercast::repair`](hypercast::repair::repair)-rebuilt trees,
 //!   surfacing delivery ratio, goodput, retry distributions, and
-//!   time-to-recover.
+//!   time-to-recover;
+//! * [`telemetry`] — the flight recorder: every `*_with_telemetry`
+//!   entry point runs the same workload once, observed, returning the
+//!   byte-identical report **plus** per-session spans with an exact
+//!   latency decomposition (queueing / head-flit blocking / transit,
+//!   causally chained through retries) and a deterministic windowed
+//!   time-series (goodput, latency quantiles, cache hit rate, live
+//!   faults, per-dimension blocked time), exportable as Perfetto
+//!   traces, Prometheus metrics, or standalone JSON.
 //!
 //! **Zero-load anchoring.** A one-session run of a
 //! [`DestPattern::Fixed`] pattern is byte-identical to the single-shot
@@ -74,6 +82,7 @@ pub mod churn;
 pub mod engine;
 pub mod patterns;
 pub mod stats;
+pub mod telemetry;
 
 pub use arrivals::{ArrivalProcess, Arrivals};
 pub use chaos::{
@@ -88,4 +97,10 @@ pub use engine::{
     SessionWorkload, TrafficReport, TrafficSpec,
 };
 pub use patterns::DestPattern;
-pub use stats::{saturation_point, BatchMeans, LoadPoint};
+pub use stats::{saturation_point, BatchMeans, LoadPoint, Quantiles};
+pub use telemetry::{
+    run_chaos_cube_on_timeline_with_telemetry, run_chaos_cube_with_telemetry,
+    run_chaos_separate_with_telemetry_on, run_cube_with_telemetry, run_separate_with_telemetry_on,
+    AttemptSpan, PhaseBreakdown, SessionTrace, SpanOutcome, Telemetry, TelemetryBucket,
+    TelemetryConfig, TelemetryProbe, TimeSeries,
+};

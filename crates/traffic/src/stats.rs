@@ -133,6 +133,35 @@ impl BatchMeans {
     }
 }
 
+/// Latency quantiles in milliseconds, resolved from a log₂-bucketed
+/// [`wormsim::Histogram`] of **nanosecond** samples. Each quantile is
+/// the upper bound of the bucket its rank falls in (conservative within
+/// a factor of 2 — the price of the fixed-size deterministic
+/// representation the telemetry time-series is built on). All three
+/// are `NaN` for an empty histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quantiles {
+    /// Median latency (ms), bucket-resolved.
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms), bucket-resolved.
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms), bucket-resolved.
+    pub p99_ms: f64,
+}
+
+impl Quantiles {
+    /// Resolves p50/p95/p99 from a histogram of nanosecond samples.
+    #[must_use]
+    pub fn from_latency_histogram(h: &wormsim::Histogram) -> Quantiles {
+        let ms = |q: f64| -> f64 { h.quantile(q).map_or(f64::NAN, |ns| ns as f64 / 1_000_000.0) };
+        Quantiles {
+            p50_ms: ms(0.50),
+            p95_ms: ms(0.95),
+            p99_ms: ms(0.99),
+        }
+    }
+}
+
 /// One measured load point of a latency-vs-offered-load sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LoadPoint {

@@ -72,7 +72,17 @@ impl Figure {
                 format!("{x:>10.3}")
             };
             for s in &self.series {
-                let _ = write!(row, " {:>12.3}", s.ys.get(i).copied().unwrap_or(f64::NAN));
+                // Series may legitimately be shorter than the first one
+                // (e.g. a 2-D mesh row next to 6-cube rows): show a dash
+                // rather than a NaN for the positions it doesn't cover.
+                match s.ys.get(i) {
+                    Some(y) => {
+                        let _ = write!(row, " {y:>12.3}");
+                    }
+                    None => {
+                        let _ = write!(row, " {:>12}", "-");
+                    }
+                }
             }
             let _ = writeln!(out, "{row}");
         }

@@ -20,12 +20,22 @@
 //! concurrent operations, while U-cube's dimension-ordered funneling
 //! piles same-dimension sends onto one source channel — the exact
 //! effect Theorem 3 prices and W-sort's weighted ordering removes.
+//!
+//! Two mesh series extend the comparison off the hypercube: the same
+//! payload separately addressed to 32 random nodes of an 8×8 mesh (64
+//! nodes, matching the cube) under deterministic XY routing and under
+//! the west-first minimal-adaptive router. Separate addressing fires
+//! every unicast at once from one source, so the X/Y rows show how much
+//! of the source-funnel contention adaptivity can dodge when the first
+//! hop has a choice of dimension.
 
 use crate::figure::{Figure, Series};
-use hcube::{Cube, Ecube, NodeId, Resolution};
+use hcube::{Cube, Ecube, Mesh, MeshXY, MinimalAdaptive, NodeId, Resolution, Router};
 use hypercast::{Algorithm, PortModel};
 use wormsim::network::ChannelMap;
-use wormsim::{multicast_workload, simulate_observed_on, EventRecorder, SimParams};
+use wormsim::{
+    multicast_workload, simulate_observed_on, DepMessage, EventRecorder, SimParams, SimTime,
+};
 
 /// Cube dimension of the heatmap experiment (64 nodes, as Figure 11).
 const N: u8 = 6;
@@ -46,6 +56,13 @@ const BYTES: u32 = 4096;
 /// for every algorithm — a paired comparison). Hop-0 blocking is
 /// included (see the module docs). W-sort's row is all zeros:
 /// Theorem 6's contention-freedom, measured rather than assumed.
+///
+/// Two further series (`Mesh-XY`, `Mesh-adaptive`) measure the same
+/// blocked-time breakdown for separate addressing on an 8×8 mesh under
+/// deterministic XY and west-first minimal-adaptive routing; their `xs`
+/// are the mesh's two dimensions (0 = X, 1 = Y), and the two series
+/// share destination draws with each other (but not with the cube — a
+/// different topology has different node numbering).
 #[must_use]
 pub fn contention_heatmap(trials: usize) -> Figure {
     let cube = Cube::of(N);
@@ -92,14 +109,87 @@ pub fn contention_heatmap(trials: usize) -> Figure {
             std,
         });
     }
+    // Mesh extension: the same payload separately addressed on an 8x8
+    // mesh, deterministic XY vs west-first minimal-adaptive.
+    let mesh = Mesh::of(8, 8);
+    series.push(mesh_series(
+        "Mesh-XY",
+        MeshXY::new(mesh),
+        &mesh,
+        &params,
+        trials,
+    ));
+    series.push(mesh_series(
+        "Mesh-adaptive",
+        MinimalAdaptive::new(mesh),
+        &mesh,
+        &params,
+        trials,
+    ));
+
     Figure {
         id: "contention_heatmap".into(),
         title: format!(
-            "Measured channel contention per dimension ({N}-cube, all-port, {DESTS} dests, 4 KB)"
+            "Measured channel contention per dimension ({N}-cube multicast vs 8x8-mesh separate \
+             addressing, all-port, {DESTS} dests, 4 KB)"
         ),
         x_label: "dimension".into(),
         y_label: "blocked time (ms)".into(),
         series,
+    }
+}
+
+/// One mesh series: per-dimension blocked time of separate addressing
+/// (all unicasts launched at once from node 0) under `router`, averaged
+/// over the same seeded destination draws for every router.
+fn mesh_series<R: Router + Copy>(
+    name: &str,
+    router: R,
+    mesh: &Mesh,
+    params: &SimParams,
+    trials: usize,
+) -> Series {
+    let map = ChannelMap::new(router);
+    let dims = map.dimensions() as usize;
+    let mut blocked_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(trials); dims];
+    for trial in 0..trials {
+        // Point index 1 keeps the mesh draws distinct from the cube's
+        // (same node ids would land on different coordinates anyway);
+        // both mesh routers see identical destination sets per trial.
+        let mut rng = crate::destsets::trial_rng("contention_heatmap", 1, trial);
+        let dests = crate::destsets::random_dests_on(&mut rng, mesh, NodeId(0), DESTS);
+        let workload: Vec<DepMessage> = dests
+            .iter()
+            .map(|&dst| DepMessage {
+                src: NodeId(0),
+                dst,
+                bytes: BYTES,
+                deps: Vec::new(),
+                min_start: SimTime::ZERO,
+            })
+            .collect();
+        let mut rec = EventRecorder::new();
+        let _run = simulate_observed_on(router, params, &workload, &mut rec);
+        let mut per_dim = vec![0u64; dims];
+        for ch in 0..map.externals() {
+            per_dim[map.dim_of(ch) as usize] += rec.blocked_ns(ch);
+        }
+        for (d, &ns) in per_dim.iter().enumerate() {
+            blocked_ms[d].push(ns as f64 / 1_000_000.0);
+        }
+    }
+    let mut ys = Vec::with_capacity(dims);
+    let mut std = Vec::with_capacity(dims);
+    for samples in &blocked_ms {
+        let s = crate::stats::Summary::of(samples);
+        ys.push(s.mean);
+        std.push(s.std);
+    }
+    Series {
+        name: name.to_string(),
+        xs: (0..dims).map(|d| d as f64).collect(),
+        ys,
+        std,
     }
 }
 
@@ -135,10 +225,35 @@ mod tests {
     #[test]
     fn every_series_covers_all_dimensions() {
         let f = contention_heatmap(1);
-        assert_eq!(f.series.len(), 4);
+        assert_eq!(f.series.len(), Algorithm::PAPER.len() + 2);
         for s in &f.series {
-            assert_eq!(s.xs.len(), N as usize);
-            assert_eq!(s.ys.len(), N as usize);
+            let dims = if s.name.starts_with("Mesh") {
+                2
+            } else {
+                N as usize
+            };
+            assert_eq!(s.xs.len(), dims, "series {}", s.name);
+            assert_eq!(s.ys.len(), dims, "series {}", s.name);
         }
+    }
+
+    #[test]
+    fn mesh_series_contend_and_pair_their_draws() {
+        let f = contention_heatmap(3);
+        let row = |name: &str| {
+            f.series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        let xy: f64 = row("Mesh-XY").ys.iter().sum();
+        let adaptive: f64 = row("Mesh-adaptive").ys.iter().sum();
+        // 32 unicasts fired at once from one mesh node must fight over
+        // the source's four ports under either router.
+        assert!(xy > 0.0, "XY separate addressing should contend");
+        assert!(
+            adaptive > 0.0,
+            "adaptive separate addressing should contend"
+        );
     }
 }

@@ -22,6 +22,9 @@
 //! * [`figure`] — the data model plus table / ASCII-plot / JSON output;
 //! * [`lanesweep`] — virtual-lane ladder: contention of naive multicast
 //!   trees vs lanes-per-link on cube, torus, and mesh networks;
+//! * [`telemetrysweep`] — the flight recorder's windowed time-series
+//!   across a churn-and-recover window: goodput dip and refill, latency
+//!   quantiles, cache hit rate, live faults, per-dimension blocked time;
 //! * [`json`] — a minimal first-party JSON tree, parser, and printer
 //!   (the build environment is offline, so no `serde_json`);
 //! * [`stats`] — summary statistics.
@@ -44,6 +47,7 @@ pub mod json;
 pub mod lanesweep;
 pub mod stats;
 pub mod sweep;
+pub mod telemetrysweep;
 pub mod torussweep;
 pub mod trafficsweep;
 

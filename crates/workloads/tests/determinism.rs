@@ -16,6 +16,9 @@ use hypercast::{Algorithm, PortModel};
 use workloads::chaossweep::{chaos_sweep, chaos_sweep_with_workers, ChaosSweep, ChaosSweepConfig};
 use workloads::lanesweep::{lane_sweep, LaneSweep, LaneSweepConfig};
 use workloads::sweep::{run_matrix_with_workers, MatrixResult};
+use workloads::telemetrysweep::{
+    telemetry_sweep_with_workers, TelemetrySweep, TelemetrySweepConfig,
+};
 use workloads::trafficsweep::{traffic_sweep, SweepConfig, TrafficSweep};
 use wormsim::{simulate, simulate_on, DepMessage, RunResult, SimParams, SimTime};
 
@@ -611,5 +614,70 @@ fn committed_lane_sweep_artifact_regenerates_byte_identically() {
         LANE_SWEEP_GOLDEN.trim_end_matches('\n'),
         "results/lane_sweep.json diverged from regeneration — rerun \
          `cargo run -p bench --release --bin lane_sweep` and commit"
+    );
+}
+
+/// The committed telemetry-sweep artifact, validated with the
+/// first-party parser — the same check `telemetry_sweep --check` runs
+/// in CI.
+const TELEMETRY_SWEEP_GOLDEN: &str = include_str!("../../../results/telemetry_sweep.json");
+
+/// The committed `results/telemetry_sweep.json` must parse under the
+/// schema, carry the full configuration, and satisfy the recovery
+/// acceptance properties ([`TelemetrySweep::check_recovery`]): every
+/// series accounts for all offered sessions bucket by bucket, churn is
+/// visible in the `live_faults` gauge, and goodput dips during the
+/// churn window then refills after it — the flight recorder's
+/// dip-and-refill signature.
+#[test]
+fn committed_telemetry_sweep_artifact_is_valid_and_complete() {
+    let sweep = TelemetrySweep::from_json(TELEMETRY_SWEEP_GOLDEN)
+        .expect("committed telemetry_sweep.json violates its own schema");
+    assert_eq!(
+        sweep.config,
+        TelemetrySweepConfig::full(),
+        "committed artifact was not produced by TelemetrySweepConfig::full()"
+    );
+    assert_eq!(sweep.series.len(), 5, "4 cube algorithms + 1 torus");
+    sweep
+        .check_recovery()
+        .expect("committed artifact fails the dip-and-refill recovery check");
+    for s in &sweep.series {
+        assert_eq!(
+            s.rows.len(),
+            sweep.config.buckets,
+            "{} {}: every bucket of the window must be present",
+            s.network,
+            s.algorithm
+        );
+        assert!(
+            s.fault_events > 0,
+            "{} {}: the churn timeline must actually churn",
+            s.network,
+            s.algorithm
+        );
+    }
+    // Serialization is canonical: re-emitting the parsed artifact must
+    // reproduce the committed bytes exactly.
+    assert_eq!(
+        sweep.to_json(),
+        TELEMETRY_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "to_json is not canonical for the committed artifact"
+    );
+}
+
+/// Full-artifact byte-reproducibility: regenerating the telemetry sweep
+/// with the committed configuration reproduces
+/// `results/telemetry_sweep.json` exactly. Expensive, so ignored by
+/// default; CI runs it in release via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full sweep regeneration; run in release builds"]
+fn committed_telemetry_sweep_artifact_regenerates_byte_identically() {
+    let regenerated = telemetry_sweep_with_workers(&TelemetrySweepConfig::full(), 4);
+    assert_eq!(
+        regenerated.to_json(),
+        TELEMETRY_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "results/telemetry_sweep.json diverged from regeneration — rerun \
+         `cargo run -p bench --release --bin telemetry_sweep` and commit"
     );
 }

@@ -400,6 +400,26 @@ pub fn simulate_window_observed_on<R: Router, P: Probe>(
     simulate_observed_with_faults_on(router, params, workload, &plan, probe)
 }
 
+/// Scratch-reusing [`simulate_window_observed_on`]: windowed execution,
+/// an in-loop [`Probe`] observer, and a caller-owned
+/// [`EngineScratch`] — the telemetry layer's hot path, where sustained
+/// traffic runs are observed without paying a fresh arena per run.
+///
+/// # Errors
+/// See [`simulate_window_on`].
+pub fn simulate_window_observed_on_with_scratch<R: Router, P: Probe>(
+    router: R,
+    params: &SimParams,
+    workload: &[DepMessage],
+    horizon: SimTime,
+    probe: &mut P,
+    scratch: &mut EngineScratch,
+) -> Result<RunResult, SimError> {
+    let mut plan = FaultPlan::none();
+    plan.deadline_all(horizon);
+    simulate_observed_with_faults_on_with_scratch(router, params, workload, &plan, probe, scratch)
+}
+
 /// Runs a dependency workload through the wormhole network model with a
 /// fault plan injected.
 ///

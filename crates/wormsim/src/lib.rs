@@ -57,10 +57,11 @@ pub mod trace;
 pub use engine::{
     simulate, simulate_observed, simulate_observed_on, simulate_observed_with_faults_on,
     simulate_observed_with_faults_on_with_scratch, simulate_on, simulate_on_with_scratch,
-    simulate_window_observed_on, simulate_window_on, simulate_window_on_with_scratch,
-    simulate_with_faults, simulate_with_faults_on, simulate_with_faults_on_with_scratch,
-    try_simulate, try_simulate_observed_on, try_simulate_on, try_simulate_on_with_scratch,
-    DepMessage, FaultCause, MessageResult, NetStats, Outcome, RunResult, SimError,
+    simulate_window_observed_on, simulate_window_observed_on_with_scratch, simulate_window_on,
+    simulate_window_on_with_scratch, simulate_with_faults, simulate_with_faults_on,
+    simulate_with_faults_on_with_scratch, try_simulate, try_simulate_observed_on, try_simulate_on,
+    try_simulate_on_with_scratch, DepMessage, FaultCause, MessageResult, NetStats, Outcome,
+    RunResult, SimError,
 };
 pub use faults::{FaultEpoch, FaultEvent, FaultEventKind, FaultPlan, FaultTimeline};
 pub use flit::{simulate_flits, simulate_flits_on, FlitMessage, FlitResult};
@@ -73,7 +74,9 @@ pub use multicast::{
 };
 pub use network::{ChannelMap, RouteMemo};
 pub use params::SimParams;
-pub use probe::{BlockedInterval, EventRecorder, NoopProbe, Probe, ProbeEvent, Tee, WatchdogAlarm};
+pub use probe::{
+    json_escape, BlockedInterval, EventRecorder, NoopProbe, Probe, ProbeEvent, Tee, WatchdogAlarm,
+};
 pub use scratch::EngineScratch;
 pub use time::SimTime;
 pub use trace::ChannelTrace;

@@ -84,6 +84,45 @@ impl Histogram {
         self.sum
     }
 
+    /// Bucket counts in index order: `counts()[i]` samples fell in
+    /// bucket `i` (values `≤ 2^i`, exclusive of bucket `i − 1`), plus
+    /// the overflow count as the final element. Exposed so downstream
+    /// telemetry can merge or serialize histograms without going
+    /// through the cumulative view.
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        let mut out = if self.buckets.is_empty() {
+            vec![0; BUCKETS]
+        } else {
+            self.buckets.clone()
+        };
+        out.push(self.overflow);
+        out
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the **upper bound** of the
+    /// log₂ bucket the quantile sample falls in — i.e. the smallest
+    /// `2^i` with at least `ceil(q · count)` samples at or below it.
+    /// Returns `None` for an empty histogram; an overflow-bucket
+    /// quantile reports `u64::MAX`. Being bucket-resolved, the result
+    /// is conservative within a factor of 2, which is the price of the
+    /// fixed-size deterministic representation.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(1u64 << i);
+            }
+        }
+        Some(u64::MAX)
+    }
+
     /// `(upper_bound, cumulative_count)` pairs for the non-empty prefix
     /// of buckets, ending with the implicit `+Inf` (upper bound `None`).
     #[must_use]
