@@ -27,6 +27,14 @@
 //!   flit-hop**, where flit-hops = Σ bytes × route length is the work
 //!   the wormhole model fundamentally has to move.
 //!
+//! A third family, **scaling**, measures the sharded session driver
+//! ([`traffic::run_trials`]) at 1/2/4/8 workers on the warm 8-cube
+//! recurring-pool case: aggregate sessions/sec, speedup over one
+//! worker, and the host-portable **efficiency** (speedup /
+//! `min(workers, host_parallelism)`), which is what `--check` tracks —
+//! plus an absolute ≥ 4× speedup bar at 8 workers that applies only on
+//! hosts that actually have 8 cores.
+//!
 //! Cold and warm repetitions are interleaved in small batch pairs so
 //! CPU frequency drift hits both sides equally instead of biasing
 //! whichever phase ran second; pairs that the scheduler preempted
@@ -296,11 +304,100 @@ fn replay_case<R: Router + Copy>(
     ])
 }
 
+/// The sharded-driver scaling curve: whole passes over the warm 8-cube
+/// recurring-pool assembly distributed across N workers through
+/// [`traffic::run_trials`] — each worker owns one [`EngineScratch`]
+/// whose route memo stays warm across its trials, exactly the shape
+/// `chaos_sweep`, `telemetry_sweep`, and `mcast serve` run on. Metric:
+/// aggregate **sessions/sec**; per worker count the artifact records
+/// the speedup over one worker and the **efficiency** — speedup divided
+/// by `min(workers, host_parallelism)` — which is the host-portable
+/// tracked ratio (a 1-core container honestly reports speedup ~1 and
+/// efficiency ~1; an 8-core host must deliver real speedup to hold
+/// efficiency). The absolute >= 4x bar at 8 workers is enforced by
+/// `--check` only where `host_parallelism >= 8` makes it physically
+/// meaningful.
+fn scaling_cases(reps: usize) -> Vec<Value> {
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let cube = Cube::of(8);
+    let mut rng = StdRng::seed_from_u64(93);
+    let pattern = DestPattern::uniform_pool(&mut rng, &cube, 4, 16);
+    let spec = smoke_spec(&pattern, 93);
+    let sessions = traffic::assemble_cube_sessions(
+        &spec,
+        cube,
+        Resolution::HighToLow,
+        Algorithm::WSort,
+        &params,
+    );
+    let per_session: Vec<Vec<DepMessage>> = (0..sessions.sessions())
+        .map(|i| sessions.session_workload(i))
+        .collect();
+    let router = hcube::Ecube::new(cube, Resolution::HighToLow);
+    let trials = (reps / 10).max(16);
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut rate1 = f64::NAN;
+    let mut cases = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        // Best of three passes: scaling wants the attainable rate, not
+        // the co-tenant-noise-averaged one.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (wall, _) = time_reps(1, || {
+                std::hint::black_box(traffic::run_trials(workers, trials, |_, scratch| {
+                    for w in &per_session {
+                        std::hint::black_box(simulate_on_with_scratch(router, &params, w, scratch));
+                    }
+                }));
+            });
+            best = best.min(wall);
+        }
+        let rate = (trials * sessions.sessions()) as f64 / best;
+        if workers == 1 {
+            rate1 = rate;
+        }
+        let speedup = rate / rate1;
+        let efficiency = speedup / workers.min(host) as f64;
+        eprintln!(
+            "[scaling/cube8 w{workers}] {rate:.0} sessions/s, speedup {speedup:.2}x, \
+             efficiency {efficiency:.2} (host parallelism {host})",
+        );
+        cases.push(Value::Object(vec![
+            (
+                "name".into(),
+                Value::String(format!("scaling-cube8-w{workers}")),
+            ),
+            ("kind".into(), Value::String("scaling".into())),
+            ("network".into(), Value::String("cube8".into())),
+            (
+                "workload".into(),
+                Value::String(
+                    "sharded run_trials passes over the warm recurring-pool smoke \
+                     assembly; one EngineScratch per worker, trial-indexed merge"
+                        .into(),
+                ),
+            ),
+            ("workers".into(), num(workers as f64)),
+            ("trials".into(), num(trials as f64)),
+            ("sessions_per_trial".into(), num(sessions.sessions() as f64)),
+            ("sessions_per_sec".into(), num(r3(rate))),
+            ("speedup_over_1".into(), num(r3(speedup))),
+            ("host_parallelism".into(), num(host as f64)),
+            ("efficiency".into(), num(r3(efficiency))),
+        ]));
+    }
+    cases
+}
+
 /// How much of the committed baseline ratio a quick re-measurement must
 /// retain to pass `--check`. Quick repetitions are noisy, so the gate
 /// flags sustained regressions (a lost optimization, an accidental
 /// per-run allocation), not run-to-run jitter.
 const CHECK_FLOOR_FRACTION: f64 = 0.7;
+
+/// The absolute scaling bar of the sharded driver: >= this speedup at 8
+/// workers, enforced by `--check` on hosts with >= 8 cores.
+const SCALING_SPEEDUP_FLOOR_AT_8: f64 = 4.0;
 
 /// Runs every benchmark case and returns the artifact's `cases` array.
 fn run_cases(reps: usize, replay_reps: usize) -> Vec<Value> {
@@ -386,16 +483,34 @@ fn run_cases(reps: usize, replay_reps: usize) -> Vec<Value> {
             replay_reps,
         ));
     }
+
+    // --- scaling cases: the sharded driver at 1/2/4/8 workers ---------
+    cases.extend(scaling_cases(reps));
     cases
 }
 
 /// The ratio field a case is tracked by: `warm_over_cold` for traffic
-/// cases, `cold_over_warm` for replay cases — both read "how much
-/// scratch reuse pays", larger is better.
+/// cases, `efficiency` for scaling cases, `cold_over_warm` for replay
+/// cases — all read "how much the optimization pays", larger is better.
+///
+/// Scaling cases whose worker count exceeds the host's parallelism are
+/// untracked: their wall time measures the scheduler's time-slicing of
+/// oversubscribed threads, not the sharded driver, and jitters far
+/// beyond the check floor. (They still appear in the artifact as the
+/// scaling curve's data points, and the absolute 8-worker speedup bar
+/// in `--check` gates hosts that really have the cores.)
 fn tracked_ratio(case: &Value) -> Option<(String, f64)> {
     let name = case.get("name").and_then(Value::as_str)?.to_string();
     let key = match case.get("kind").and_then(Value::as_str)? {
         "traffic" => "warm_over_cold",
+        "scaling" => {
+            let workers = case.get("workers").and_then(Value::as_f64)?;
+            let host = case.get("host_parallelism").and_then(Value::as_f64)?;
+            if workers > host {
+                return None;
+            }
+            "efficiency"
+        }
         _ => "cold_over_warm",
     };
     Some((name, case.get(key).and_then(Value::as_f64)?))
@@ -427,12 +542,40 @@ fn run_check(baseline_path: &str) {
         "[check] re-measuring {} cases at quick repetitions (floor = {CHECK_FLOOR_FRACTION} x baseline)",
         committed.len()
     );
-    let measured: Vec<(String, f64)> = run_cases(40, 400)
-        .iter()
-        .filter_map(tracked_ratio)
-        .collect();
+    let cases = run_cases(40, 400);
+    let measured: Vec<(String, f64)> = cases.iter().filter_map(tracked_ratio).collect();
 
     let mut failed = false;
+    // The absolute scaling bar: where the host actually has >= 8 cores,
+    // 8 workers must deliver >= SCALING_SPEEDUP_FLOOR_AT_8 x over 1.
+    // Smaller hosts cannot physically exhibit parallel speedup, so only
+    // the host-portable efficiency ratio gates there.
+    if let Some(w8) = cases
+        .iter()
+        .find(|c| c.get("name").and_then(Value::as_str) == Some("scaling-cube8-w8"))
+    {
+        let host = w8.get("host_parallelism").and_then(Value::as_f64);
+        let speedup = w8.get("speedup_over_1").and_then(Value::as_f64);
+        if let (Some(host), Some(speedup)) = (host, speedup) {
+            if host >= 8.0 && speedup < SCALING_SPEEDUP_FLOOR_AT_8 {
+                eprintln!(
+                    "[check] FAIL scaling-cube8-w8: speedup {speedup:.2}x < \
+                     {SCALING_SPEEDUP_FLOOR_AT_8}x on a {host}-way host"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[check]   ok scaling-cube8-w8: speedup {speedup:.2}x on a {host}-way host \
+                     (absolute {SCALING_SPEEDUP_FLOOR_AT_8}x bar {})",
+                    if host >= 8.0 {
+                        "enforced"
+                    } else {
+                        "not applicable"
+                    }
+                );
+            }
+        }
+    }
     for (name, base) in &committed {
         let Some((_, now)) = measured.iter().find(|(n, _)| n == name) else {
             eprintln!("[check] FAIL {name}: case missing from this build");

@@ -28,10 +28,10 @@ use hcube::{
 };
 use hypercast::contention::contention_witnesses;
 use hypercast::repair::{repair, NetworkFaults};
-use hypercast::{Algorithm, PortModel, RetryPolicy};
+use hypercast::{Algorithm, PortModel};
 use traffic::{
-    ArrivalProcess, Arrivals, ChaosReport, ChaosSpec, ChurnSpec, DestPattern, Telemetry,
-    TelemetryConfig, TrafficReport, TrafficSpec,
+    ArrivalProcess, ChaosReport, ChaosSpec, DestPattern, Telemetry, TelemetryConfig, TrafficReport,
+    TrafficSpec,
 };
 use wormsim::network::ChannelMap;
 use wormsim::{
@@ -84,6 +84,7 @@ struct Args {
     chaos: Option<(f64, f64)>,
     retries: u32,
     backoff_us: u64,
+    workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -117,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
         chaos: None,
         retries: 3,
         backoff_us: 500,
+        workers: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -280,6 +282,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--sessions must be >= 1".into());
                 }
             }
+            "--workers" => {
+                let w: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                args.workers = Some(w);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: mcast --n <dim> [--topology cube|torus|mesh] [--arity K]\n\
@@ -290,8 +301,10 @@ fn parse_args() -> Result<Args, String> {
                      \x20             [--trace-out FILE.json] [--metrics-out FILE.prom|FILE.json]\n\
                      \x20             [--spans-out FILE.json] [--timeseries-out FILE.json]\n\
                      \x20             [--faults K] [--fail-link V:D]... [--fail-node V]...\n\
-                     \x20             [--load R [--arrivals det|poisson|bursty[:B]] [--sessions N]]\n\
+                     \x20             [--load R [--arrivals det|poisson|bursty[:B]] [--sessions N]\n\
+                     \x20              [--workers W]]\n\
                      \x20             [--chaos MTBF:MTTR [--retries N] [--backoff B]]\n\
+                     \x20      mcast serve [--max-inflight N]\n\
                      \n\
                      flag summary:\n\
                      \x20 topology    --n DIM, --topology cube|torus|mesh, --arity K (torus radix),\n\
@@ -304,7 +317,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20             --spans-out FILE, --timeseries-out FILE (need --load)\n\
                      \x20 faults      --faults K, --fail-link V:D, --fail-node V\n\
                      \x20 open loop   --load R (sessions/ms), --arrivals det|poisson|bursty[:B],\n\
-                     \x20             --sessions N\n\
+                     \x20             --sessions N, --workers W (sharded session driver)\n\
                      \x20 churn       --chaos MTBF:MTTR (per-link, ms), --retries N, --backoff B (µs)\n\
                      \n\
                      observability: --trace-out writes a Chrome/Perfetto trace of the run's\n\
@@ -346,6 +359,20 @@ fn parse_args() -> Result<Args, String> {
                      cube rebuild their trees through hypercast::repair. The report adds\n\
                      delivery ratio, goodput, the retry-attempt histogram, losses, and\n\
                      time-to-recover.\n\
+                     \n\
+                     sharded runs: --workers W (requires --load) partitions the sessions\n\
+                     across W threads, each session simulated alone — the paper's\n\
+                     contention-free trees make sessions independent, so this drops only\n\
+                     cross-session channel contention. The report is byte-identical at any\n\
+                     W and echoes \"workers\":W in the JSON line. Incompatible with\n\
+                     --spans-out/--timeseries-out (the flight recorder is single-threaded).\n\
+                     \n\
+                     service mode: `mcast serve` runs a long-lived daemon reading one JSON\n\
+                     request per stdin line and writing one JSON response per line, with a\n\
+                     persistent tree store kept warm across requests and per-request\n\
+                     worker pools; --max-inflight N bounds the request queue (default 16,\n\
+                     backpressures the client through the pipe). Ops: traffic, chaos,\n\
+                     multicast, stats, shutdown. See DESIGN.md section 16.\n\
                      \n\
                      --topology torus simulates separate addressing on a K-ary n-cube with\n\
                      dateline virtual channels; --topology mesh does the same on a WxH mesh\n\
@@ -674,18 +701,17 @@ fn traffic_pattern(args: &Args, source: NodeId) -> DestPattern {
 }
 
 fn traffic_spec(args: &Args, rate: f64, pattern: DestPattern) -> TrafficSpec {
-    let mut spec = TrafficSpec::new(
-        Arrivals::new(args.arrivals, rate),
+    workloads::serve::load_spec(
+        args.arrivals,
+        rate,
         pattern,
         args.sessions,
         args.seed,
-    );
-    spec.bytes = args.bytes;
-    spec.horizon = SimTime::from_ms((args.sessions as f64 / rate * 1.25 + 30.0) as u64);
-    spec
+        args.bytes,
+    )
 }
 
-fn print_traffic_report(label: &str, r: &TrafficReport, json: bool) {
+fn print_traffic_report(label: &str, r: &TrafficReport, json: bool, workers: Option<usize>) {
     println!(
         "{label:>9}: {} sessions ({} measured), completed {:.3}, \
          latency {:.4} ms ±{:.4} (95% CI), thru {:.3}/ms, cache hit {:.3}",
@@ -704,55 +730,21 @@ fn print_traffic_report(label: &str, r: &TrafficReport, json: bool) {
         r.net.timed_out
     );
     if json {
-        let fin = |x: f64| {
-            if x.is_finite() {
-                format!("{x}")
-            } else {
-                "null".into()
-            }
-        };
         println!(
-            "{{\"mode\":\"traffic\",\"algo\":\"{label}\",\"offered_per_ms\":{},\
-             \"sessions\":{},\"measured\":{},\"completion_ratio\":{},\
-             \"mean_latency_ms\":{},\"ci_half_width_ms\":{},\"throughput_per_ms\":{},\
-             \"cache_hit_rate\":{},\"timed_out\":{}}}",
-            r.offered_rate_per_ms,
-            r.sessions.len(),
-            r.measured_sessions,
-            r.completion_ratio,
-            fin(r.latency.mean),
-            fin(r.latency.ci_half_width),
-            r.throughput_per_ms,
-            r.cache.hit_rate(),
-            r.net.timed_out,
+            "{}",
+            workloads::serve::traffic_report_json(label, r, workers)
         );
     }
 }
 
 /// Wraps the open-loop spec with the `--chaos` churn process and the
-/// retry policy. Node churn rides along at 4x the link MTBF and 1.5x
-/// the link MTTR (the sweep's convention); failures strike only in the
-/// first 60% of the window so every run ends with a healed network.
+/// retry policy (the conventions live in [`workloads::serve`], shared
+/// with the service mode).
 fn chaos_spec(args: &Args, traffic: TrafficSpec, mtbf_ms: f64, mttr_ms: f64) -> ChaosSpec {
-    let churn = ChurnSpec {
-        link_mtbf_ms: mtbf_ms,
-        link_mttr_ms: mttr_ms,
-        node_mtbf_ms: mtbf_ms * 4.0,
-        node_mttr_ms: mttr_ms * 1.5,
-        churn_until: SimTime::from_ns((traffic.horizon.as_ns() as f64 * 0.6) as u64),
-    };
-    ChaosSpec {
-        traffic,
-        churn,
-        retry: RetryPolicy {
-            max_retries: args.retries,
-            base_backoff: args.backoff_us,
-            backoff_factor: 4,
-        },
-    }
+    workloads::serve::chaos_wrap(traffic, mtbf_ms, mttr_ms, args.retries, args.backoff_us)
 }
 
-fn print_chaos_report(label: &str, r: &ChaosReport, json: bool) {
+fn print_chaos_report(label: &str, r: &ChaosReport, json: bool, workers: Option<usize>) {
     let hist: Vec<String> = r
         .retry_histogram
         .iter()
@@ -795,35 +787,7 @@ fn print_chaos_report(label: &str, r: &ChaosReport, json: bool) {
         r.cache.invalidations,
     );
     if json {
-        let fin = |x: f64| {
-            if x.is_finite() {
-                format!("{x}")
-            } else {
-                "null".into()
-            }
-        };
-        let hist: Vec<String> = r.retry_histogram.iter().map(u64::to_string).collect();
-        println!(
-            "{{\"mode\":\"chaos\",\"algo\":\"{label}\",\"offered_per_ms\":{},\
-             \"sessions\":{},\"measured\":{},\"delivery_ratio\":{},\
-             \"goodput_per_ms\":{},\"mean_latency_ms\":{},\"ci_half_width_ms\":{},\
-             \"retry_histogram\":[{}],\"lost\":{},\"window_cut\":{},\
-             \"time_to_recover_ms\":{},\"epochs\":{},\"fault_events\":{}}}",
-            r.offered_rate_per_ms,
-            r.sessions.len(),
-            r.measured_sessions,
-            r.delivery_ratio,
-            r.goodput_per_ms,
-            fin(r.latency.mean),
-            fin(r.latency.ci_half_width),
-            hist.join(","),
-            r.lost,
-            r.window_cut,
-            r.time_to_recover
-                .map_or("null".into(), |t| format!("{}", t.as_ms())),
-            r.epochs,
-            r.fault_events,
-        );
+        println!("{}", workloads::serve::chaos_report_json(label, r, workers));
     }
 }
 
@@ -848,6 +812,10 @@ fn run_traffic(args: &Args, rate: f64) {
         std::process::exit(2);
     }
     let telemetry = args.spans_out.is_some() || args.timeseries_out.is_some();
+    if telemetry && args.workers.is_some() {
+        eprintln!("error: --workers is incompatible with --spans-out/--timeseries-out");
+        std::process::exit(2);
+    }
     let tcfg = TelemetryConfig::default();
     let params = SimParams::ncube2(args.port);
     match args.topology {
@@ -882,11 +850,21 @@ fn run_traffic(args: &Args, rate: f64) {
                         &params,
                         &tcfg,
                     );
-                    print_chaos_report("Separate", &r, args.json);
+                    print_chaos_report("Separate", &r, args.json, None);
                     write_telemetry(args, &tel);
                 } else {
-                    let r = traffic::run_chaos_separate_on(&spec, TorusRouter::new(torus), &params);
-                    print_chaos_report("Separate", &r, args.json);
+                    let r = match args.workers {
+                        Some(w) => traffic::run_chaos_separate_sharded_on(
+                            &spec,
+                            TorusRouter::new(torus),
+                            &params,
+                            w,
+                        ),
+                        None => {
+                            traffic::run_chaos_separate_on(&spec, TorusRouter::new(torus), &params)
+                        }
+                    };
+                    print_chaos_report("Separate", &r, args.json, args.workers);
                 }
             } else if telemetry {
                 let (r, tel) = traffic::run_separate_with_telemetry_on(
@@ -895,11 +873,16 @@ fn run_traffic(args: &Args, rate: f64) {
                     &params,
                     &tcfg,
                 );
-                print_traffic_report("Separate", &r, args.json);
+                print_traffic_report("Separate", &r, args.json, None);
                 write_telemetry(args, &tel);
             } else {
-                let r = traffic::run_separate_on(&spec, TorusRouter::new(torus), &params);
-                print_traffic_report("Separate", &r, args.json);
+                let r = match args.workers {
+                    Some(w) => {
+                        traffic::run_separate_sharded_on(&spec, TorusRouter::new(torus), &params, w)
+                    }
+                    None => traffic::run_separate_on(&spec, TorusRouter::new(torus), &params),
+                };
+                print_traffic_report("Separate", &r, args.json, args.workers);
             }
         }
         TopologyKind::Cube => {
@@ -940,17 +923,27 @@ fn run_traffic(args: &Args, rate: f64) {
                             &params,
                             &tcfg,
                         );
-                        print_chaos_report(algo.name(), &r, args.json);
+                        print_chaos_report(algo.name(), &r, args.json, None);
                         write_telemetry(args, &tel);
                     } else {
-                        let r = traffic::run_chaos_cube(
-                            &spec,
-                            cube,
-                            Resolution::HighToLow,
-                            algo,
-                            &params,
-                        );
-                        print_chaos_report(algo.name(), &r, args.json);
+                        let r = match args.workers {
+                            Some(w) => traffic::run_chaos_cube_sharded(
+                                &spec,
+                                cube,
+                                Resolution::HighToLow,
+                                algo,
+                                &params,
+                                w,
+                            ),
+                            None => traffic::run_chaos_cube(
+                                &spec,
+                                cube,
+                                Resolution::HighToLow,
+                                algo,
+                                &params,
+                            ),
+                        };
+                        print_chaos_report(algo.name(), &r, args.json, args.workers);
                     }
                 } else if telemetry {
                     let (r, tel) = traffic::run_cube_with_telemetry(
@@ -961,18 +954,103 @@ fn run_traffic(args: &Args, rate: f64) {
                         &params,
                         &tcfg,
                     );
-                    print_traffic_report(algo.name(), &r, args.json);
+                    print_traffic_report(algo.name(), &r, args.json, None);
                     write_telemetry(args, &tel);
                 } else {
-                    let r = traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params);
-                    print_traffic_report(algo.name(), &r, args.json);
+                    let r = match args.workers {
+                        Some(w) => traffic::run_cube_sharded(
+                            &spec,
+                            cube,
+                            Resolution::HighToLow,
+                            algo,
+                            &params,
+                            w,
+                        ),
+                        None => {
+                            traffic::run_cube(&spec, cube, Resolution::HighToLow, algo, &params)
+                        }
+                    };
+                    print_traffic_report(algo.name(), &r, args.json, args.workers);
                 }
             }
         }
     }
 }
 
+/// `mcast serve`: the long-running service mode. Flags after the
+/// subcommand configure the queue and caps; the request loop itself
+/// lives in [`workloads::serve`].
+fn run_serve(flags: &[String]) {
+    let mut opts = workloads::serve::ServeOptions::default();
+    let mut i = 0;
+    while i < flags.len() {
+        let take = |i: &mut usize| -> &str {
+            *i += 1;
+            flags.get(*i).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("error: missing value for {}", flags[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match flags[i].as_str() {
+            "--max-inflight" => {
+                opts.max_inflight = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: --max-inflight: {e}");
+                    std::process::exit(2);
+                });
+                if opts.max_inflight == 0 {
+                    eprintln!("error: --max-inflight must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--max-sessions" => {
+                opts.max_sessions = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: --max-sessions: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--max-workers" => {
+                opts.max_workers = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: --max-workers: {e}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("error: unknown serve flag {other} (serve takes --max-inflight, --max-sessions, --max-workers)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    // StdinLock is !Send and the reader runs on its own thread, so wrap
+    // the unlocked handle in a BufReader instead.
+    let input = std::io::BufReader::new(std::io::stdin());
+    let mut stdout = std::io::stdout().lock();
+    match workloads::serve::serve_loop(input, &mut stdout, &opts) {
+        Ok(summary) => {
+            eprintln!(
+                "mcast serve: {} served, {} errors, {}",
+                summary.served,
+                summary.errors,
+                if summary.shutdown {
+                    "shutdown requested"
+                } else {
+                    "input closed"
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("error: serve output: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        run_serve(&argv[1..]);
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -983,6 +1061,10 @@ fn main() {
     if let Some(rate) = args.load {
         run_traffic(&args, rate);
         return;
+    }
+    if args.workers.is_some() {
+        eprintln!("error: --workers requires --load (it shards the open-loop session driver)");
+        std::process::exit(2);
     }
     if args.chaos.is_some() {
         eprintln!("error: --chaos requires --load (churn acts on open-loop traffic)");
@@ -1118,29 +1200,9 @@ fn main() {
         }
         if args.json {
             println!("{}", tree.to_json());
-            let util: Vec<String> = report
-                .stats
-                .dim_utilization()
-                .iter()
-                .map(|u| format!("{u:.6}"))
-                .collect();
-            let lane_util: Vec<String> = report
-                .stats
-                .lane_utilization()
-                .iter()
-                .map(|u| format!("{u:.6}"))
-                .collect();
             println!(
-                "{{\"algo\":\"{}\",\"avg_delay_ns\":{},\"max_delay_ns\":{},\"blocks\":{},\
-                 \"dim_utilization\":[{}],\"lanes\":{lanes},\"lane_utilization\":[{}],\
-                 \"max_queue_depth\":{}}}",
-                algo.name(),
-                report.avg_delay.as_ns(),
-                report.max_delay.as_ns(),
-                report.blocks,
-                util.join(","),
-                lane_util.join(","),
-                report.stats.max_queue_depth
+                "{}",
+                workloads::serve::multicast_report_json(algo.name(), &report, lanes)
             );
         }
         if args.algo.is_some() && !args.json {

@@ -58,7 +58,7 @@ pub mod tree;
 pub mod verify;
 
 pub use algorithms::Algorithm;
-pub use cache::{CacheStats, TreeCache, TreeKey};
+pub use cache::{CacheStats, StoreStats, TreeCache, TreeKey, TreeStore};
 pub use protocol::RetryPolicy;
 pub use repair::{NetworkFaults, RepairOutcome};
 pub use schedule::PortModel;

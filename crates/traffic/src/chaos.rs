@@ -713,7 +713,9 @@ pub(crate) fn classify(msgs: &[wormsim::MessageResult], missing: usize) -> Attem
 }
 
 /// Assembles the final report from terminal session records.
-fn assemble_chaos(
+/// `pub(crate)` so the sharded driver can assemble the identical report
+/// from its per-session attempt chains.
+pub(crate) fn assemble_chaos(
     spec: &ChaosSpec,
     sessions: Vec<ChaosSession>,
     timeline: &FaultTimeline,

@@ -33,6 +33,13 @@
 //!   [`hypercast::repair`](hypercast::repair::repair)-rebuilt trees,
 //!   surfacing delivery ratio, goodput, retry distributions, and
 //!   time-to-recover;
+//! * [`shard`] — the sharded session driver: the paper's
+//!   contention-free trees make sessions mutually independent, so the
+//!   sharded entry points simulate each session (or chaos retry chain)
+//!   alone on one of N worker threads — each with its own
+//!   [`wormsim::EngineScratch`], chaos workers sharing one
+//!   [`hypercast::TreeStore`] — and merge results in session order, so
+//!   every report is byte-identical at any worker count;
 //! * [`telemetry`] — the flight recorder: every `*_with_telemetry`
 //!   entry point runs the same workload once, observed, returning the
 //!   byte-identical report **plus** per-session spans with an exact
@@ -81,6 +88,7 @@ pub mod chaos;
 pub mod churn;
 pub mod engine;
 pub mod patterns;
+pub mod shard;
 pub mod stats;
 pub mod telemetry;
 
@@ -97,6 +105,10 @@ pub use engine::{
     SessionWorkload, TrafficReport, TrafficSpec,
 };
 pub use patterns::DestPattern;
+pub use shard::{
+    run_chaos_cube_sharded, run_chaos_cube_sharded_with_store, run_chaos_separate_sharded_on,
+    run_cube_sharded, run_separate_sharded_on, run_sessions_sharded_on, run_trials,
+};
 pub use stats::{saturation_point, BatchMeans, LoadPoint, Quantiles};
 pub use telemetry::{
     run_chaos_cube_on_timeline_with_telemetry, run_chaos_cube_with_telemetry,

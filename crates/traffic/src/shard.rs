@@ -1,0 +1,848 @@
+//! The sharded session driver: partitions the independent sessions of
+//! an open-loop run across N worker threads.
+//!
+//! The paper's central property — contention-free multicast trees make
+//! sessions mutually independent — is exactly what lets a simulation
+//! fleet scale across cores: each session (and each chaos retry chain)
+//! can be simulated alone, on its own worker, with its own
+//! [`EngineScratch`]. The sharded entry points here do that, then merge
+//! the per-session results **in session-index order**, so every report
+//! is a pure function of the spec — *byte-identical at any worker
+//! count* (pinned in `workloads/tests/determinism.rs`).
+//!
+//! # Semantics: the independent-session approximation
+//!
+//! [`run_cube`](crate::run_cube) simulates all sessions in one shared
+//! network, so concurrent sessions couple through physical channel
+//! contention. The sharded runs drop exactly that coupling: each
+//! session is simulated **alone** on an idle network (its arrival time
+//! and the observation window are preserved, so warmup truncation and
+//! horizon cuts behave identically). Under the paper's recurring-pool
+//! workloads the trees are contention-free *within* a session by
+//! construction, so this is the natural "millions of independent users"
+//! scaling model — but it is a *different, documented mode*, not a
+//! parallel implementation of the contended run: a sharded report
+//! matches its contended counterpart only when sessions never collide
+//! (e.g. a single session; pinned in the tests below).
+//!
+//! # Determinism
+//!
+//! Three rules keep reports worker-count-invariant:
+//!
+//! 1. **Assembly is serial.** Arrival schedules, destination draws, and
+//!    (for the plain runs) tree builds happen on the calling thread, in
+//!    the plain engine's exact RNG order.
+//! 2. **Merge is trial-indexed.** [`run_trials`] returns results in
+//!    trial order regardless of which worker ran what; network counters
+//!    are absorbed by ascending session index.
+//! 3. **Cache counters are replayed, not raced.** Chaos workers share
+//!    one [`TreeStore`] (an unbounded, lock-protected build memo whose
+//!    hit/miss split depends on scheduling and is never reported);
+//!    the reported [`CacheStats`] come from a serial replay of the
+//!    run's lookup sequence — sorted by `(epoch, launch, session,
+//!    attempt)` — through a fresh [`TreeCache`] of the spec's capacity.
+
+use crate::chaos::{
+    assemble_chaos, classify, AttemptOutcome, ChaosReport, ChaosSession, ChaosSpec, SessionFailure,
+};
+use crate::engine::{
+    assemble, assemble_cube_sessions, assemble_separate_sessions_on, push_tree_session,
+    SessionWorkload, TrafficReport, TrafficSpec,
+};
+use hcube::{Cube, Ecube, NodeId, Resolution, Router, Topology};
+use hypercast::{Algorithm, CacheStats, NetworkFaults, TreeCache, TreeKey, TreeStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wormsim::{
+    simulate_observed_with_faults_on_with_scratch, simulate_window_on_with_scratch, DepMessage,
+    EngineScratch, FaultEpoch, NetStats, NoopProbe, RunResult, SimParams, SimTime,
+};
+
+/// Runs `count` independent trials across `workers` threads and
+/// returns the results **in trial order**, regardless of which worker
+/// ran what.
+///
+/// Each worker owns one [`EngineScratch`] for its whole lifetime (the
+/// sweep hot-path discipline) and claims trials from a shared atomic
+/// counter; results land in their trial's slot. With `workers == 1`
+/// (or fewer than two trials) everything runs inline on the calling
+/// thread — no threads are spawned, so a single-worker sharded run has
+/// no scheduling noise at all.
+///
+/// This is the one slot-fill pool in the workspace: the
+/// `chaossweep`/`telemetrysweep` worker pools and the `mcast serve`
+/// daemon all drive their trials through it.
+///
+/// # Panics
+/// If `workers == 0`, or if a worker thread panics (the panic is
+/// propagated by the thread scope).
+pub fn run_trials<T, F>(workers: usize, count: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut EngineScratch) -> T + Sync,
+{
+    assert!(workers > 0, "a sharded run needs at least one worker");
+    if workers == 1 || count <= 1 {
+        let mut scratch = EngineScratch::new();
+        return (0..count).map(|i| run(i, &mut scratch)).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(count) {
+            scope.spawn(|| {
+                let mut scratch = EngineScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let out = run(i, &mut scratch);
+                    *slots[i].lock().expect("trial slot lock poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("trial slot lock poisoned")
+                .expect("every trial slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// One session of `sessions`, extracted as a standalone workload with
+/// dependency indices rebased to the session but `min_start` kept
+/// **absolute** — the session replays at its true arrival time, so the
+/// spec's observation window cuts it exactly where the contended run
+/// would.
+fn extract_session(sessions: &SessionWorkload, i: usize) -> Vec<DepMessage> {
+    let span = &sessions.spans[i];
+    sessions.messages()[span.range.clone()]
+        .iter()
+        .map(|m| {
+            let mut m = m.clone();
+            for d in &mut m.deps {
+                *d -= span.range.start;
+            }
+            m
+        })
+        .collect()
+}
+
+/// Simulates a pre-assembled [`SessionWorkload`] with each session
+/// alone on an idle network, sharded across `workers` threads, and
+/// merges the results in session order. The sharded counterpart of
+/// [`run_sessions_on_with_scratch`](crate::run_sessions_on_with_scratch);
+/// see the module docs for how its semantics differ.
+///
+/// # Panics
+/// If `workers == 0`, or if `sessions` references nodes outside
+/// `router`'s topology.
+#[must_use]
+pub fn run_sessions_sharded_on<R>(
+    spec: &TrafficSpec,
+    router: R,
+    sessions: &SessionWorkload,
+    params: &SimParams,
+    workers: usize,
+) -> TrafficReport
+where
+    R: Router + Copy + Sync,
+{
+    let runs = run_trials(workers, sessions.sessions(), |i, scratch| {
+        let workload = extract_session(sessions, i);
+        simulate_window_on_with_scratch(router, params, &workload, spec.horizon, scratch)
+            .expect("windowed traffic runs cannot deadlock")
+    });
+    let mut merged = RunResult {
+        messages: Vec::with_capacity(sessions.messages().len()),
+        stats: NetStats::default(),
+    };
+    for run in runs {
+        merged.stats.absorb(&run.stats);
+        merged.messages.extend(run.messages);
+    }
+    assemble(spec, &merged, &sessions.spans, sessions.cache_stats())
+}
+
+/// Sharded [`run_cube`](crate::run_cube): serial assembly (schedule,
+/// draws, tree builds through the [`TreeCache`] — cache counters are
+/// byte-identical to the contended run's), then each session simulated
+/// alone across `workers` threads. See the module docs for the
+/// independent-session semantics.
+///
+/// # Panics
+/// See [`run_cube`](crate::run_cube); additionally if `workers == 0`.
+#[must_use]
+pub fn run_cube_sharded(
+    spec: &TrafficSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &SimParams,
+    workers: usize,
+) -> TrafficReport {
+    let sessions = assemble_cube_sessions(spec, cube, resolution, algo, params);
+    run_sessions_sharded_on(
+        spec,
+        Ecube::new(cube, resolution),
+        &sessions,
+        params,
+        workers,
+    )
+}
+
+/// Sharded [`run_separate_on`](crate::run_separate_on): separate
+/// addressing on any routed topology, each session simulated alone
+/// across `workers` threads.
+///
+/// # Panics
+/// See [`run_separate_on`](crate::run_separate_on); additionally if
+/// `workers == 0`.
+#[must_use]
+pub fn run_separate_sharded_on<R>(
+    spec: &TrafficSpec,
+    router: R,
+    params: &SimParams,
+    workers: usize,
+) -> TrafficReport
+where
+    R: Router + Copy + Sync,
+    R::Topo: Topology,
+{
+    let sessions = assemble_separate_sessions_on(spec, &router);
+    run_sessions_sharded_on(spec, router, &sessions, params, workers)
+}
+
+/// One tree lookup a chaos attempt performed, logged for the serial
+/// cache replay.
+struct Lookup {
+    /// Index into the timeline's epoch vector.
+    epoch: usize,
+    launch: SimTime,
+    session: usize,
+    number: u32,
+}
+
+/// The terminal state of one session's retry chain.
+struct ChainOutcome {
+    record: ChaosSession,
+    lost: bool,
+    net: NetStats,
+    lookups: Vec<Lookup>,
+}
+
+/// Drives every session's retry chain to a terminal state, sharded
+/// across `workers` threads. `attempt_fn(session, number, launch,
+/// epoch, scratch)` simulates one attempt solo and returns the run plus
+/// the count of requested destinations its tree could not cover.
+///
+/// The chain replicates the epoch-wave loop's per-session decisions
+/// exactly: first attempts launch at their arrival, an attempt runs
+/// under the fault plan of the epoch containing its launch (clamped to
+/// never run under an earlier epoch than its predecessor), failures
+/// back off exponentially from the attempt's resolution time, and a
+/// chain ends on delivery, a window cut (terminal, never retried),
+/// retry exhaustion, or a relaunch past the horizon.
+fn run_chaos_chains<F>(
+    spec: &ChaosSpec,
+    schedule: &[SimTime],
+    epochs: &[FaultEpoch],
+    workers: usize,
+    attempt_fn: F,
+) -> (Vec<ChaosSession>, u64, NetStats, Vec<Lookup>)
+where
+    F: Fn(usize, u32, SimTime, usize, &mut EngineScratch) -> (RunResult, usize) + Sync,
+{
+    let horizon = spec.traffic.horizon;
+    let max_attempts = 1 + spec.retry.max_retries;
+    let epoch_of = |t: SimTime| -> usize {
+        // Last epoch whose start is <= t.
+        epochs.partition_point(|e| e.start <= t).saturating_sub(1)
+    };
+
+    let outcomes = run_trials(workers, schedule.len(), |session, scratch| {
+        let arrival = schedule[session];
+        let mut number = 1u32;
+        let mut launch = arrival;
+        let mut first_failure: Option<SessionFailure> = None;
+        let mut net = NetStats::default();
+        let mut lookups = Vec::new();
+        let mut epoch_floor = 0usize;
+        let mut lost = false;
+        let record = loop {
+            let e = epoch_of(launch).max(epoch_floor);
+            epoch_floor = e;
+            lookups.push(Lookup {
+                epoch: e,
+                launch,
+                session,
+                number,
+            });
+            let (run, missing) = attempt_fn(session, number, launch, e, scratch);
+            net.absorb(&run.stats);
+            let resolution = run
+                .messages
+                .iter()
+                .map(|m| m.delivered)
+                .max()
+                .unwrap_or(launch);
+            match classify(&run.messages, missing) {
+                AttemptOutcome::Delivered => {
+                    break ChaosSession {
+                        arrival,
+                        completion: resolution,
+                        latency: resolution.saturating_sub(arrival),
+                        attempts: number,
+                        delivered: true,
+                        failure: None,
+                    };
+                }
+                AttemptOutcome::WindowCut => {
+                    // Terminal: window cuts are measurement artifacts
+                    // and never retry (see the chaos module docs).
+                    break ChaosSession {
+                        arrival,
+                        completion: resolution,
+                        latency: resolution.saturating_sub(arrival),
+                        attempts: number,
+                        delivered: false,
+                        failure: Some(SessionFailure::WindowCut),
+                    };
+                }
+                AttemptOutcome::Failed(failure) => {
+                    let failure = first_failure.unwrap_or(failure);
+                    first_failure = Some(failure);
+                    let backoff_us = spec.retry.backoff(number);
+                    let relaunch = resolution + SimTime::from_ns(backoff_us * 1000);
+                    if number >= max_attempts || relaunch >= horizon {
+                        lost = true;
+                        break ChaosSession {
+                            arrival,
+                            completion: resolution,
+                            latency: resolution.saturating_sub(arrival),
+                            attempts: number,
+                            delivered: false,
+                            failure: Some(failure),
+                        };
+                    }
+                    number += 1;
+                    launch = relaunch;
+                }
+            }
+        };
+        ChainOutcome {
+            record,
+            lost,
+            net,
+            lookups,
+        }
+    });
+
+    let mut net = NetStats::default();
+    let mut lost = 0u64;
+    let mut sessions = Vec::with_capacity(outcomes.len());
+    let mut lookups = Vec::new();
+    for outcome in outcomes {
+        net.absorb(&outcome.net);
+        lost += u64::from(outcome.lost);
+        sessions.push(outcome.record);
+        lookups.extend(outcome.lookups);
+    }
+    // Canonical replay order: epoch-major, then launch/session/attempt
+    // — a pure function of the spec, independent of worker scheduling.
+    lookups.sort_by_key(|l| (l.epoch, l.launch, l.session, l.number));
+    (sessions, lost, net, lookups)
+}
+
+/// The [`TreeKey`] a chaos attempt's tree was built under: pristine for
+/// first attempts (end-to-end fault detection — the source has not yet
+/// learned of any fault), repaired against the attempt's epoch for
+/// retries.
+#[allow(clippy::too_many_arguments)]
+fn chaos_key(
+    algo: Algorithm,
+    cube: Cube,
+    resolution: Resolution,
+    params: &SimParams,
+    source: NodeId,
+    dests: &[NodeId],
+    epoch: &FaultEpoch,
+    number: u32,
+) -> TreeKey {
+    let mut key = TreeKey::new(algo, cube, resolution, params.port_model, source, dests);
+    if number > 1 {
+        key.epoch = epoch.index;
+        key.repaired = true;
+    }
+    key
+}
+
+/// Sharded [`run_chaos_cube`](crate::run_chaos_cube): open-loop
+/// hypercube traffic under online fault churn, with each session's
+/// retry chain simulated alone on a worker. A fresh [`TreeStore`] is
+/// created per run; use
+/// [`run_chaos_cube_sharded_with_store`] to keep trees warm across
+/// runs (the `mcast serve` daemon does).
+///
+/// # Panics
+/// See [`run_chaos_cube`](crate::run_chaos_cube); additionally if
+/// `workers == 0`.
+#[must_use]
+pub fn run_chaos_cube_sharded(
+    spec: &ChaosSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &SimParams,
+    workers: usize,
+) -> ChaosReport {
+    run_chaos_cube_sharded_with_store(
+        spec,
+        cube,
+        resolution,
+        algo,
+        params,
+        workers,
+        &TreeStore::new(),
+    )
+}
+
+/// [`run_chaos_cube_sharded`] against a caller-owned [`TreeStore`].
+/// The store only memoizes tree builds — reported [`CacheStats`] come
+/// from the serial replay (see the module docs), so a warm store
+/// changes wall-clock time, never a single report byte.
+///
+/// # Panics
+/// See [`run_chaos_cube_sharded`].
+#[must_use]
+pub fn run_chaos_cube_sharded_with_store(
+    spec: &ChaosSpec,
+    cube: Cube,
+    resolution: Resolution,
+    algo: Algorithm,
+    params: &SimParams,
+    workers: usize,
+    store: &TreeStore,
+) -> ChaosReport {
+    let timeline = spec.churn.timeline_on(&cube, spec.traffic.seed);
+    let epochs: Vec<FaultEpoch> = timeline.epochs();
+    // Snapshot each epoch's fault state and deadline-stamped plan once,
+    // serially, so workers only read.
+    let faults: Vec<NetworkFaults> = epochs
+        .iter()
+        .map(|e| NetworkFaults::from(&e.plan))
+        .collect();
+    let plans: Vec<wormsim::FaultPlan> = epochs
+        .iter()
+        .map(|e| {
+            let mut plan = e.plan.clone();
+            plan.deadline_all(spec.traffic.horizon);
+            plan
+        })
+        .collect();
+
+    // Draw the arrival schedule and every destination pattern up front,
+    // in exactly the plain engine's RNG order — churn must not perturb
+    // the traffic stream.
+    let mut rng = StdRng::seed_from_u64(spec.traffic.seed);
+    let schedule = spec
+        .traffic
+        .arrivals
+        .schedule(&mut rng, spec.traffic.sessions);
+    let draws: Vec<(NodeId, Vec<NodeId>)> = schedule
+        .iter()
+        .map(|_| spec.traffic.pattern.draw_cube(&mut rng, cube))
+        .collect();
+
+    let (sessions, lost, net, lookups) = run_chaos_chains(
+        spec,
+        &schedule,
+        &epochs,
+        workers,
+        |session, number, launch, e, scratch| {
+            let (source, dests) = &draws[session];
+            let key = chaos_key(
+                algo, cube, resolution, params, *source, dests, &epochs[e], number,
+            );
+            let tree = store
+                .get_or_build(&key, (number > 1).then_some(&faults[e]))
+                .expect("traffic destination draw produced an invalid multicast");
+            let mut workload: Vec<DepMessage> = Vec::new();
+            push_tree_session(&mut workload, &tree, spec.traffic.bytes, launch);
+            // Coverage check: which requested destinations does the
+            // (possibly repaired) tree actually reach?
+            let covered: BTreeSet<NodeId> = tree.unicasts.iter().map(|u| u.dst).collect();
+            let missing = dests.iter().filter(|d| !covered.contains(d)).count();
+            let run = simulate_observed_with_faults_on_with_scratch(
+                Ecube::new(cube, resolution),
+                params,
+                &workload,
+                &plans[e],
+                &mut NoopProbe,
+                scratch,
+            )
+            .expect("windowed chaos runs cannot deadlock");
+            (run, missing)
+        },
+    );
+
+    // Serial cache replay: the reported counters are a pure function of
+    // the canonical lookup order, never of worker scheduling or store
+    // warmth. Every epoch advances the cache even if no lookup landed
+    // in it, mirroring the serial epoch loop's invalidation discipline.
+    let mut cache = TreeCache::new(spec.traffic.cache_capacity);
+    let mut replay = lookups.iter().peekable();
+    for (e, epoch) in epochs.iter().enumerate() {
+        cache.set_epoch(epoch.index);
+        while let Some(l) = replay.next_if(|l| l.epoch == e) {
+            let (source, dests) = &draws[l.session];
+            let key = chaos_key(
+                algo, cube, resolution, params, *source, dests, epoch, l.number,
+            );
+            let stored = store
+                .get(&key)
+                .expect("the parallel phase built every tree it logged");
+            cache.get_or_insert_with(key, || stored);
+        }
+    }
+    assemble_chaos(spec, sessions, &timeline, cache.stats(), net, lost)
+}
+
+/// Sharded [`run_chaos_separate_on`](crate::run_chaos_separate_on):
+/// separate-addressing chaos on any routed topology, each session's
+/// retry chain simulated alone on a worker. No trees, no repair, no
+/// cache — recovery relies entirely on the victim reviving before the
+/// retry budget runs out.
+///
+/// # Panics
+/// See [`run_chaos_separate_on`](crate::run_chaos_separate_on);
+/// additionally if `workers == 0`.
+#[must_use]
+pub fn run_chaos_separate_sharded_on<R>(
+    spec: &ChaosSpec,
+    router: R,
+    params: &SimParams,
+    workers: usize,
+) -> ChaosReport
+where
+    R: Router + Copy + Sync,
+    R::Topo: Topology,
+{
+    let topo = router.topology();
+    let timeline = spec
+        .churn
+        .timeline_on_lanes(&topo, router.lanes(), spec.traffic.seed);
+    let epochs: Vec<FaultEpoch> = timeline.epochs();
+    let plans: Vec<wormsim::FaultPlan> = epochs
+        .iter()
+        .map(|e| {
+            let mut plan = e.plan.clone();
+            plan.deadline_all(spec.traffic.horizon);
+            plan
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(spec.traffic.seed);
+    let schedule = spec
+        .traffic
+        .arrivals
+        .schedule(&mut rng, spec.traffic.sessions);
+    let draws: Vec<(NodeId, Vec<NodeId>)> = schedule
+        .iter()
+        .map(|_| spec.traffic.pattern.draw_on(&mut rng, &topo))
+        .collect();
+
+    let (sessions, lost, net, _lookups) = run_chaos_chains(
+        spec,
+        &schedule,
+        &epochs,
+        workers,
+        |session, _number, launch, e, scratch| {
+            let (source, dests) = &draws[session];
+            let workload: Vec<DepMessage> = dests
+                .iter()
+                .map(|&dst| DepMessage {
+                    src: *source,
+                    dst,
+                    bytes: spec.traffic.bytes,
+                    deps: vec![],
+                    min_start: launch,
+                })
+                .collect();
+            let run = simulate_observed_with_faults_on_with_scratch(
+                router,
+                params,
+                &workload,
+                &plans[e],
+                &mut NoopProbe,
+                scratch,
+            )
+            .expect("windowed chaos runs cannot deadlock");
+            (run, 0)
+        },
+    );
+    // Separate addressing builds no trees: all-zero cache counters,
+    // exactly like the serial separate chaos path.
+    assemble_chaos(spec, sessions, &timeline, CacheStats::default(), net, lost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{ArrivalProcess, Arrivals};
+    use crate::churn::ChurnSpec;
+    use crate::engine::run_cube;
+    use crate::patterns::DestPattern;
+    use hcube::{Torus, TorusRouter};
+    use hypercast::PortModel;
+
+    fn spec(rate: f64, sessions: usize, seed: u64) -> TrafficSpec {
+        TrafficSpec::new(
+            Arrivals::new(ArrivalProcess::Poisson, rate),
+            DestPattern::UniformRandom { m: 6 },
+            sessions,
+            seed,
+        )
+    }
+
+    fn churny(until: SimTime) -> ChurnSpec {
+        ChurnSpec {
+            link_mtbf_ms: 10.0,
+            link_mttr_ms: 2.0,
+            node_mtbf_ms: 40.0,
+            node_mttr_ms: 3.0,
+            churn_until: until,
+        }
+    }
+
+    #[test]
+    fn run_trials_returns_results_in_trial_order() {
+        for workers in [1, 2, 5] {
+            let out = run_trials(workers, 17, |i, _scratch| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_trials(3, 0, |i, _| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = run_trials(0, 4, |i, _| i);
+    }
+
+    #[test]
+    fn sharded_cube_run_is_worker_count_invariant() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let s = spec(2.0, 30, 11);
+        let one = run_cube_sharded(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            1,
+        );
+        for workers in [2, 3, 8] {
+            let many = run_cube_sharded(
+                &s,
+                Cube::of(5),
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+                workers,
+            );
+            assert_eq!(
+                format!("{one:?}"),
+                format!("{many:?}"),
+                "{workers} workers diverged from 1"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_torus_run_is_worker_count_invariant() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let torus = Torus::of(4, 2);
+        let s = spec(1.0, 25, 9);
+        let one = run_separate_sharded_on(&s, TorusRouter::new(torus), &params, 1);
+        for workers in [2, 8] {
+            let many = run_separate_sharded_on(&s, TorusRouter::new(torus), &params, workers);
+            assert_eq!(format!("{one:?}"), format!("{many:?}"));
+        }
+    }
+
+    #[test]
+    fn single_session_sharded_run_matches_the_contended_engine() {
+        // With one session there is nothing to contend with: the
+        // independent-session approximation is exact and the sharded
+        // report must equal the contended one byte-for-byte.
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let mut s = spec(1.0, 1, 7);
+        s.warmup = 0;
+        let contended = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        let sharded = run_cube_sharded(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            4,
+        );
+        assert_eq!(format!("{contended:?}"), format!("{sharded:?}"));
+    }
+
+    #[test]
+    fn sharded_cube_preserves_the_assembly_cache_counters() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = DestPattern::uniform_pool(&mut rng, &Cube::of(5), 4, 6);
+        let mut s = TrafficSpec::new(Arrivals::new(ArrivalProcess::Poisson, 1.0), pool, 50, 7);
+        s.cache_capacity = 16;
+        let contended = run_cube(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+        );
+        let sharded = run_cube_sharded(
+            &s,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            3,
+        );
+        // Assembly is shared, so the tree-cache counters are identical
+        // even though the network timings are not.
+        assert_eq!(contended.cache, sharded.cache);
+    }
+
+    #[test]
+    fn sharded_chaos_cube_is_worker_count_invariant() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let cs = ChaosSpec::new(spec(2.0, 40, 11), churny(SimTime::from_ms(10)));
+        let one = run_chaos_cube_sharded(
+            &cs,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            1,
+        );
+        assert!(
+            one.fault_events > 0,
+            "this churn spec must produce events for the test to bite"
+        );
+        for workers in [2, 8] {
+            let many = run_chaos_cube_sharded(
+                &cs,
+                Cube::of(5),
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+                workers,
+            );
+            assert_eq!(
+                format!("{one:?}"),
+                format!("{many:?}"),
+                "{workers} workers diverged from 1"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_chaos_report_is_store_warmth_invariant() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let cs = ChaosSpec::new(spec(2.0, 40, 11), churny(SimTime::from_ms(10)));
+        let store = TreeStore::new();
+        let cold = run_chaos_cube_sharded_with_store(
+            &cs,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            2,
+            &store,
+        );
+        assert!(!store.is_empty());
+        let warm = run_chaos_cube_sharded_with_store(
+            &cs,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            2,
+            &store,
+        );
+        assert_eq!(
+            format!("{cold:?}"),
+            format!("{warm:?}"),
+            "a warm store must never change a report byte"
+        );
+    }
+
+    #[test]
+    fn sharded_chaos_torus_is_worker_count_invariant() {
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let torus = Torus::of(4, 2);
+        let cs = ChaosSpec::new(spec(1.0, 25, 9), churny(SimTime::from_ms(10)));
+        let one = run_chaos_separate_sharded_on(&cs, TorusRouter::new(torus), &params, 1);
+        for workers in [2, 8] {
+            let many =
+                run_chaos_separate_sharded_on(&cs, TorusRouter::new(torus), &params, workers);
+            assert_eq!(format!("{one:?}"), format!("{many:?}"));
+        }
+    }
+
+    #[test]
+    fn zero_churn_sharded_chaos_matches_the_sharded_plain_run() {
+        // With no faults every chain is one attempt under an empty plan
+        // — per-session timings must match the plain sharded run.
+        let params = SimParams::ncube2(PortModel::AllPort);
+        let ts = spec(2.0, 30, 11);
+        let plain = run_cube_sharded(
+            &ts,
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            2,
+        );
+        let chaos = run_chaos_cube_sharded(
+            &ChaosSpec::new(ts, ChurnSpec::quiet()),
+            Cube::of(5),
+            Resolution::HighToLow,
+            Algorithm::WSort,
+            &params,
+            2,
+        );
+        let plain_sessions: Vec<_> = plain
+            .sessions
+            .iter()
+            .map(|s| (s.arrival, s.completion, s.latency, s.delivered))
+            .collect();
+        let chaos_sessions: Vec<_> = chaos
+            .sessions
+            .iter()
+            .map(|s| (s.arrival, s.completion, s.latency, s.delivered))
+            .collect();
+        assert_eq!(format!("{plain_sessions:?}"), format!("{chaos_sessions:?}"));
+        assert!(chaos.sessions.iter().all(|s| s.attempts == 1));
+        assert_eq!(chaos.lost, 0);
+        assert_eq!(format!("{:?}", plain.net), format!("{:?}", chaos.net));
+    }
+}

@@ -20,9 +20,6 @@
 //! regenerate `results/chaos_sweep.{txt,json}` byte-for-byte — with or
 //! without worker threads — and the determinism suite pins it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use crate::json::{self, Value};
 use crate::trafficsweep::{horizon_for, run_seed};
 use hcube::{Cube, Resolution, Torus, TorusRouter};
@@ -322,30 +319,13 @@ pub fn chaos_sweep_with_workers(cfg: &ChaosSweepConfig, workers: usize) -> Chaos
         }
     }
 
-    let slots: Vec<Mutex<Option<ChaosPoint>>> =
-        (0..tasks.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(tasks.len()) {
-            scope.spawn(|| {
-                // Each worker owns one scratch; reuse across its runs is
-                // byte-invisible.
-                let mut scratch = EngineScratch::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    let point = run_task(cfg, &tasks[i], &mut scratch);
-                    *slots[i].lock().unwrap() = Some(point);
-                }
-            });
-        }
-    });
-
-    let mut points = slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every slot was filled"));
+    // The sharded trial driver: per-worker scratch (reuse across runs is
+    // byte-invisible), task-indexed merge, so the sweep is worker-count
+    // invariant.
+    let mut points = traffic::run_trials(workers, tasks.len(), |i, scratch| {
+        run_task(cfg, &tasks[i], scratch)
+    })
+    .into_iter();
     let per_series_64 = cfg.link_mtbf_ladder_ms.len() * cfg.loads_64.len();
     let per_series_256 = cfg.link_mtbf_ladder_ms.len() * cfg.loads_256.len();
     let series = layout

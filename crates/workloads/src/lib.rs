@@ -27,6 +27,10 @@
 //!   quantiles, cache hit rate, live faults, per-dimension blocked time;
 //! * [`json`] — a minimal first-party JSON tree, parser, and printer
 //!   (the build environment is offline, so no `serde_json`);
+//! * [`serve`] — the long-running service mode behind `mcast serve`:
+//!   newline-delimited JSON requests dispatched onto the sharded
+//!   session drivers with a persistent tree store, plus the spec
+//!   builders and report formatters shared with the one-shot CLI;
 //! * [`stats`] — summary statistics.
 //!
 //! Regeneration binaries live in the `bench` crate
@@ -45,6 +49,7 @@ pub mod figures;
 pub mod heatmap;
 pub mod json;
 pub mod lanesweep;
+pub mod serve;
 pub mod stats;
 pub mod sweep;
 pub mod telemetrysweep;

@@ -21,9 +21,6 @@
 //! series, so identical configs regenerate the artifact byte-for-byte
 //! at any worker count; the determinism suite pins it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use crate::json::{self, Value};
 use crate::trafficsweep::{horizon_for, run_seed};
 use hcube::{Cube, Resolution, Torus, TorusRouter};
@@ -333,28 +330,13 @@ pub fn telemetry_sweep_with_workers(cfg: &TelemetrySweepConfig, workers: usize) 
         seed: run_seed(cfg.seed, "torus4x3", "Separate", 0),
     });
 
-    let slots: Vec<Mutex<Option<TelemetrySeries>>> =
-        (0..tasks.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(tasks.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                let series = run_task(cfg, &tasks[i]);
-                *slots[i].lock().unwrap() = Some(series);
-            });
-        }
-    });
-
+    // The sharded trial driver: task-indexed merge keeps the sweep
+    // worker-count invariant. The telemetry entry points allocate their
+    // own engine arenas, so the per-worker scratch goes unused here.
+    let series = traffic::run_trials(workers, tasks.len(), |i, _scratch| run_task(cfg, &tasks[i]));
     TelemetrySweep {
         config: cfg.clone(),
-        series: slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("every slot was filled"))
-            .collect(),
+        series,
     }
 }
 

@@ -681,3 +681,93 @@ fn committed_telemetry_sweep_artifact_regenerates_byte_identically() {
          `cargo run -p bench --release --bin telemetry_sweep` and commit"
     );
 }
+
+/// The sharded session driver's central contract: a sharded report is
+/// byte-identical at 1, 2, and 8 workers, on every path it serves —
+/// plain cube traffic, the torus separate-addressing backend, and both
+/// chaos retry engines. The `{:?}` rendering covers every field of the
+/// report (per-session records, batch-means latency, cache and network
+/// counters), so any scheduling leak shows up as a byte diff.
+#[test]
+fn sharded_reports_are_byte_identical_across_worker_counts() {
+    use traffic::{ArrivalProcess, Arrivals, ChaosSpec, ChurnSpec, DestPattern, TrafficSpec};
+
+    let spec = TrafficSpec::new(
+        Arrivals::new(ArrivalProcess::Poisson, 2.0),
+        DestPattern::UniformRandom { m: 6 },
+        40,
+        11,
+    );
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let chaos = ChaosSpec {
+        traffic: spec.clone(),
+        churn: ChurnSpec {
+            link_mtbf_ms: 8.0,
+            link_mttr_ms: 2.0,
+            node_mtbf_ms: 32.0,
+            node_mttr_ms: 3.0,
+            churn_until: SimTime::from_ms(15),
+        },
+        retry: hypercast::RetryPolicy {
+            max_retries: 3,
+            base_backoff: 500,
+            backoff_factor: 4,
+        },
+    };
+    let torus = Torus::new(4, 3).expect("a 4-ary 3-cube builds");
+
+    let cube_run = |w: usize| {
+        format!(
+            "{:?}",
+            traffic::run_cube_sharded(
+                &spec,
+                Cube::of(5),
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+                w,
+            )
+        )
+    };
+    let torus_run = |w: usize| {
+        format!(
+            "{:?}",
+            traffic::run_separate_sharded_on(&spec, TorusRouter::new(torus), &params, w)
+        )
+    };
+    let chaos_cube_run = |w: usize| {
+        format!(
+            "{:?}",
+            traffic::run_chaos_cube_sharded(
+                &chaos,
+                Cube::of(5),
+                Resolution::HighToLow,
+                Algorithm::WSort,
+                &params,
+                w,
+            )
+        )
+    };
+    let chaos_torus_run = |w: usize| {
+        format!(
+            "{:?}",
+            traffic::run_chaos_separate_sharded_on(&chaos, TorusRouter::new(torus), &params, w)
+        )
+    };
+
+    for (label, run) in [
+        ("cube", &cube_run as &dyn Fn(usize) -> String),
+        ("torus", &torus_run),
+        ("chaos cube", &chaos_cube_run),
+        ("chaos torus", &chaos_torus_run),
+    ] {
+        let serial = run(1);
+        for workers in [2, 8] {
+            assert_eq!(
+                run(workers),
+                serial,
+                "the sharded {label} report changed at {workers} workers"
+            );
+        }
+    }
+}
