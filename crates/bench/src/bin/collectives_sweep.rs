@@ -1,0 +1,76 @@
+//! Regenerates the collectives suite sweep: allgather / reduce-scatter
+//! / allreduce schedules across the tree families (the paper's
+//! algorithms plus the bine tree) on a 32-node 5-cube and under
+//! separate addressing on a 4-ary 2-cube torus — each schedule
+//! certified by the data oracle — plus open-loop collective traffic on
+//! a 4-cube. Archives `results/collectives_sweep.{txt,json}`.
+//!
+//! Flags:
+//! * `--smoke` — the short CI configuration (same schema, less work);
+//! * `--sessions N` — override traffic-section sessions;
+//! * `--seed S` — override the master seed;
+//! * `--check FILE` — no simulation: parse and schema-validate an
+//!   existing artifact with the first-party parser, exit non-zero on
+//!   violation or on any row the oracle did not certify.
+
+use workloads::collectivessweep::{collectives_sweep, CollectivesConfig, CollectivesSweep};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match CollectivesSweep::from_json(&text) {
+            Ok(sweep) => {
+                let unverified: Vec<String> = sweep
+                    .rows
+                    .iter()
+                    .filter(|r| !r.verified)
+                    .map(|r| format!("{} {} {}", r.suite, r.network, r.family))
+                    .collect();
+                if !unverified.is_empty() {
+                    eprintln!("{path}: oracle-unverified rows: {}", unverified.join(", "));
+                    std::process::exit(1);
+                }
+                println!(
+                    "{path}: valid collectives sweep ({} schedule rows, {} traffic rows, all oracle-verified)",
+                    sweep.rows.len(),
+                    sweep.traffic.len()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        CollectivesConfig::smoke()
+    } else {
+        CollectivesConfig::full()
+    };
+    if let Some(n) = arg_value(&args, "--sessions").and_then(|v| v.parse().ok()) {
+        cfg.traffic_sessions = n;
+    }
+    if let Some(s) = arg_value(&args, "--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+
+    let sweep = collectives_sweep(&cfg);
+    let table = sweep.to_table();
+    println!("{table}");
+    let json = sweep
+        .to_json()
+        .expect("non-finite statistic in sweep result");
+    let dir = bench::results_dir();
+    std::fs::write(dir.join("collectives_sweep.txt"), &table).expect("write txt");
+    std::fs::write(dir.join("collectives_sweep.json"), json).expect("write json");
+    eprintln!("[saved results/collectives_sweep.txt results/collectives_sweep.json]");
+}

@@ -26,9 +26,14 @@ use hcube::{
     Cube, Dim, Ecube, Mesh, MeshXY, MinimalAdaptive, NodeId, Resolution, Router, Topology, Torus,
     TorusRouter,
 };
+use hypercast::collectives::{
+    allgather, allgather_separate, allreduce, allreduce_separate, reduce_scatter,
+    reduce_scatter_separate,
+};
 use hypercast::contention::contention_witnesses;
+use hypercast::oracle::verify_collective;
 use hypercast::repair::{repair, NetworkFaults};
-use hypercast::{Algorithm, PortModel};
+use hypercast::{Algorithm, CollectiveKind, CollectiveSchedule, PortModel, TreeFamily};
 use traffic::{
     ArrivalProcess, ChaosReport, ChaosSpec, DestPattern, Telemetry, TelemetryConfig, TrafficReport,
     TrafficSpec,
@@ -62,6 +67,8 @@ struct Args {
     height: u16,
     router: RouterKind,
     lanes: Option<u8>,
+    collective: Option<CollectiveKind>,
+    bine: bool,
     algo: Option<Algorithm>,
     port: PortModel,
     source: u32,
@@ -96,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
         height: 4,
         router: RouterKind::Ecube,
         lanes: None,
+        collective: None,
+        bine: false,
         algo: None,
         port: PortModel::AllPort,
         source: 0,
@@ -169,12 +178,26 @@ fn parse_args() -> Result<Args, String> {
                     "wsort" | "w-sort" => Algorithm::WSort,
                     "separate" => Algorithm::Separate,
                     "dimtree" => Algorithm::DimTree,
+                    "bine" => {
+                        args.bine = true;
+                        args.algo = None;
+                        i += 1;
+                        continue;
+                    }
                     "all" => {
                         args.algo = None;
                         i += 1;
                         continue;
                     }
                     other => return Err(format!("unknown algorithm {other}")),
+                });
+            }
+            "--collective" => {
+                args.collective = Some(match take(&mut i)?.to_lowercase().as_str() {
+                    "allgather" => CollectiveKind::Allgather,
+                    "reducescatter" | "reduce-scatter" => CollectiveKind::ReduceScatter,
+                    "allreduce" => CollectiveKind::Allreduce,
+                    other => return Err(format!("unknown collective {other}")),
                 });
             }
             "--port" => {
@@ -295,7 +318,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: mcast --n <dim> [--topology cube|torus|mesh] [--arity K]\n\
                      \x20             [--width W --height H] [--router ecube|adaptive] [--lanes N]\n\
-                     \x20             [--algo ucube|maxport|combine|wsort|separate|dimtree|all]\n\
+                     \x20             [--algo ucube|maxport|combine|wsort|separate|dimtree|bine|all]\n\
+                     \x20             [--collective allgather|reduce-scatter|allreduce]\n\
                      \x20             [--port one|all] [--source A] [--dests a,b,c | --random M [--seed S]]\n\
                      \x20             [--bytes B] [--trace] [--json]\n\
                      \x20             [--trace-out FILE.json] [--metrics-out FILE.prom|FILE.json]\n\
@@ -313,6 +337,9 @@ fn parse_args() -> Result<Args, String> {
                      \x20             --lanes N (virtual lanes per link; torus needs an even N)\n\
                      \x20 multicast   --algo ..., --port one|all, --source A,\n\
                      \x20             --dests a,b,c | --random M, --seed S, --bytes B\n\
+                     \x20 collective  --collective allgather|reduce-scatter|allreduce\n\
+                     \x20             (--algo picks the tree family, bine = the Jacobsthal\n\
+                     \x20              bine tree, default compares all; composes with --load)\n\
                      \x20 output      --json, --trace, --trace-out FILE, --metrics-out FILE,\n\
                      \x20             --spans-out FILE, --timeseries-out FILE (need --load)\n\
                      \x20 faults      --faults K, --fail-link V:D, --fail-node V\n\
@@ -333,6 +360,14 @@ fn parse_args() -> Result<Args, String> {
                      faults, per-dimension blocked time per bucket). Both compose with\n\
                      --chaos; the reported numbers are byte-identical with or without the\n\
                      recorder attached.\n\
+                     \n\
+                     collectives: --collective KIND builds the full-machine collective\n\
+                     (allgather, reduce-scatter, or allreduce; --bytes is the per-node\n\
+                     block, --source the allreduce root), certifies its data movement\n\
+                     with the symbolic oracle, and replays it on the idle network —\n\
+                     or, with --load R, injects whole collectives as open-loop sessions.\n\
+                     On the cube --algo picks the tree family (including `bine`); the\n\
+                     torus runs separate addressing. See DESIGN.md section 17.\n\
                      \n\
                      fault injection: --faults K kills K random directed links (seeded by --seed);\n\
                      --fail-link V:D kills the channel leaving node V in dimension D;\n\
@@ -685,6 +720,176 @@ fn run_mesh(args: &Args) {
     }
 }
 
+/// The tree families a `--collective` run compares: `--algo X` pins one,
+/// `--algo bine` the bine tree, no flag sweeps the whole family set.
+fn collective_families(args: &Args) -> Vec<TreeFamily> {
+    if args.bine {
+        vec![TreeFamily::Bine]
+    } else {
+        match args.algo {
+            Some(a) => vec![TreeFamily::Alg(a)],
+            None => TreeFamily::SWEEP.to_vec(),
+        }
+    }
+}
+
+/// Prints one collective schedule's idle-network measurement (and the
+/// `--json` line), after certifying it with the data oracle.
+fn report_collective(
+    label: &str,
+    sched: &CollectiveSchedule,
+    report: &wormsim::SimReport,
+    json: bool,
+) {
+    let verified = match verify_collective(sched) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("{label:>9}  ORACLE FAILURE: {e}");
+            false
+        }
+    };
+    println!(
+        "{label:>9}: {} steps, {} ops, {} payload bytes, sim avg {} max {} (blocks {}), oracle {}",
+        sched.steps,
+        sched.ops.len(),
+        sched.payload_bytes(),
+        report.avg_delay,
+        report.max_delay,
+        report.blocks,
+        if verified { "ok" } else { "FAIL" },
+    );
+    if json {
+        println!(
+            "{{\"collective\":\"{}\",\"family\":\"{label}\",\"nodes\":{},\"steps\":{},\
+             \"ops\":{},\"payload_bytes\":{},\"avg_delay_ns\":{},\"makespan_ns\":{},\
+             \"blocks\":{},\"verified\":{verified}}}",
+            sched.kind.name(),
+            sched.nodes,
+            sched.steps,
+            sched.ops.len(),
+            sched.payload_bytes(),
+            report.avg_delay.as_ns(),
+            report.max_delay.as_ns(),
+            report.blocks,
+        );
+    }
+}
+
+/// `--collective KIND` without `--load`: build, oracle-verify, and
+/// replay one full-machine collective on the idle network.
+fn run_collective(args: &Args, kind: CollectiveKind) {
+    if args.faults > 0
+        || !args.fail_links.is_empty()
+        || !args.fail_nodes.is_empty()
+        || args.trace
+        || args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.lanes.is_some()
+    {
+        eprintln!("error: --collective is incompatible with fault, trace, and lane flags");
+        std::process::exit(2);
+    }
+    let params = SimParams::ncube2(args.port);
+    match args.topology {
+        TopologyKind::Mesh => {
+            eprintln!("error: --collective supports cube and torus backends");
+            std::process::exit(2);
+        }
+        TopologyKind::Torus => {
+            let torus = match Torus::new(args.arity, args.n) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if args.source >= torus.node_count() as u32 {
+                eprintln!("error: --source {} outside the torus", args.source);
+                std::process::exit(2);
+            }
+            println!(
+                "{}-ary {}-cube torus | {} | {} | block {} bytes\n",
+                args.arity,
+                args.n,
+                args.port.label(),
+                kind.name(),
+                args.bytes
+            );
+            let sched = match kind {
+                CollectiveKind::Allgather => allgather_separate(&torus, args.bytes),
+                CollectiveKind::ReduceScatter => reduce_scatter_separate(&torus, args.bytes),
+                CollectiveKind::Allreduce => {
+                    allreduce_separate(&torus, NodeId(args.source), args.bytes)
+                }
+            };
+            let report = wormsim::simulate_collective_on(&sched, TorusRouter::new(torus), &params);
+            report_collective("Separate", &sched, &report, args.json);
+        }
+        TopologyKind::Cube => {
+            let cube = match Cube::new(args.n) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if args.source >= cube.node_count() as u32 {
+                eprintln!(
+                    "error: --source {} outside the {}-cube",
+                    args.source, args.n
+                );
+                std::process::exit(2);
+            }
+            println!(
+                "{}-cube | {} | {} | block {} bytes\n",
+                args.n,
+                args.port.label(),
+                kind.name(),
+                args.bytes
+            );
+            for family in collective_families(args) {
+                let built = match kind {
+                    CollectiveKind::Allgather => allgather(
+                        family,
+                        cube,
+                        Resolution::HighToLow,
+                        args.port,
+                        args.bytes,
+                        None,
+                    ),
+                    CollectiveKind::ReduceScatter => reduce_scatter(
+                        family,
+                        cube,
+                        Resolution::HighToLow,
+                        args.port,
+                        args.bytes,
+                        None,
+                    ),
+                    CollectiveKind::Allreduce => allreduce(
+                        family,
+                        cube,
+                        Resolution::HighToLow,
+                        args.port,
+                        NodeId(args.source),
+                        args.bytes,
+                        None,
+                    ),
+                };
+                let sched = match built {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                let report =
+                    wormsim::simulate_collective(&sched, cube, Resolution::HighToLow, &params);
+                report_collective(family.name(), &sched, &report, args.json);
+            }
+        }
+    }
+}
+
 /// Builds the per-session destination pattern of an open-loop run:
 /// explicit `--dests` fixes the group (every session replays it; the
 /// tree cache turns repeats into pointer hits), `--random M` draws a
@@ -791,6 +996,87 @@ fn print_chaos_report(label: &str, r: &ChaosReport, json: bool, workers: Option<
     }
 }
 
+/// `--load R --collective KIND`: open-loop collective traffic — every
+/// session is one full-machine collective (the destination flags are
+/// irrelevant; allreduce roots rotate round-robin across sessions).
+fn run_collective_traffic(args: &Args, rate: f64, kind: CollectiveKind) {
+    if args.chaos.is_some() || args.workers.is_some() {
+        eprintln!("error: collective traffic does not support --chaos/--workers");
+        std::process::exit(2);
+    }
+    if args.spans_out.is_some() || args.timeseries_out.is_some() {
+        eprintln!("error: collective traffic does not support the flight recorder");
+        std::process::exit(2);
+    }
+    if args.lanes.is_some() {
+        eprintln!("error: --lanes applies to single-shot runs (drop --load)");
+        std::process::exit(2);
+    }
+    let params = SimParams::ncube2(args.port);
+    // Collective sessions span the whole machine: the pattern slot of
+    // the spec is unused but the engine needs one.
+    let pattern = DestPattern::UniformRandom { m: 1 };
+    match args.topology {
+        TopologyKind::Mesh => {
+            eprintln!("error: --collective supports cube and torus backends");
+            std::process::exit(2);
+        }
+        TopologyKind::Torus => {
+            let torus = match Torus::new(args.arity, args.n) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "{}-ary {}-cube torus | {} | open loop {}: {} arrivals at {} sessions/ms | block {} bytes\n",
+                args.arity,
+                args.n,
+                args.port.label(),
+                kind.name(),
+                args.arrivals,
+                rate,
+                args.bytes
+            );
+            let spec = traffic_spec(args, rate, pattern);
+            let r =
+                traffic::run_collective_separate_on(&spec, TorusRouter::new(torus), kind, &params);
+            print_traffic_report("Separate", &r, args.json, None);
+        }
+        TopologyKind::Cube => {
+            let cube = match Cube::new(args.n) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "{}-cube | {} | open loop {}: {} arrivals at {} sessions/ms | block {} bytes\n",
+                args.n,
+                args.port.label(),
+                kind.name(),
+                args.arrivals,
+                rate,
+                args.bytes
+            );
+            for family in collective_families(args) {
+                let spec = traffic_spec(args, rate, pattern.clone());
+                let r = traffic::run_collective_cube(
+                    &spec,
+                    cube,
+                    Resolution::HighToLow,
+                    kind,
+                    family,
+                    &params,
+                );
+                print_traffic_report(family.name(), &r, args.json, None);
+            }
+        }
+    }
+}
+
 /// `--load R`: open-loop steady-state traffic instead of a single shot.
 fn run_traffic(args: &Args, rate: f64) {
     if args.faults > 0
@@ -802,6 +1088,10 @@ fn run_traffic(args: &Args, rate: f64) {
     {
         eprintln!("error: --load is incompatible with fault and trace flags");
         std::process::exit(2);
+    }
+    if let Some(kind) = args.collective {
+        run_collective_traffic(args, rate, kind);
+        return;
     }
     if args.random.is_none() && args.dests.is_empty() {
         eprintln!("error: provide --dests or --random (try --help)");
@@ -1075,6 +1365,10 @@ fn main() {
             "error: --spans-out/--timeseries-out require --load (the flight recorder is session-level)"
         );
         std::process::exit(2);
+    }
+    if let Some(kind) = args.collective {
+        run_collective(&args, kind);
+        return;
     }
     if args.topology == TopologyKind::Torus {
         run_torus(&args);

@@ -1,0 +1,210 @@
+//! Bine trees: an alternative broadcast/allgather tree family built
+//! from Jacobsthal-distance peers (extension beyond the paper).
+//!
+//! The binomial tree doubles the informed set each step by pairing rank
+//! `u` with rank `u + 2^s`. A *bine* (binomial-negabinomial) tree also
+//! doubles the informed set each step, but the peer distances follow the
+//! Jacobsthal sequence `1, 1, 3, 5, 11, 21, 43, 85, 171, 341, …`
+//! (`J(s) = (2^s − (−1)^s) / 3`, OEIS A001045) and the *direction* of a
+//! rank's send alternates with the parity of the rank itself:
+//!
+//! * at step `s` (0-based), every informed rank `u` sends to
+//!   `u ± J(s+1) (mod N)`;
+//! * even ranks start in the positive direction and flip each step
+//!   (`+, −, +, …`), odd ranks start negative (`−, +, −, …`).
+//!
+//! This is the construction of the Fugaku bine-tree simulator
+//! (HLC-Lab), restricted to a single dimension: our hypercube's node-id
+//! space is treated as one ring of `N = 2^n` ranks, and each resulting
+//! unicast travels an ordinary E-cube route. The informed sets stay
+//! disjoint, so after `n` steps all `2^n` ranks hold the payload and
+//! every rank received it exactly once — [`bine_broadcast`] asserts
+//! this while building and the property suite pins it for every cube
+//! size and source.
+//!
+//! Compared to the paper's U-cube/Maxport/W-sort trees, the bine tree
+//! trades the hypercube's dimension structure (and its contention-
+//! freedom guarantees) for peer distances whose binary expansions
+//! alternate, which spreads the later, longer unicasts across many
+//! dimensions instead of concentrating them on one. The collectives
+//! sweep benchmarks the two families head to head.
+
+use crate::tree::{MulticastTree, Unicast};
+use hcube::{Cube, HcubeError, NodeId, Resolution};
+
+/// The Jacobsthal sequence `J(1)..=J(10)`: the peer distance of step
+/// `s` (0-based) is `JACOBSTHAL[s]`, supporting cubes up to dimension
+/// 10 (1024 nodes).
+pub const JACOBSTHAL: [u32; 10] = [1, 1, 3, 5, 11, 21, 43, 85, 171, 341];
+
+/// The send direction of relative rank `rel` at 0-based step `s`: even
+/// ranks go `+, −, +, …`, odd ranks `−, +, −, …` (the coordinate-parity
+/// rule of the Fugaku simulator, applied to source-relative ranks so
+/// the tree is translation-invariant).
+#[must_use]
+fn direction(rel: u32, s: u32) -> i64 {
+    let start: i64 = if rel.is_multiple_of(2) { 1 } else { -1 };
+    if s.is_multiple_of(2) {
+        start
+    } else {
+        -start
+    }
+}
+
+/// Builds the bine broadcast tree: `source` informs all `2^n − 1` other
+/// nodes in `n` steps, every informed node sending to its
+/// Jacobsthal-distance peer each step.
+///
+/// The schedule is inherently one-send-per-node-per-step, so the same
+/// tree serves both port models (a node never has two sends in one
+/// step).
+///
+/// ```
+/// use hcube::{Cube, NodeId, Resolution};
+/// use hypercast::bine::bine_broadcast;
+///
+/// let t = bine_broadcast(Cube::of(4), Resolution::HighToLow, NodeId(3))?;
+/// assert_eq!(t.steps, 4);            // doubling: log2(16) steps
+/// assert_eq!(t.message_count(), 15); // every other node exactly once
+/// # Ok::<(), hcube::HcubeError>(())
+/// ```
+///
+/// # Errors
+/// [`HcubeError`] if `source` is outside the cube or the cube exceeds
+/// dimension 10 (the supported Jacobsthal range).
+///
+/// # Panics
+/// Never for valid inputs: the disjoint-doubling invariant is checked
+/// while building and holds for every cube dimension `≤ 10`.
+pub fn bine_broadcast(
+    cube: Cube,
+    resolution: Resolution,
+    source: NodeId,
+) -> Result<MulticastTree, HcubeError> {
+    cube.check_node(source)?;
+    let n = cube.dimension() as usize;
+    if n > JACOBSTHAL.len() {
+        return Err(HcubeError::BadDimension {
+            n: cube.dimension(),
+        });
+    }
+    let p = cube.node_count() as u32;
+    let mut informed = vec![false; p as usize];
+    informed[0] = true; // relative rank 0 = the source
+    let mut sends = vec![0u32; p as usize];
+    let mut frontier: Vec<u32> = vec![0];
+    let mut unicasts = Vec::with_capacity(p as usize - 1);
+    for s in 0..n as u32 {
+        let d = i64::from(JACOBSTHAL[s as usize]);
+        let mut next = Vec::with_capacity(frontier.len());
+        for &rel in &frontier {
+            let peer = (i64::from(rel) + direction(rel, s) * d).rem_euclid(i64::from(p)) as u32;
+            assert!(
+                !informed[peer as usize],
+                "bine doubling collided at step {s}: rank {rel} -> {peer}"
+            );
+            informed[peer as usize] = true;
+            unicasts.push(Unicast {
+                src: NodeId((source.0 + rel) % p),
+                dst: NodeId((source.0 + peer) % p),
+                step: s + 1,
+                // One send per node per step; the issue order counts the
+                // sends this node made so far.
+                order: sends[rel as usize],
+            });
+            sends[rel as usize] += 1;
+            next.push(peer);
+        }
+        frontier.extend(next);
+    }
+    debug_assert!(informed.iter().all(|&i| i), "bine tree must span the cube");
+    Ok(MulticastTree::new(cube, resolution, source, unicasts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{validate, ValidateOptions};
+    use crate::PortModel;
+
+    #[test]
+    fn spans_every_cube_up_to_dimension_ten() {
+        for n in 1..=10u8 {
+            let cube = Cube::of(n);
+            let t = bine_broadcast(cube, Resolution::HighToLow, NodeId(0)).unwrap();
+            assert_eq!(t.steps, u32::from(n), "n={n}");
+            assert_eq!(t.message_count(), cube.node_count() - 1, "n={n}");
+            for v in cube.nodes() {
+                assert!(
+                    t.recv_step(v).is_some() || v == NodeId(0),
+                    "n={n} missed {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trees_are_structurally_valid_multicasts() {
+        for src in [0u32, 1, 5, 12, 15] {
+            let cube = Cube::of(4);
+            let t = bine_broadcast(cube, Resolution::HighToLow, NodeId(src)).unwrap();
+            let dests: Vec<NodeId> = cube.nodes().filter(|&v| v != NodeId(src)).collect();
+            let violations = validate(
+                &t,
+                &dests,
+                ValidateOptions {
+                    port_model: PortModel::AllPort,
+                    forbid_relays: true,
+                },
+            );
+            assert!(violations.is_empty(), "src {src}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn translation_invariance() {
+        // The tree rooted at s is the tree rooted at 0, translated by s
+        // on the node-id ring.
+        let cube = Cube::of(5);
+        let base = bine_broadcast(cube, Resolution::HighToLow, NodeId(0)).unwrap();
+        let shifted = bine_broadcast(cube, Resolution::HighToLow, NodeId(7)).unwrap();
+        let p = cube.node_count() as u32;
+        // The unicast lists are sorted by absolute node id, so compare
+        // the translated edge sets rather than positions.
+        let translate = |t: &MulticastTree| {
+            let mut edges: Vec<(u32, u32, u32)> = t
+                .unicasts
+                .iter()
+                .map(|u| {
+                    (
+                        (u.src.0 + p - t.source.0) % p,
+                        (u.dst.0 + p - t.source.0) % p,
+                        u.step,
+                    )
+                })
+                .collect();
+            edges.sort_unstable();
+            edges
+        };
+        assert_eq!(translate(&base), translate(&shifted));
+    }
+
+    #[test]
+    fn early_peers_follow_the_jacobsthal_distances() {
+        // Root 0 (even): +1, -1, +3, -5 on the ring.
+        let t = bine_broadcast(Cube::of(4), Resolution::HighToLow, NodeId(0)).unwrap();
+        let from_root: Vec<(u32, u32)> = t
+            .unicasts
+            .iter()
+            .filter(|u| u.src == NodeId(0))
+            .map(|u| (u.step, u.dst.0))
+            .collect();
+        assert_eq!(from_root, vec![(1, 1), (2, 15), (3, 3), (4, 11)]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_source_and_oversized_cube() {
+        assert!(bine_broadcast(Cube::of(3), Resolution::HighToLow, NodeId(8)).is_err());
+        assert!(bine_broadcast(Cube::of(12), Resolution::HighToLow, NodeId(0)).is_err());
+    }
+}

@@ -17,8 +17,14 @@
 //!   (robustness extension beyond the paper);
 //! * [`bounds`] — step lower bounds and an exact port-limited optimum for
 //!   small instances;
-//! * [`collectives`] — broadcast / reduction / barrier built on the trees
-//!   (extension beyond the paper).
+//! * [`collectives`] — broadcast / reduction / barrier plus the full
+//!   MPI-style suite (allgather, reduce-scatter, allreduce) on cube and
+//!   torus (extension beyond the paper);
+//! * [`bine`] — the Jacobsthal-distance bine broadcast tree, an
+//!   alternative tree family benchmarked against the paper's;
+//! * [`oracle`] — a symbolic data oracle that replays collective
+//!   schedules and asserts every node ends with exactly the right
+//!   blocks.
 //!
 //! Timing-level evaluation (the paper's Figures 11–14) lives in the
 //! companion `wormsim` crate, which replays these trees through a
@@ -47,10 +53,12 @@
 #![warn(clippy::all)]
 
 pub mod algorithms;
+pub mod bine;
 pub mod bounds;
 pub mod cache;
 pub mod collectives;
 pub mod contention;
+pub mod oracle;
 pub mod protocol;
 pub mod repair;
 pub mod schedule;
@@ -58,7 +66,11 @@ pub mod tree;
 pub mod verify;
 
 pub use algorithms::Algorithm;
+pub use bine::bine_broadcast;
 pub use cache::{CacheStats, StoreStats, TreeCache, TreeKey, TreeStore};
+pub use collectives::{
+    CollectiveKind, CollectiveOp, CollectiveSchedule, Segments, Transfer, TreeFamily,
+};
 pub use protocol::RetryPolicy;
 pub use repair::{NetworkFaults, RepairOutcome};
 pub use schedule::PortModel;

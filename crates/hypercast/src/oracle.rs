@@ -1,0 +1,458 @@
+//! A symbolic data oracle for collective schedules (extension beyond
+//! the paper, after the `compute_expected_data` checks of the Fugaku
+//! bine-tree simulator).
+//!
+//! Timing models tell you a schedule is *fast*; they say nothing about
+//! whether it moves the *right data*. The oracle replays a schedule
+//! symbolically: every node's buffer is `N` segments, and each segment
+//! holds a multiset of contributions — a map from contributing node id
+//! to how many times its value was combined in. Executing a
+//! [`CollectiveSchedule`] op either **copies** the sender's segment
+//! snapshot over the receiver's (broadcast data movement) or
+//! **combines** it in (reduction data movement, adding contribution
+//! counts). Counts, rather than sets, are the point: a schedule that
+//! double-combines a contribution still produces the full *set*, but
+//! count `2` flags the corruption immediately.
+//!
+//! Ops execute grouped by step, and every op in a step reads the state
+//! as of the end of the *previous* step — a schedule that depends on a
+//! payload delivered in its own step is wrong even if the op list
+//! happens to be ordered favourably, and the snapshot semantics catch
+//! it.
+//!
+//! Final-state checks (`N` nodes, segment `s` owned by node `s`):
+//!
+//! * **allgather** — every node's segment `s` is exactly `{s: 1}`;
+//! * **reduce-scatter** — node `v`'s segment `v` is exactly
+//!   `{0: 1, …, N−1: 1}`;
+//! * **allreduce** — *every* segment of *every* node is the full
+//!   all-ones map.
+//!
+//! [`verify_scatter`] and [`verify_gather`] apply the same philosophy
+//! to the existing personalized-communication schedules: blocks are
+//! tracked per edge and every destination must keep exactly its own
+//! block (scatter) or the root must collect each source's block exactly
+//! once (gather).
+
+use crate::collectives::{CollectiveKind, CollectiveSchedule, Segments, Transfer};
+use crate::collectives::{GatherSchedule, ScatterSchedule};
+use hcube::NodeId;
+use std::collections::BTreeMap;
+
+/// One buffer segment: contributing node id → number of times its value
+/// has been combined in. A correct final segment has every count at 1.
+type Segment = BTreeMap<u32, u64>;
+
+/// Replays `sched` symbolically and checks that every node ends with
+/// exactly the blocks its [`CollectiveKind`] promises.
+///
+/// # Errors
+/// A human-readable description of the first violation: a non-causal
+/// dependency, an out-of-range node or segment, a missing contribution,
+/// or a double-combined one.
+pub fn verify_collective(sched: &CollectiveSchedule) -> Result<(), String> {
+    let n = sched.nodes as usize;
+    // Initial state: node v owns segment v. For reduce-scatter and
+    // allreduce every node holds a full vector of its own contribution;
+    // for allgather only its own segment is populated.
+    let mut state: Vec<Vec<Segment>> = (0..n)
+        .map(|v| {
+            (0..n)
+                .map(|s| {
+                    let own = match sched.kind {
+                        CollectiveKind::Allgather => s == v,
+                        CollectiveKind::ReduceScatter | CollectiveKind::Allreduce => true,
+                    };
+                    if own {
+                        BTreeMap::from([(v as u32, 1u64)])
+                    } else {
+                        BTreeMap::new()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Sanity of the DAG annotations before touching any data.
+    for (i, op) in sched.ops.iter().enumerate() {
+        if op.src.0 as usize >= n || op.dst.0 as usize >= n {
+            return Err(format!("op {i}: node outside the {n}-node machine"));
+        }
+        if let Segments::One(s) = op.segments {
+            if s as usize >= n {
+                return Err(format!(
+                    "op {i}: segment {s} outside the {n}-segment buffer"
+                ));
+            }
+        }
+        for &d in &op.deps {
+            if d >= sched.ops.len() {
+                return Err(format!("op {i}: dependency {d} out of range"));
+            }
+            if sched.ops[d].step >= op.step {
+                return Err(format!(
+                    "op {i} (step {}) depends on op {d} (step {}): not causal",
+                    op.step, sched.ops[d].step
+                ));
+            }
+            if sched.ops[d].dst != op.src {
+                return Err(format!(
+                    "op {i}: dependency {d} delivers to {} but the op sends from {}",
+                    sched.ops[d].dst, op.src
+                ));
+            }
+        }
+    }
+
+    // Execute grouped by step; payloads snapshot the state as of the
+    // end of the previous step.
+    let mut by_step: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, op) in sched.ops.iter().enumerate() {
+        if op.step == 0 || op.step > sched.steps {
+            return Err(format!(
+                "op {i}: step {} outside 1..={}",
+                op.step, sched.steps
+            ));
+        }
+        by_step.entry(op.step).or_default().push(i);
+    }
+    for ops in by_step.values() {
+        let payloads: Vec<(usize, Vec<(usize, Segment)>)> = ops
+            .iter()
+            .map(|&i| {
+                let op = &sched.ops[i];
+                let src = op.src.0 as usize;
+                let segs: Vec<(usize, Segment)> = match op.segments {
+                    Segments::One(s) => vec![(s as usize, state[src][s as usize].clone())],
+                    Segments::All => state[src].iter().cloned().enumerate().collect(),
+                };
+                (i, segs)
+            })
+            .collect();
+        for (i, segs) in payloads {
+            let op = &sched.ops[i];
+            let dst = op.dst.0 as usize;
+            for (s, payload) in segs {
+                match op.transfer {
+                    Transfer::Copy => state[dst][s] = payload,
+                    Transfer::Combine => {
+                        for (contrib, count) in payload {
+                            *state[dst][s].entry(contrib).or_insert(0) += count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // No contribution may ever be combined twice, whatever the kind.
+    for (v, segs) in state.iter().enumerate() {
+        for (s, seg) in segs.iter().enumerate() {
+            if let Some((c, count)) = seg.iter().find(|&(_, &count)| count > 1) {
+                return Err(format!(
+                    "node {v} segment {s}: contribution of {c} combined {count} times"
+                ));
+            }
+        }
+    }
+
+    let all_ones: Segment = (0..n as u32).map(|c| (c, 1)).collect();
+    match sched.kind {
+        CollectiveKind::Allgather => {
+            for (v, segs) in state.iter().enumerate() {
+                for (s, seg) in segs.iter().enumerate() {
+                    let want = BTreeMap::from([(s as u32, 1)]);
+                    if *seg != want {
+                        return Err(format!(
+                            "allgather: node {v} segment {s} ended as {seg:?}, want {want:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        CollectiveKind::ReduceScatter => {
+            for (v, segs) in state.iter().enumerate() {
+                if segs[v] != all_ones {
+                    return Err(format!(
+                        "reduce-scatter: node {v} segment {v} ended as {:?}, want all {n} \
+                         contributions once",
+                        segs[v]
+                    ));
+                }
+            }
+        }
+        CollectiveKind::Allreduce => {
+            for (v, segs) in state.iter().enumerate() {
+                for (s, seg) in segs.iter().enumerate() {
+                    if *seg != all_ones {
+                        return Err(format!(
+                            "allreduce: node {v} segment {s} ended as {seg:?}, want all {n} \
+                             contributions once"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a [`ScatterSchedule`] at the data level: tracking the set of
+/// destination blocks each edge carries, every destination must keep
+/// exactly its own block, every relay must keep none, and the recorded
+/// `bytes_per_edge` must equal `block_bytes × |subtree|`.
+///
+/// # Errors
+/// A human-readable description of the first violation.
+pub fn verify_scatter(
+    sched: &ScatterSchedule,
+    dests: &[NodeId],
+    block_bytes: u32,
+) -> Result<(), String> {
+    let tree = &sched.tree;
+    let is_dest: std::collections::HashSet<NodeId> = dests.iter().copied().collect();
+    // Blocks carried by edge i = destination blocks in the subtree under
+    // its receiver; built leaf-to-root like `subtree_sizes`.
+    let mut inbound: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (i, u) in tree.unicasts.iter().enumerate() {
+        if inbound.insert(u.dst, i).is_some() {
+            return Err(format!("node {} receives twice", u.dst));
+        }
+    }
+    let mut blocks: Vec<Vec<NodeId>> = tree
+        .unicasts
+        .iter()
+        .map(|u| {
+            if is_dest.contains(&u.dst) {
+                vec![u.dst]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let sizes = tree.subtree_sizes();
+    for i in (0..tree.unicasts.len()).rev() {
+        if let Some(&p) = inbound.get(&tree.unicasts[i].src) {
+            let child = blocks[i].clone();
+            blocks[p].extend(child);
+        }
+    }
+    for (i, u) in tree.unicasts.iter().enumerate() {
+        // Byte accounting: the schedule prices a block per subtree node
+        // (relays included), exactly the post-order sizes.
+        let want = u64::from(block_bytes) * sizes[i] as u64;
+        if sched.bytes_per_edge[i] != want {
+            return Err(format!(
+                "edge {u:?}: carries {} bytes, want {want}",
+                sched.bytes_per_edge[i]
+            ));
+        }
+        // Data flow: what v keeps is what arrived minus what it passed
+        // on; a destination keeps its own block, a relay keeps nothing.
+        let mut kept = blocks[i].clone();
+        for (j, w) in tree.unicasts.iter().enumerate() {
+            if w.src == u.dst {
+                kept.retain(|b| !blocks[j].contains(b));
+            }
+        }
+        let want_kept: Vec<NodeId> = if is_dest.contains(&u.dst) {
+            vec![u.dst]
+        } else {
+            Vec::new()
+        };
+        if kept != want_kept {
+            return Err(format!("node {} keeps {kept:?}, want {want_kept:?}", u.dst));
+        }
+    }
+    // Every destination must actually be reached.
+    for &d in dests {
+        if d != tree.source && !inbound.contains_key(&d) {
+            return Err(format!("destination {d} never receives its block"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a [`GatherSchedule`] at the data level: accumulating each
+/// source's block along the mirrored tree, the root must end up with
+/// every source's block exactly once.
+///
+/// # Errors
+/// A human-readable description of the first violation.
+pub fn verify_gather(
+    sched: &GatherSchedule,
+    sources: &[NodeId],
+    block_bytes: u32,
+) -> Result<(), String> {
+    let mut buffers: BTreeMap<NodeId, Segment> = BTreeMap::new();
+    for &s in sources {
+        buffers.entry(s).or_default().insert(s.0, 1);
+    }
+    // The schedule is step-sorted and causal, so a linear replay sees
+    // every contribution before it is forwarded.
+    for (u, &bytes) in sched.unicasts.iter().zip(&sched.bytes_per_edge) {
+        if bytes == 0 || bytes % u64::from(block_bytes) != 0 {
+            return Err(format!("edge {u:?}: {bytes} bytes is not a block multiple"));
+        }
+        let payload = buffers.get(&u.src).cloned().unwrap_or_default();
+        let dst = buffers.entry(u.dst).or_default();
+        for (contrib, count) in payload {
+            *dst.entry(contrib).or_insert(0) += count;
+        }
+    }
+    let want: Segment = sources.iter().map(|s| (s.0, 1)).collect();
+    let mut got = buffers.remove(&sched.root).unwrap_or_default();
+    // The root's own block (if it is a source) never crosses an edge.
+    got.retain(|_, &mut c| c > 0);
+    if got != want {
+        return Err(format!(
+            "root {} collected {got:?}, want every source exactly once",
+            sched.root
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{
+        allgather, allgather_separate, allreduce, allreduce_separate, reduce_scatter,
+        reduce_scatter_separate, scatter, CollectiveOp, TreeFamily,
+    };
+    use crate::{Algorithm, PortModel};
+    use hcube::{Cube, Resolution, Torus};
+
+    #[test]
+    fn every_family_passes_on_the_cube() {
+        let cube = Cube::of(4);
+        for family in TreeFamily::SWEEP {
+            for resolution in [Resolution::HighToLow, Resolution::LowToHigh] {
+                let ag = allgather(family, cube, resolution, PortModel::AllPort, 64, None).unwrap();
+                verify_collective(&ag).unwrap_or_else(|e| panic!("{} ag: {e}", family.name()));
+                let rs =
+                    reduce_scatter(family, cube, resolution, PortModel::AllPort, 64, None).unwrap();
+                verify_collective(&rs).unwrap_or_else(|e| panic!("{} rs: {e}", family.name()));
+                let ar = allreduce(
+                    family,
+                    cube,
+                    resolution,
+                    PortModel::AllPort,
+                    hcube::NodeId(3),
+                    64,
+                    None,
+                )
+                .unwrap();
+                verify_collective(&ar).unwrap_or_else(|e| panic!("{} ar: {e}", family.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn separate_addressing_passes_on_the_torus() {
+        let torus = Torus::of(4, 2);
+        verify_collective(&allgather_separate(&torus, 64)).unwrap();
+        verify_collective(&reduce_scatter_separate(&torus, 64)).unwrap();
+        verify_collective(&allreduce_separate(&torus, hcube::NodeId(5), 64)).unwrap();
+    }
+
+    #[test]
+    fn double_combining_is_caught() {
+        let torus = Torus::of(2, 2);
+        let mut rs = reduce_scatter_separate(&torus, 64);
+        // Duplicate one combining op: the set of contributions is still
+        // complete, but the count check must flag it.
+        let dup = rs.ops[0].clone();
+        rs.ops.push(dup);
+        let err = verify_collective(&rs).unwrap_err();
+        assert!(err.contains("combined 2 times"), "{err}");
+    }
+
+    #[test]
+    fn missing_delivery_is_caught() {
+        let torus = Torus::of(2, 2);
+        let mut ag = allgather_separate(&torus, 64);
+        ag.ops.pop();
+        let err = verify_collective(&ag).unwrap_err();
+        assert!(err.contains("allgather"), "{err}");
+    }
+
+    #[test]
+    fn same_step_forwarding_is_caught() {
+        // A chain 0→1→2 squeezed into one step: node 1 forwards a block
+        // it has not yet received under snapshot semantics.
+        let torus = Torus::of(3, 1);
+        let mut ag = allgather_separate(&torus, 64);
+        ag.ops.retain(|op| {
+            !(op.segments == crate::collectives::Segments::One(0) && op.dst == hcube::NodeId(2))
+        });
+        ag.ops.push(CollectiveOp {
+            src: hcube::NodeId(1),
+            dst: hcube::NodeId(2),
+            step: 1,
+            segments: crate::collectives::Segments::One(0),
+            transfer: crate::collectives::Transfer::Copy,
+            deps: Vec::new(),
+            bytes: 64,
+        });
+        let err = verify_collective(&ag).unwrap_err();
+        assert!(err.contains("segment 0"), "{err}");
+    }
+
+    #[test]
+    fn non_causal_dependency_is_caught() {
+        let torus = Torus::of(2, 2);
+        let mut ar = allreduce_separate(&torus, hcube::NodeId(0), 64);
+        // Point a gather-phase op at a broadcast-phase (later-step) op.
+        let last = ar.ops.len() - 1;
+        ar.ops[0].deps = vec![last];
+        let err = verify_collective(&ar).unwrap_err();
+        assert!(err.contains("not causal"), "{err}");
+    }
+
+    #[test]
+    fn existing_scatter_and_gather_pass_the_oracle() {
+        let dests: Vec<hcube::NodeId> = (1..32).map(hcube::NodeId).collect();
+        for algo in Algorithm::ALL {
+            let s = scatter(
+                algo,
+                Cube::of(5),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                hcube::NodeId(0),
+                &dests,
+                128,
+            )
+            .unwrap();
+            verify_scatter(&s, &dests, 128).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let g = crate::collectives::gather(
+                algo,
+                Cube::of(5),
+                Resolution::HighToLow,
+                PortModel::AllPort,
+                hcube::NodeId(0),
+                &dests,
+                128,
+            )
+            .unwrap();
+            verify_gather(&g, &dests, 128).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corrupted_scatter_bytes_are_caught() {
+        let dests: Vec<hcube::NodeId> = (1..8).map(hcube::NodeId).collect();
+        let mut s = scatter(
+            Algorithm::WSort,
+            Cube::of(3),
+            Resolution::HighToLow,
+            PortModel::AllPort,
+            hcube::NodeId(0),
+            &dests,
+            128,
+        )
+        .unwrap();
+        s.bytes_per_edge[0] += 1;
+        assert!(verify_scatter(&s, &dests, 128).is_err());
+    }
+}

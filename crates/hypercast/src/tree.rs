@@ -122,6 +122,33 @@ impl MulticastTree {
         out
     }
 
+    /// Subtree sizes in one post-order pass: entry `i` is
+    /// `|reachable_set(unicasts[i].dst)|`, the node count of the subtree
+    /// delivered through unicast `i` (including its `dst`).
+    ///
+    /// Unicasts are sorted by `(step, src, order)` and a node's outbound
+    /// unicasts are always scheduled at least one step after its inbound
+    /// one, so child edges follow their parent edge in the sorted order;
+    /// a single reverse sweep accumulates every subtree without the
+    /// per-edge DFS (and per-edge allocation) of calling
+    /// [`reachable_set`](MulticastTree::reachable_set) in a loop.
+    #[must_use]
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let inbound: HashMap<NodeId, usize> = self
+            .unicasts
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.dst, i))
+            .collect();
+        let mut sizes = vec![1usize; self.unicasts.len()];
+        for i in (0..self.unicasts.len()).rev() {
+            if let Some(&p) = inbound.get(&self.unicasts[i].src) {
+                sizes[p] += sizes[i];
+            }
+        }
+        sizes
+    }
+
     /// Number of unicast messages in the implementation (the paper calls
     /// this "traffic" in related work; each unicast occupies `‖u ⊕ v‖`
     /// channels).
@@ -334,6 +361,16 @@ mod tests {
         r4.sort_unstable();
         assert_eq!(r4, vec![NodeId(4), NodeId(6)]);
         assert_eq!(t.reachable_set(NodeId(1)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn subtree_sizes_match_reachable_sets() {
+        let t = sample_tree();
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes.len(), t.unicasts.len());
+        for (u, &s) in t.unicasts.iter().zip(&sizes) {
+            assert_eq!(s, t.reachable_set(u.dst).len(), "subtree of {:?}", u.dst);
+        }
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use hcube::{Cube, NodeId, Resolution};
 use hypercast::bounds::{all_port_lower_bound, one_port_lower_bound};
-use hypercast::collectives::ReductionSchedule;
+use hypercast::collectives::{gather, scatter, ReductionSchedule};
 use hypercast::contention::is_contention_free;
+use hypercast::oracle::{verify_gather, verify_scatter};
 use hypercast::verify::{validate, ValidateOptions};
 use hypercast::{Algorithm, PortModel};
 use proptest::prelude::*;
@@ -213,15 +214,62 @@ proptest! {
         }
     }
 
-    /// Reductions derived from any tree are causal.
+    /// Reductions derived from any tree are causal, and are the exact
+    /// step-mirror of their multicast: every tree edge appears reversed
+    /// at step `steps + 1 − t`, under every algorithm, resolution order,
+    /// and port model.
     #[test]
-    fn reductions_are_causal((n, src, dests) in instance(), allport in any::<bool>()) {
+    fn reductions_are_causal_step_mirrors((n, src, dests) in instance(),
+                                          lowhigh in any::<bool>(),
+                                          allport in any::<bool>()) {
         prop_assume!(!dests.is_empty());
+        let res = if lowhigh { Resolution::LowToHigh } else { Resolution::HighToLow };
         let port = if allport { PortModel::AllPort } else { PortModel::OnePort };
         for algo in Algorithm::ALL {
-            let t = build(algo, n, Resolution::HighToLow, port, src, &dests);
+            let t = build(algo, n, res, port, src, &dests);
             let r = ReductionSchedule::from_multicast(&t);
-            prop_assert!(r.is_causal(), "{algo}");
+            prop_assert!(r.is_causal(), "{algo} {res:?} {port:?}");
+            prop_assert_eq!(r.root, t.source, "{} {:?}", algo, res);
+            prop_assert_eq!(r.steps, t.steps, "{} {:?}", algo, res);
+            let mut mirrored: Vec<(u32, u32, u32)> = t
+                .unicasts
+                .iter()
+                .map(|u| (u.dst.0, u.src.0, t.steps + 1 - u.step))
+                .collect();
+            let mut reduced: Vec<(u32, u32, u32)> =
+                r.unicasts.iter().map(|u| (u.src.0, u.dst.0, u.step)).collect();
+            mirrored.sort_unstable();
+            reduced.sort_unstable();
+            prop_assert_eq!(mirrored, reduced, "{} {:?} {:?}", algo, res, port);
+        }
+    }
+
+    /// The data oracle certifies scatter and gather schedules built on
+    /// random instances: every destination keeps exactly its own block,
+    /// the root collects every contribution exactly once, and the edge
+    /// byte annotations are consistent throughout.
+    #[test]
+    fn scatter_and_gather_pass_the_data_oracle((n, src, dests) in instance(),
+                                               lowhigh in any::<bool>()) {
+        prop_assume!(!dests.is_empty());
+        let res = if lowhigh { Resolution::LowToHigh } else { Resolution::HighToLow };
+        let cube = Cube::of(n);
+        let dest_ids: Vec<NodeId> = dests.iter().copied().map(NodeId).collect();
+        for algo in Algorithm::ALL {
+            let s = scatter(algo, cube, res, PortModel::AllPort, NodeId(src), &dest_ids, 512)
+                .unwrap();
+            prop_assert!(
+                verify_scatter(&s, &dest_ids, 512).is_ok(),
+                "{algo} {res:?} scatter: {:?}",
+                verify_scatter(&s, &dest_ids, 512)
+            );
+            let g = gather(algo, cube, res, PortModel::AllPort, NodeId(src), &dest_ids, 512)
+                .unwrap();
+            prop_assert!(
+                verify_gather(&g, &dest_ids, 512).is_ok(),
+                "{algo} {res:?} gather: {:?}",
+                verify_gather(&g, &dest_ids, 512)
+            );
         }
     }
 

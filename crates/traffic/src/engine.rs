@@ -198,6 +198,21 @@ impl SessionWorkload {
     /// its own, so a worker can drive one engine run per session
     /// through a persistent [`EngineScratch`].
     ///
+    /// Assembles a workload from raw parts. `pub(crate)` so sibling
+    /// session builders (the collective engine) can lay out their own
+    /// spans without widening the field visibility.
+    pub(crate) fn from_parts(
+        workload: Vec<DepMessage>,
+        spans: Vec<SessionSpan>,
+        cache: CacheStats,
+    ) -> SessionWorkload {
+        SessionWorkload {
+            workload,
+            spans,
+            cache,
+        }
+    }
+
     /// # Panics
     /// If `i >= self.sessions()`.
     #[must_use]

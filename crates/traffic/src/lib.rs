@@ -86,6 +86,7 @@
 pub mod arrivals;
 pub mod chaos;
 pub mod churn;
+pub mod collective;
 pub mod engine;
 pub mod patterns;
 pub mod shard;
@@ -99,6 +100,10 @@ pub use chaos::{
     SessionFailure,
 };
 pub use churn::ChurnSpec;
+pub use collective::{
+    assemble_collective_cube_sessions, run_collective_cube, run_collective_cube_with_scratch,
+    run_collective_separate_on,
+};
 pub use engine::{
     assemble_cube_sessions, assemble_separate_sessions_on, run_cube, run_cube_with_scratch,
     run_separate_on, run_separate_on_with_scratch, run_sessions_on_with_scratch, SessionRecord,

@@ -138,9 +138,7 @@ impl Figure {
         out
     }
 
-    /// Serializes the figure as pretty JSON (via [`crate::json`]).
-    #[must_use]
-    pub fn to_json(&self) -> String {
+    fn to_value(&self) -> crate::json::Value {
         use crate::json::Value;
         let series = self
             .series
@@ -162,7 +160,25 @@ impl Figure {
             ("y_label".into(), Value::from(self.y_label.as_str())),
             ("series".into(), Value::Array(series)),
         ])
-        .to_string_pretty()
+    }
+
+    /// Serializes the figure as pretty JSON (via [`crate::json`]).
+    /// Lenient: non-finite points serialize as `null` (golden artifacts
+    /// pin these bytes). Artifact pipelines that must not silently
+    /// launder a NaN use [`Figure::to_json_strict`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string_pretty()
+    }
+
+    /// [`Figure::to_json`] that fails fast on non-finite points instead
+    /// of writing `null`. Byte-identical to [`Figure::to_json`] whenever
+    /// it succeeds.
+    ///
+    /// # Errors
+    /// [`crate::json::EmitError`] naming the poisoned point.
+    pub fn to_json_strict(&self) -> Result<String, crate::json::EmitError> {
+        self.to_value().to_string_pretty_strict()
     }
 
     /// Parses a figure previously produced by [`Figure::to_json`].
@@ -293,5 +309,16 @@ mod tests {
     fn from_json_rejects_malformed() {
         assert!(Figure::from_json("not json").is_err());
         assert!(Figure::from_json("{\"id\": 3}").is_err());
+    }
+
+    #[test]
+    fn strict_json_fails_fast_on_poisoned_points() {
+        let mut f = sample();
+        assert_eq!(f.to_json_strict().unwrap(), f.to_json());
+        f.series[1].ys[0] = f64::NAN;
+        let err = f.to_json_strict().unwrap_err();
+        assert!(err.path.contains("/series/1/ys/0"), "{err}");
+        // The lenient writer still launders it to null (pinned bytes).
+        assert!(f.to_json().contains("null"));
     }
 }

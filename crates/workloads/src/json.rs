@@ -75,6 +75,41 @@ impl Value {
         out
     }
 
+    /// [`Value::to_string_pretty`] that **fails fast** on non-finite
+    /// numbers instead of writing `null`. Artifact emitters use this so
+    /// a NaN produced upstream errors at emit time (with the path to the
+    /// poisoned field) rather than surfacing later as a confusing
+    /// `--check` schema failure; the lenient generic writer keeps its
+    /// `null` convention.
+    ///
+    /// # Errors
+    /// [`EmitError`] naming the first non-finite number, depth-first.
+    pub fn to_string_pretty_strict(&self) -> Result<String, EmitError> {
+        self.check_finite("")?;
+        Ok(self.to_string_pretty())
+    }
+
+    fn check_finite(&self, path: &str) -> Result<(), EmitError> {
+        match self {
+            Value::Number(x) if !x.is_finite() => Err(EmitError {
+                path: if path.is_empty() {
+                    "/".to_string()
+                } else {
+                    path.to_string()
+                },
+                value: *x,
+            }),
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .try_for_each(|(i, v)| v.check_finite(&format!("{path}/{i}"))),
+            Value::Object(members) => members
+                .iter()
+                .try_for_each(|(k, v)| v.check_finite(&format!("{path}/{k}"))),
+            _ => Ok(()),
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -231,6 +266,28 @@ impl From<Vec<Value>> for Value {
         Value::Array(items)
     }
 }
+
+/// A strict-emission error: a non-finite number reached the serializer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmitError {
+    /// Slash-separated path to the offending number (e.g.
+    /// `/rows/3/makespan_ms`; `/` for a bare top-level number).
+    pub path: String,
+    /// The offending value (NaN or ±infinity).
+    pub value: f64,
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot serialize non-finite number {} at {}",
+            self.value, self.path
+        )
+    }
+}
+
+impl std::error::Error for EmitError {}
 
 /// A JSON parse error with a byte offset into the input.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -410,18 +467,32 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are out of scope for the
-                            // artifacts this repo writes; map lone
-                            // surrogates to U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            let c = match code {
+                                // A high surrogate must be followed by a
+                                // low one; the pair combines into one
+                                // supplementary-plane scalar.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar)
+                                        .expect("surrogate pairs combine to a scalar")
+                                }
+                                0xDC00..=0xDFFF => return Err(self.err("unpaired low surrogate")),
+                                _ => char::from_u32(code).expect("non-surrogate BMP code point"),
+                            };
+                            out.push(c);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -445,6 +516,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits of a `\u` escape.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
@@ -541,5 +624,61 @@ mod tests {
         let v: Value = "[1, 2, 3]".parse().unwrap();
         assert_eq!(v[2], 3.0);
         assert_eq!(v[9], Value::Null);
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // U+1F600 GRINNING FACE as its UTF-16 escape pair.
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v, Value::String("😀".to_string()));
+        // Mixed with BMP escapes and raw text.
+        let v = parse(r#""ok 😀 café""#).unwrap();
+        assert_eq!(v, Value::String("ok 😀 café".to_string()));
+    }
+
+    #[test]
+    fn non_bmp_strings_round_trip() {
+        // The writer emits non-BMP scalars raw; the parser must accept
+        // both the raw and the escaped spelling and agree.
+        let v = Value::String("astral 😀𝄞".to_string());
+        let text = v.to_string_pretty();
+        assert_eq!(parse(&text).unwrap(), v);
+        assert_eq!(parse(r#""astral 😀𝄞""#).unwrap(), v);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        // Lone high, terminated string.
+        assert!(parse(r#""\ud83d""#).is_err());
+        // Lone high followed by ordinary text.
+        assert!(parse(r#""\ud83d oops""#).is_err());
+        // High followed by a non-surrogate escape.
+        assert!(parse(r#""\ud83dA""#).is_err());
+        // Lone low surrogate.
+        assert!(parse(r#""\ude00""#).is_err());
+        // Two high surrogates in a row.
+        assert!(parse(r#""\ud83d\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn strict_emitter_rejects_non_finite_numbers() {
+        let poisoned = Value::Object(vec![(
+            "rows".to_string(),
+            Value::Array(vec![Value::Object(vec![
+                ("makespan_ms".to_string(), Value::Number(1.5)),
+                ("avg_delay_ms".to_string(), Value::Number(f64::NAN)),
+            ])]),
+        )]);
+        let err = poisoned.to_string_pretty_strict().unwrap_err();
+        assert_eq!(err.path, "/rows/0/avg_delay_ms");
+        assert!(err.value.is_nan());
+        // The lenient writer keeps its `null` convention.
+        assert!(poisoned.to_string_pretty().contains("null"));
+    }
+
+    #[test]
+    fn strict_emitter_matches_the_lenient_one_on_finite_trees() {
+        let v: Value = r#"{"a": [1, 2.5, {"b": -3}], "s": "x"}"#.parse().unwrap();
+        assert_eq!(v.to_string_pretty_strict().unwrap(), v.to_string_pretty());
     }
 }

@@ -15,6 +15,9 @@
 //! * [`chaossweep`] — online fault churn under open-loop load: delivery
 //!   degradation, retry distributions, and time-to-recover across a
 //!   churn × load grid;
+//! * [`collectivessweep`] — the collective suite (allgather /
+//!   reduce-scatter / allreduce) across tree families and topologies:
+//!   data-oracle-verified schedules plus open-loop collective traffic;
 //! * [`torussweep`] — topology extension: separate-addressing delay on a
 //!   64-node hypercube vs a 64-node k-ary n-cube torus;
 //! * [`heatmap`] — measured per-dimension channel contention per
@@ -42,6 +45,7 @@
 
 pub mod ablations;
 pub mod chaossweep;
+pub mod collectivessweep;
 pub mod destsets;
 pub mod faultsweep;
 pub mod figure;

@@ -12,7 +12,9 @@
 //!
 //! One request per line; one response line per request, in request
 //! order. Every request needs an integer `id` (echoed back) and an
-//! `op`:
+//! `op`; any request may also carry a string `tag`, echoed verbatim in
+//! the success wrapper (`{"id":1,"tag":"…","ok":true,…}`) for client
+//! correlation — arbitrary UTF-8 including non-BMP characters:
 //!
 //! ```text
 //! {"id":1,"op":"traffic","n":6,"algo":"wsort","load":2.0,"random":8,"sessions":100,"seed":1}
@@ -707,9 +709,13 @@ fn execute(
     store: &TreeStore,
     opts: &ServeOptions,
     summary: &ServeSummary,
-) -> Result<Executed, Refusal> {
+) -> Result<(Option<String>, Executed), Refusal> {
     let mut f = Fields::new(v)?;
     let _ = f.get("id");
+    // An optional client correlation string, echoed verbatim in the
+    // response wrapper. Arbitrary UTF-8 (the parser combines UTF-16
+    // surrogate pairs, so non-BMP tags survive the round trip).
+    let tag = str_field(&mut f, "tag")?.map(str::to_string);
     let op = str_field(&mut f, "op")?
         .ok_or_else(|| bad_request("`op` is required (traffic/chaos/multicast/stats/shutdown)"))?;
     if let Some(deadline_ms) = float_field(&mut f, "deadline_ms")? {
@@ -724,21 +730,21 @@ fn execute(
             });
         }
     }
-    match op {
+    let executed = match op {
         "traffic" | "chaos" => {
             let line = run_load(op == "chaos", &mut f, store, opts)?;
             f.finish()?;
-            Ok(Executed::Line(line))
+            Executed::Line(line)
         }
         "multicast" => {
             let line = run_multicast(&mut f, opts)?;
             f.finish()?;
-            Ok(Executed::Line(line))
+            Executed::Line(line)
         }
         "stats" => {
             f.finish()?;
             let s = store.stats();
-            Ok(Executed::Line(format!(
+            Executed::Line(format!(
                 "{{\"mode\":\"stats\",\"served\":{},\"errors\":{},\"store_trees\":{},\
                  \"store_hits\":{},\"store_misses\":{}}}",
                 summary.served,
@@ -746,17 +752,18 @@ fn execute(
                 store.len(),
                 s.hits,
                 s.misses
-            )))
+            ))
         }
         "shutdown" => {
             f.finish()?;
-            Ok(Executed::Shutdown(format!(
+            Executed::Shutdown(format!(
                 "{{\"mode\":\"shutdown\",\"served\":{},\"errors\":{}}}",
                 summary.served, summary.errors
-            )))
+            ))
         }
-        other => Err(bad_request(format!("unknown op `{other}`"))),
-    }
+        other => return Err(bad_request(format!("unknown op `{other}`"))),
+    };
+    Ok((tag, executed))
 }
 
 // ---------------------------------------------------------------------------
@@ -783,6 +790,12 @@ fn escape(s: &str) -> String {
 
 fn id_json(id: Option<u64>) -> String {
     id.map_or_else(|| "null".into(), |i| i.to_string())
+}
+
+/// The optional `,"tag":"…"` wrapper member: present only when the
+/// request carried a tag, so untagged responses keep their exact bytes.
+fn tag_json(tag: Option<&str>) -> String {
+    tag.map_or_else(String::new, |t| format!(",\"tag\":\"{}\"", escape(t)))
 }
 
 /// The reader half: one parsed line per queue slot. Blank lines are
@@ -873,20 +886,22 @@ where
                 },
             };
             match outcome {
-                Ok(Executed::Line(result)) => {
+                Ok((tag, Executed::Line(result))) => {
                     writeln!(
                         output,
-                        "{{\"id\":{},\"ok\":true,\"result\":{result}}}",
-                        id_json(id)
+                        "{{\"id\":{}{},\"ok\":true,\"result\":{result}}}",
+                        id_json(id),
+                        tag_json(tag.as_deref())
                     )?;
                     output.flush()?;
                     summary.served += 1;
                 }
-                Ok(Executed::Shutdown(result)) => {
+                Ok((tag, Executed::Shutdown(result))) => {
                     writeln!(
                         output,
-                        "{{\"id\":{},\"ok\":true,\"result\":{result}}}",
-                        id_json(id)
+                        "{{\"id\":{}{},\"ok\":true,\"result\":{result}}}",
+                        id_json(id),
+                        tag_json(tag.as_deref())
                     )?;
                     output.flush()?;
                     summary.served += 1;
@@ -1098,6 +1113,44 @@ mod tests {
                 multicast_report_json("Maxport", &report, 1)
             )]
         );
+    }
+
+    #[test]
+    fn tag_echo_round_trips_non_bmp_strings_through_a_live_cycle() {
+        // A standards-compliant client escapes U+1F600 as a UTF-16
+        // surrogate pair; the daemon must echo the combined scalar, not
+        // two replacement characters.
+        let req = "{\"id\":11,\"op\":\"stats\",\"tag\":\"grin \\ud83d\\ude00 done\"}";
+        let (lines, _) = serve(req, &ServeOptions::default());
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].starts_with("{\"id\":11,\"tag\":\"grin 😀 done\",\"ok\":true"),
+            "{}",
+            lines[0]
+        );
+        // The response line itself parses, and the echoed field is the
+        // exact original string — the full client-side round trip.
+        let v = json::parse(&lines[0]).expect("response is valid JSON");
+        assert_eq!(v["tag"], "grin 😀 done");
+        assert_eq!(v["id"], 11.0);
+    }
+
+    #[test]
+    fn untagged_responses_keep_their_exact_bytes() {
+        let tagged = "{\"id\":1,\"op\":\"stats\",\"tag\":\"t\"}";
+        let plain = "{\"id\":1,\"op\":\"stats\"}";
+        let (with_tag, _) = serve(tagged, &ServeOptions::default());
+        let (without, _) = serve(plain, &ServeOptions::default());
+        assert_eq!(with_tag[0].replace(",\"tag\":\"t\"", ""), without[0]);
+        assert!(!without[0].contains("\"tag\""));
+    }
+
+    #[test]
+    fn lone_surrogate_requests_are_rejected_as_bad_json() {
+        let req = "{\"id\":12,\"op\":\"stats\",\"tag\":\"broken \\ud83d\"}";
+        let (lines, summary) = serve(req, &ServeOptions::default());
+        assert!(lines[0].contains("\"kind\":\"bad_json\""), "{}", lines[0]);
+        assert_eq!(summary.errors, 1);
     }
 
     #[test]

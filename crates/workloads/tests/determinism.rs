@@ -14,6 +14,7 @@
 use hcube::{Cube, NodeId, Resolution, Torus, TorusRouter};
 use hypercast::{Algorithm, PortModel};
 use workloads::chaossweep::{chaos_sweep, chaos_sweep_with_workers, ChaosSweep, ChaosSweepConfig};
+use workloads::collectivessweep::{collectives_sweep, CollectivesConfig, CollectivesSweep};
 use workloads::lanesweep::{lane_sweep, LaneSweep, LaneSweepConfig};
 use workloads::sweep::{run_matrix_with_workers, MatrixResult};
 use workloads::telemetrysweep::{
@@ -367,6 +368,76 @@ fn committed_traffic_sweep_artifact_regenerates_byte_identically() {
         TRAFFIC_SWEEP_GOLDEN.trim_end_matches('\n'),
         "results/traffic_sweep.json diverged from regeneration — rerun \
          `cargo run -p bench --release --bin traffic_sweep` and commit"
+    );
+}
+
+/// The committed collectives-sweep artifact, validated with the
+/// first-party parser — the same check `collectives_sweep --check` runs
+/// in CI.
+const COLLECTIVES_SWEEP_GOLDEN: &str = include_str!("../../../results/collectives_sweep.json");
+
+/// The committed `results/collectives_sweep.json` must parse under the
+/// schema, carry the full configuration, and satisfy the acceptance
+/// properties: 18 schedule rows (3 collectives x 5 cube families +
+/// 3 torus rows), **every row certified by the data oracle**, 6 traffic
+/// rows with nonzero completion, and canonical serialization.
+#[test]
+fn committed_collectives_sweep_artifact_is_valid_and_complete() {
+    let sweep = CollectivesSweep::from_json(COLLECTIVES_SWEEP_GOLDEN)
+        .expect("committed collectives_sweep.json violates its own schema");
+    assert_eq!(
+        sweep.config,
+        CollectivesConfig::full(),
+        "committed artifact was not produced by CollectivesConfig::full()"
+    );
+    assert_eq!(
+        sweep.rows.len(),
+        18,
+        "3 collectives x (5 cube families + 1 torus backend)"
+    );
+    for r in &sweep.rows {
+        assert!(
+            r.verified,
+            "{} {} {}: committed artifact carries an oracle-unverified row",
+            r.suite, r.network, r.family
+        );
+        assert!(r.makespan_ms > 0.0 && r.payload_bytes > 0 && r.ops > 0);
+    }
+    assert_eq!(sweep.traffic.len(), 6, "2 families x 3 collectives");
+    for t in &sweep.traffic {
+        assert!(
+            t.completion_ratio > 0.0 && t.mean_latency_ms.is_finite(),
+            "{} {}: traffic row must measure completed sessions",
+            t.suite,
+            t.family
+        );
+    }
+    // Serialization is canonical: re-emitting the parsed artifact must
+    // reproduce the committed bytes exactly.
+    assert_eq!(
+        sweep
+            .to_json()
+            .expect("committed artifact re-emits strictly"),
+        COLLECTIVES_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "to_json is not canonical for the committed artifact"
+    );
+}
+
+/// Full-artifact byte-reproducibility: regenerating the collectives
+/// sweep with the committed configuration reproduces
+/// `results/collectives_sweep.json` exactly. Expensive, so ignored by
+/// default; CI runs it in release via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full sweep regeneration; run in release builds"]
+fn committed_collectives_sweep_artifact_regenerates_byte_identically() {
+    let regenerated = collectives_sweep(&CollectivesConfig::full());
+    assert_eq!(
+        regenerated
+            .to_json()
+            .expect("regenerated sweep emits strictly"),
+        COLLECTIVES_SWEEP_GOLDEN.trim_end_matches('\n'),
+        "results/collectives_sweep.json diverged from regeneration — rerun \
+         `cargo run -p bench --release --bin collectives_sweep` and commit"
     );
 }
 

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod collective;
 pub mod engine;
 pub mod faults;
 pub mod flit;
@@ -54,6 +55,7 @@ pub mod scratch;
 pub mod time;
 pub mod trace;
 
+pub use collective::{collective_workload, simulate_collective, simulate_collective_on};
 pub use engine::{
     simulate, simulate_observed, simulate_observed_on, simulate_observed_with_faults_on,
     simulate_observed_with_faults_on_with_scratch, simulate_on, simulate_on_with_scratch,

@@ -43,7 +43,7 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    fn from_run(deliveries: Vec<(NodeId, SimTime)>, run: &RunResult) -> SimReport {
+    pub(crate) fn from_run(deliveries: Vec<(NodeId, SimTime)>, run: &RunResult) -> SimReport {
         let max_delay = deliveries
             .iter()
             .map(|&(_, t)| t)

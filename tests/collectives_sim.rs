@@ -1,10 +1,17 @@
 //! Integration tests for the collective operations (extension layer)
 //! running end-to-end through the wormhole simulator.
 
-use hcube::{Cube, NodeId, Resolution};
-use hypercast::collectives::{barrier, broadcast, ReductionSchedule};
-use hypercast::{Algorithm, PortModel};
-use wormsim::{simulate_multicast, simulate_reduction, SimParams, SimTime};
+use hcube::{Cube, NodeId, Resolution, Torus, TorusRouter};
+use hypercast::collectives::{
+    allgather, allgather_separate, allreduce, allreduce_separate, barrier, broadcast,
+    reduce_scatter, reduce_scatter_separate, ReductionSchedule,
+};
+use hypercast::oracle::verify_collective;
+use hypercast::{Algorithm, CollectiveKind, CollectiveSchedule, PortModel, TreeFamily};
+use wormsim::{
+    simulate_collective, simulate_collective_on, simulate_multicast, simulate_reduction, SimParams,
+    SimTime,
+};
 
 #[test]
 fn broadcast_delay_scales_with_tree_depth() {
@@ -98,6 +105,121 @@ fn barrier_costs_roughly_double_a_broadcast() {
     // startup dominates and the phases are comparable).
     assert!(total >= bcast_delay);
     assert!(total.as_ns() <= 3 * 2 * bcast_delay.as_ns());
+}
+
+/// Builds one cube collective of the suite.
+fn cube_collective(kind: CollectiveKind, family: TreeFamily, cube: Cube) -> CollectiveSchedule {
+    let (res, port) = (Resolution::HighToLow, PortModel::AllPort);
+    match kind {
+        CollectiveKind::Allgather => allgather(family, cube, res, port, 128, None),
+        CollectiveKind::ReduceScatter => reduce_scatter(family, cube, res, port, 128, None),
+        CollectiveKind::Allreduce => allreduce(family, cube, res, port, NodeId(5), 128, None),
+    }
+    .unwrap()
+}
+
+#[test]
+fn every_collective_family_simulates_and_passes_the_oracle_on_the_cube() {
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let cube = Cube::of(4);
+    for kind in CollectiveKind::ALL {
+        for family in TreeFamily::SWEEP {
+            let sched = cube_collective(kind, family, cube);
+            verify_collective(&sched)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", kind.name(), family.name()));
+            let r = simulate_collective(&sched, cube, Resolution::HighToLow, &params);
+            assert_eq!(
+                r.deliveries.len(),
+                sched.ops.len(),
+                "{} {}: every op must deliver",
+                kind.name(),
+                family.name()
+            );
+            assert!(
+                r.deliveries.iter().all(|&(_, t)| t > SimTime::ZERO),
+                "{} {}",
+                kind.name(),
+                family.name()
+            );
+            assert!(r.max_delay > SimTime::ZERO);
+        }
+    }
+}
+
+#[test]
+fn every_separate_collective_simulates_and_passes_the_oracle_on_the_torus() {
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let torus = Torus::of(4, 2);
+    for kind in CollectiveKind::ALL {
+        let sched = match kind {
+            CollectiveKind::Allgather => allgather_separate(&torus, 128),
+            CollectiveKind::ReduceScatter => reduce_scatter_separate(&torus, 128),
+            CollectiveKind::Allreduce => allreduce_separate(&torus, NodeId(3), 128),
+        };
+        verify_collective(&sched).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        let r = simulate_collective_on(&sched, TorusRouter::new(torus), &params);
+        assert_eq!(r.deliveries.len(), sched.ops.len(), "{}", kind.name());
+        assert!(r.max_delay > SimTime::ZERO, "{}", kind.name());
+    }
+}
+
+#[test]
+fn allgather_outruns_sequential_broadcasts() {
+    // The point of the concurrent schedule: N overlapped broadcasts
+    // finish far sooner than N back-to-back ones.
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let cube = Cube::of(4);
+    let sched = cube_collective(
+        CollectiveKind::Allgather,
+        TreeFamily::Alg(Algorithm::WSort),
+        cube,
+    );
+    let concurrent = simulate_collective(&sched, cube, Resolution::HighToLow, &params).max_delay;
+    let one = broadcast(
+        Algorithm::WSort,
+        cube,
+        Resolution::HighToLow,
+        PortModel::AllPort,
+        NodeId(0),
+    )
+    .unwrap();
+    let single = simulate_multicast(&one, &params, 128).max_delay;
+    assert!(
+        concurrent.as_ns() < 16 * single.as_ns(),
+        "allgather {concurrent} vs 16 sequential broadcasts {single} each"
+    );
+}
+
+#[test]
+fn collective_traffic_runs_end_to_end() {
+    use traffic::{ArrivalProcess, Arrivals, DestPattern, TrafficSpec};
+    let params = SimParams::ncube2(PortModel::AllPort);
+    let mut spec = TrafficSpec::new(
+        Arrivals::new(ArrivalProcess::Poisson, 0.1),
+        DestPattern::UniformRandom { m: 4 },
+        6,
+        11,
+    );
+    spec.bytes = 128;
+    for family in [TreeFamily::Alg(Algorithm::WSort), TreeFamily::Bine] {
+        for kind in CollectiveKind::ALL {
+            let r = traffic::run_collective_cube(
+                &spec,
+                Cube::of(4),
+                Resolution::HighToLow,
+                kind,
+                family,
+                &params,
+            );
+            assert_eq!(r.sessions.len(), 6, "{} {}", kind.name(), family.name());
+            assert!(
+                r.completion_ratio > 0.0,
+                "{} {}",
+                kind.name(),
+                family.name()
+            );
+        }
+    }
 }
 
 #[test]
